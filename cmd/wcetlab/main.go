@@ -1,0 +1,212 @@
+// Command wcetlab regenerates every table and figure of the paper as text:
+//
+//	wcetlab table1              Table 1: cycles per memory access
+//	wcetlab table2              Table 2: benchmark list
+//	wcetlab fig3                Figure 3: G.721 sim & WCET vs SPM/cache size
+//	wcetlab fig4                Figure 4: G.721 WCET/sim ratio
+//	wcetlab fig5                Figure 5: MultiSort WCET/sim ratio
+//	wcetlab fig6                Figure 6: ADPCM sim & WCET, SPM vs cache
+//	wcetlab precision           §4 worst-case-input precision experiment
+//	wcetlab sweep <benchmark>   full sweep table for any Table 2 benchmark
+//	wcetlab all                 everything above
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/benchprog"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/wcet"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "table1":
+		table1()
+	case "table2":
+		table2()
+	case "fig3":
+		err = fig3()
+	case "fig4":
+		err = figRatio("G.721", "Figure 4: G.721 ratio of WCET and simulated cycles")
+	case "fig5":
+		err = figRatio("MultiSort", "Figure 5: MultiSort ratio of WCET and simulated cycles")
+	case "fig6":
+		err = fig6()
+	case "precision":
+		err = precision()
+	case "sweep":
+		if len(os.Args) < 3 {
+			usage()
+			os.Exit(2)
+		}
+		err = sweep(os.Args[2])
+	case "all":
+		table1()
+		table2()
+		if err = fig3(); err == nil {
+			if err = figRatio("G.721", "Figure 4: G.721 ratio of WCET and simulated cycles"); err == nil {
+				if err = figRatio("MultiSort", "Figure 5: MultiSort ratio of WCET and simulated cycles"); err == nil {
+					if err = fig6(); err == nil {
+						err = precision()
+					}
+				}
+			}
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wcetlab:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: wcetlab {table1|table2|fig3|fig4|fig5|fig6|precision|sweep <bench>|all}")
+}
+
+func header(title string) {
+	fmt.Printf("\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}
+
+func table1() {
+	header("Table 1: cycles per memory access (access + waitstates)")
+	fmt.Printf("%-18s %12s %12s\n", "Access width", "Main memory", "Scratchpad")
+	fmt.Printf("%-18s %12d %12d\n", "Byte (8 bit)", mem.MainByteCycles, mem.SPMCycles)
+	fmt.Printf("%-18s %12d %12d\n", "Halfword (16 bit)", mem.MainHalfCycles, mem.SPMCycles)
+	fmt.Printf("%-18s %12d %12d\n", "Word (32 bit)", mem.MainWordCycles, mem.SPMCycles)
+}
+
+func table2() {
+	header("Table 2: benchmarks")
+	fmt.Printf("%-12s %-70s %8s %8s\n", "Name", "Description", "objects", "bytes")
+	for _, b := range benchprog.All() {
+		prog, err := cc.Compile(b.Source)
+		if err != nil {
+			fmt.Printf("%-12s compile error: %v\n", b.Name, err)
+			continue
+		}
+		var total uint32
+		for _, o := range prog.Objects {
+			total += o.Size()
+		}
+		fmt.Printf("%-12s %-70s %8d %8d\n", b.Name, b.Description, len(prog.Objects), total)
+	}
+}
+
+func sweepData(name string) (*core.Lab, []core.Measurement, []core.Measurement, error) {
+	lab, err := core.NewLabByName(name)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	spms, err := lab.SweepScratchpad()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	caches, err := lab.SweepCache()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return lab, spms, caches, nil
+}
+
+func printSweep(spms, caches []core.Measurement) {
+	fmt.Printf("%8s | %12s %12s %6s | %12s %12s %6s\n",
+		"size [B]", "SPM sim", "SPM WCET", "ratio", "cache sim", "cache WCET", "ratio")
+	for i := range spms {
+		fmt.Printf("%8d | %12d %12d %6.2f | %12d %12d %6.2f\n",
+			spms[i].SPMSize,
+			spms[i].SimCycles, spms[i].WCET, spms[i].Ratio(),
+			caches[i].SimCycles, caches[i].WCET, caches[i].Ratio())
+	}
+}
+
+func fig3() error {
+	_, spms, caches, err := sweepData("G.721")
+	if err != nil {
+		return err
+	}
+	header("Figure 3a: G.721 using a scratchpad (simulated cycles and WCET)")
+	fmt.Printf("%8s %12s %12s\n", "SPM [B]", "sim cycles", "WCET")
+	for _, m := range spms {
+		fmt.Printf("%8d %12d %12d\n", m.SPMSize, m.SimCycles, m.WCET)
+	}
+	header("Figure 3b: G.721 using a cache (simulated cycles and WCET)")
+	fmt.Printf("%8s %12s %12s\n", "cache[B]", "sim cycles", "WCET")
+	for _, m := range caches {
+		fmt.Printf("%8d %12d %12d\n", m.CacheSize, m.SimCycles, m.WCET)
+	}
+	return nil
+}
+
+func figRatio(bench, title string) error {
+	_, spms, caches, err := sweepData(bench)
+	if err != nil {
+		return err
+	}
+	header(title + " (simulated cycles normalised to 1)")
+	fmt.Printf("%8s %14s %14s\n", "size [B]", "SPM WCET/sim", "cache WCET/sim")
+	for i := range spms {
+		fmt.Printf("%8d %14.3f %14.3f\n", spms[i].SPMSize, spms[i].Ratio(), caches[i].Ratio())
+	}
+	return nil
+}
+
+func fig6() error {
+	_, spms, caches, err := sweepData("ADPCM")
+	if err != nil {
+		return err
+	}
+	header("Figure 6: ADPCM benchmark (simulated cycles and WCET, SPM vs cache)")
+	printSweep(spms, caches)
+	return nil
+}
+
+func precision() error {
+	b := benchprog.WorstCaseSort
+	prog, err := cc.Compile(b.Source)
+	if err != nil {
+		return err
+	}
+	exe, err := link.Link(prog, 0, nil)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(exe, sim.Options{})
+	if err != nil {
+		return err
+	}
+	wres, err := wcet.Analyze(exe, wcet.Options{})
+	if err != nil {
+		return err
+	}
+	over := float64(wres.WCET-res.Cycles) / float64(res.Cycles) * 100
+	header("Precision experiment (§4): sort with known worst-case input")
+	fmt.Printf("simulated cycles: %d\n", res.Cycles)
+	fmt.Printf("estimated WCET:   %d\n", wres.WCET)
+	fmt.Printf("overestimation:   %.2f%% (paper reports ~1%%)\n", over)
+	return nil
+}
+
+func sweep(name string) error {
+	_, spms, caches, err := sweepData(name)
+	if err != nil {
+		return err
+	}
+	header(fmt.Sprintf("Sweep: %s (scratchpad vs cache)", name))
+	printSweep(spms, caches)
+	return nil
+}

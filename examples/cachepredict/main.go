@@ -1,0 +1,65 @@
+// cachepredict contrasts the two memory hierarchies on ADPCM at equal
+// capacity: a unified direct-mapped cache speeds up the average case but
+// the MUST-only cache analysis cannot bound it tightly, while the
+// scratchpad's gain is fully visible to the analyser. It also prints the
+// static classification statistics of the cache analysis.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cache"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/wcet"
+)
+
+func main() {
+	lab, err := core.NewLabByName("ADPCM")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const capacity = 1024
+
+	spmRun, err := lab.WithScratchpad(capacity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cacheRun, err := lab.WithCache(capacity, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("ADPCM with %d bytes of on-chip memory:\n\n", capacity)
+	fmt.Printf("%-22s %12s %12s %8s\n", "hierarchy", "sim cycles", "WCET", "ratio")
+	fmt.Printf("%-22s %12d %12d %8.2f\n", "scratchpad (knapsack)",
+		spmRun.SimCycles, spmRun.WCET, spmRun.Ratio())
+	fmt.Printf("%-22s %12d %12d %8.2f\n", "direct-mapped cache",
+		cacheRun.SimCycles, cacheRun.WCET, cacheRun.Ratio())
+
+	// Show why: re-run the cache analysis and report classification.
+	prog, err := cc.Compile(lab.Bench.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exe, err := link.Link(prog, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := wcet.Analyze(exe, wcet.Options{
+		Cache:      &cache.Config{Size: capacity},
+		StackBound: lab.StackBound,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncache MUST analysis classification (static, per instruction):\n")
+	fmt.Printf("  fetches always-hit:    %d\n", res.FetchAlwaysHit)
+	fmt.Printf("  fetches unclassified:  %d (assumed miss in the bound)\n", res.FetchUnclassified)
+	fmt.Printf("  data reads always-hit: %d\n", res.DataAlwaysHit)
+	fmt.Printf("  data reads unclassified: %d\n", res.DataUnclassified)
+	fmt.Println("\nEvery unclassified access is charged a full line fill in the WCET —")
+	fmt.Println("the dynamic cache state is what makes the bound loose, not the path.")
+}

@@ -1,0 +1,39 @@
+// spmsweep reproduces the paper's scratchpad experiment programmatically:
+// for each capacity from 64 bytes to 8 KB it runs the energy-knapsack
+// allocation, re-links G.721, simulates the typical input and analyses the
+// WCET — showing the paper's key property that the WCET bound scales with
+// the average-case gain at a near-constant ratio.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	lab, err := core.NewLabByName("G.721")
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := lab.Baseline()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("G.721 baseline (main memory only): sim %d cycles, WCET %d (ratio %.3f)\n\n",
+		base.SimCycles, base.WCET, base.Ratio())
+
+	fmt.Printf("%8s | %10s %10s %7s | %8s %7s | %12s\n",
+		"SPM [B]", "sim", "WCET", "ratio", "used [B]", "objects", "energy [nJ]")
+	ms, err := lab.SweepScratchpad()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range ms {
+		fmt.Printf("%8d | %10d %10d %7.3f | %8d %7d | %12.0f\n",
+			m.SPMSize, m.SimCycles, m.WCET, m.Ratio(), m.SPMUsed, m.SPMObjects, m.Energy)
+	}
+	fmt.Println("\nNote the near-constant WCET/sim ratio: the scratchpad's speedup")
+	fmt.Println("translates 1:1 into the WCET bound with no extra analysis effort.")
+}

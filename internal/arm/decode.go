@@ -1,0 +1,217 @@
+package arm
+
+// Decode decodes one 16-bit THUMB instruction halfword. Instructions that
+// cannot be decoded yield Op == OpInvalid. BL is a two-halfword pair; the
+// prefix and suffix decode to OpBlHi and OpBlLo and are combined at
+// execution time through LR, exactly as on real hardware.
+func Decode(hw uint16) Instr {
+	switch hw >> 13 {
+	case 0: // 000x: shift by immediate, or format 2 add/sub
+		op := (hw >> 11) & 3
+		if op != 3 {
+			// Format 1: move shifted register.
+			ops := [3]Op{OpLslImm, OpLsrImm, OpAsrImm}
+			return Instr{
+				Op:  ops[op],
+				Rd:  Reg(hw & 7),
+				Rs:  Reg((hw >> 3) & 7),
+				Imm: int32((hw >> 6) & 31),
+			}
+		}
+		// Format 2: add/subtract.
+		imm := hw&(1<<10) != 0
+		sub := hw&(1<<9) != 0
+		in := Instr{
+			Rd: Reg(hw & 7),
+			Rs: Reg((hw >> 3) & 7),
+		}
+		field := (hw >> 6) & 7
+		switch {
+		case !imm && !sub:
+			in.Op, in.Rn = OpAddReg, Reg(field)
+		case !imm && sub:
+			in.Op, in.Rn = OpSubReg, Reg(field)
+		case imm && !sub:
+			in.Op, in.Imm = OpAddImm3, int32(field)
+		default:
+			in.Op, in.Imm = OpSubImm3, int32(field)
+		}
+		return in
+
+	case 1: // 001: format 3 move/compare/add/subtract immediate
+		ops := [4]Op{OpMovImm, OpCmpImm, OpAddImm8, OpSubImm8}
+		return Instr{
+			Op:  ops[(hw>>11)&3],
+			Rd:  Reg((hw >> 8) & 7),
+			Imm: int32(hw & 0xFF),
+		}
+
+	case 2: // 010x
+		switch {
+		case hw>>10 == 0b010000: // Format 4: ALU operations
+			ops := [16]Op{
+				OpAnd, OpEor, OpLslReg, OpLsrReg, OpAsrReg, OpAdc, OpSbc, OpRor,
+				OpTst, OpNeg, OpCmpReg, OpCmn, OpOrr, OpMul, OpBic, OpMvn,
+			}
+			return Instr{
+				Op: ops[(hw>>6)&15],
+				Rd: Reg(hw & 7),
+				Rs: Reg((hw >> 3) & 7),
+			}
+		case hw>>10 == 0b010001: // Format 5: hi-register ops / BX
+			h1 := (hw >> 7) & 1
+			h2 := (hw >> 6) & 1
+			rd := Reg(hw&7) | Reg(h1<<3)
+			rs := Reg((hw>>3)&7) | Reg(h2<<3)
+			switch (hw >> 8) & 3 {
+			case 0:
+				return Instr{Op: OpAddHi, Rd: rd, Rs: rs}
+			case 1:
+				return Instr{Op: OpCmpHi, Rd: rd, Rs: rs}
+			case 2:
+				return Instr{Op: OpMovHi, Rd: rd, Rs: rs}
+			default:
+				if h1 != 0 { // BLX / undefined in THUMB-1
+					return Instr{Op: OpInvalid}
+				}
+				return Instr{Op: OpBx, Rs: rs}
+			}
+		case hw>>11 == 0b01001: // Format 6: PC-relative load
+			return Instr{
+				Op:  OpLdrPC,
+				Rd:  Reg((hw >> 8) & 7),
+				Imm: int32(hw&0xFF) * 4,
+			}
+		default: // 0101: formats 7 and 8, register-offset transfers
+			in := Instr{
+				Rd: Reg(hw & 7),
+				Rs: Reg((hw >> 3) & 7), // base
+				Rn: Reg((hw >> 6) & 7), // offset
+			}
+			if hw&(1<<9) == 0 { // Format 7: bits 11:10 = L,B
+				ops := [4]Op{OpStrReg, OpStrbReg, OpLdrReg, OpLdrbReg}
+				in.Op = ops[(hw>>10)&3]
+			} else { // Format 8: bits 11:10 = H,S
+				ops := [4]Op{OpStrhReg, OpLdsbReg, OpLdrhReg, OpLdshReg}
+				in.Op = ops[(hw>>10)&3]
+			}
+			return in
+		}
+
+	case 3: // 011: format 9, load/store with immediate offset
+		b := hw&(1<<12) != 0
+		l := hw&(1<<11) != 0
+		imm := int32((hw >> 6) & 31)
+		in := Instr{
+			Rd: Reg(hw & 7),
+			Rs: Reg((hw >> 3) & 7),
+		}
+		switch {
+		case !b && !l:
+			in.Op, in.Imm = OpStrImm, imm*4
+		case !b && l:
+			in.Op, in.Imm = OpLdrImm, imm*4
+		case b && !l:
+			in.Op, in.Imm = OpStrbImm, imm
+		default:
+			in.Op, in.Imm = OpLdrbImm, imm
+		}
+		return in
+
+	case 4: // 100x: formats 10 and 11
+		if hw&(1<<12) == 0 { // Format 10: halfword transfer
+			op := OpStrhImm
+			if hw&(1<<11) != 0 {
+				op = OpLdrhImm
+			}
+			return Instr{
+				Op:  op,
+				Rd:  Reg(hw & 7),
+				Rs:  Reg((hw >> 3) & 7),
+				Imm: int32((hw>>6)&31) * 2,
+			}
+		}
+		// Format 11: SP-relative transfer.
+		op := OpStrSP
+		if hw&(1<<11) != 0 {
+			op = OpLdrSP
+		}
+		return Instr{
+			Op:  op,
+			Rd:  Reg((hw >> 8) & 7),
+			Imm: int32(hw&0xFF) * 4,
+		}
+
+	case 5: // 101x: formats 12, 13, 14
+		if hw&(1<<12) == 0 { // Format 12: load address
+			op := OpAddPCImm
+			if hw&(1<<11) != 0 {
+				op = OpAddSPRel
+			}
+			return Instr{
+				Op:  op,
+				Rd:  Reg((hw >> 8) & 7),
+				Imm: int32(hw&0xFF) * 4,
+			}
+		}
+		switch {
+		case (hw>>8)&0xF == 0b0000: // Format 13: adjust SP (1011 0000 S imm7)
+			off := int32(hw&0x7F) * 4
+			if hw&(1<<7) != 0 {
+				off = -off
+			}
+			return Instr{Op: OpAddSPImm, Imm: off}
+		case (hw>>9)&3 == 0b10: // Format 14: push/pop (1011 L 10 R rlist)
+			regs := hw & 0xFF
+			if hw&(1<<11) != 0 { // L set: POP
+				if hw&(1<<8) != 0 {
+					regs |= 1 << PC
+				}
+				return Instr{Op: OpPop, Regs: regs}
+			}
+			if hw&(1<<8) != 0 {
+				regs |= 1 << LR
+			}
+			return Instr{Op: OpPush, Regs: regs}
+		default:
+			return Instr{Op: OpInvalid}
+		}
+
+	case 6: // 110x: format 15 multiple transfer, format 16 cond branch, SWI
+		if hw&(1<<12) == 0 { // Format 15
+			op := OpStmia
+			if hw&(1<<11) != 0 {
+				op = OpLdmia
+			}
+			return Instr{
+				Op:   op,
+				Rs:   Reg((hw >> 8) & 7),
+				Regs: hw & 0xFF,
+			}
+		}
+		cond := (hw >> 8) & 15
+		switch cond {
+		case 14:
+			return Instr{Op: OpInvalid} // undefined
+		case 15: // Format 17: SWI
+			return Instr{Op: OpSwi, Imm: int32(hw & 0xFF)}
+		default: // Format 16: conditional branch
+			off := int32(int8(hw&0xFF)) * 2
+			return Instr{Op: OpBCond, Cond: Cond(cond), Imm: off}
+		}
+
+	default: // 111x: formats 18 and 19
+		switch (hw >> 11) & 3 {
+		case 0: // Format 18: unconditional branch
+			off := int32(hw&0x7FF) << 21 >> 20 // sign-extend imm11, scale by 2
+			return Instr{Op: OpB, Imm: off}
+		case 2: // Format 19 prefix (H=0)
+			off := int32(hw&0x7FF) << 21 >> 21 // sign-extend imm11
+			return Instr{Op: OpBlHi, Imm: off}
+		case 3: // Format 19 suffix (H=1)
+			return Instr{Op: OpBlLo, Imm: int32(hw & 0x7FF)}
+		default:
+			return Instr{Op: OpInvalid}
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package arm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeEncodeExhaustive decodes every possible halfword; whenever the
+// result is a valid instruction it must re-encode (possibly to a canonical
+// form) and decode back to the identical instruction. This pins the decoder
+// and encoder to each other over the entire 16-bit space.
+func TestDecodeEncodeExhaustive(t *testing.T) {
+	valid := 0
+	for hw := 0; hw <= 0xFFFF; hw++ {
+		in := Decode(uint16(hw))
+		if in.Op == OpInvalid {
+			continue
+		}
+		valid++
+		enc, err := Encode(in)
+		if err != nil {
+			t.Fatalf("hw %#04x decoded to %+v (%s) but re-encoding failed: %v", hw, in, in.Disasm(0), err)
+		}
+		back := Decode(enc)
+		if back != in {
+			t.Fatalf("hw %#04x: decode %+v, re-encode %#04x, re-decode %+v", hw, in, enc, back)
+		}
+	}
+	// THUMB-1 defines the vast majority of the encoding space.
+	if valid < 55000 {
+		t.Fatalf("only %d/65536 halfwords decoded as valid; decoder is rejecting too much", valid)
+	}
+}
+
+// TestEncodeDecodeRoundTripQuick generates random plausible instructions and
+// checks Encode/Decode inversion for those the encoder accepts.
+func TestEncodeDecodeRoundTripQuick(t *testing.T) {
+	f := func(opRaw uint8, rd, rs, rn uint8, imm int32, cond uint8, regs uint16) bool {
+		in := Instr{
+			Op:   Op(opRaw%uint8(opMax-1) + 1),
+			Rd:   rd % 8,
+			Rs:   rs % 8,
+			Rn:   rn % 8,
+			Imm:  imm % 256,
+			Cond: Cond(cond % 14),
+			Regs: regs & 0xFF,
+		}
+		if in.Imm < 0 {
+			in.Imm = -in.Imm
+		}
+		// Normalise fields the encoding does not carry so the comparison
+		// below is meaningful.
+		in = canonicalize(in)
+		enc, err := Encode(in)
+		if err != nil {
+			return true // out-of-range immediates etc. are fine to reject
+		}
+		return Decode(enc) == in
+	}
+	cfg := &quick.Config{MaxCount: 20000, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// canonicalize zeroes the Instr fields that a given opcode's encoding does
+// not represent, producing the form Decode returns.
+func canonicalize(in Instr) Instr {
+	out := Instr{Op: in.Op}
+	switch in.Op {
+	case OpLslImm, OpLsrImm, OpAsrImm:
+		out.Rd, out.Rs, out.Imm = in.Rd, in.Rs, in.Imm%32
+	case OpAddReg, OpSubReg:
+		out.Rd, out.Rs, out.Rn = in.Rd, in.Rs, in.Rn
+	case OpAddImm3, OpSubImm3:
+		out.Rd, out.Rs, out.Imm = in.Rd, in.Rs, in.Imm%8
+	case OpMovImm, OpCmpImm, OpAddImm8, OpSubImm8:
+		out.Rd, out.Imm = in.Rd, in.Imm
+	case OpAnd, OpEor, OpLslReg, OpLsrReg, OpAsrReg, OpAdc, OpSbc, OpRor,
+		OpTst, OpNeg, OpCmpReg, OpCmn, OpOrr, OpMul, OpBic, OpMvn:
+		out.Rd, out.Rs = in.Rd, in.Rs
+	case OpAddHi, OpCmpHi, OpMovHi:
+		out.Rd, out.Rs = in.Rd, in.Rs
+	case OpBx:
+		out.Rs = in.Rs
+	case OpLdrPC:
+		out.Rd, out.Imm = in.Rd, in.Imm&^3
+	case OpStrReg, OpStrbReg, OpLdrReg, OpLdrbReg, OpStrhReg, OpLdrhReg, OpLdsbReg, OpLdshReg:
+		out.Rd, out.Rs, out.Rn = in.Rd, in.Rs, in.Rn
+	case OpStrImm, OpLdrImm:
+		out.Rd, out.Rs, out.Imm = in.Rd, in.Rs, in.Imm&^3%128
+	case OpStrbImm, OpLdrbImm:
+		out.Rd, out.Rs, out.Imm = in.Rd, in.Rs, in.Imm%32
+	case OpStrhImm, OpLdrhImm:
+		out.Rd, out.Rs, out.Imm = in.Rd, in.Rs, in.Imm&^1%64
+	case OpStrSP, OpLdrSP, OpAddPCImm, OpAddSPRel:
+		out.Rd, out.Imm = in.Rd, in.Imm&^3
+	case OpAddSPImm:
+		out.Imm = in.Imm &^ 3
+	case OpPush:
+		out.Regs = in.Regs & 0xFF
+	case OpPop:
+		out.Regs = in.Regs & 0xFF
+	case OpStmia, OpLdmia:
+		out.Rs, out.Regs = in.Rs, in.Regs&0xFF
+	case OpBCond:
+		out.Cond, out.Imm = in.Cond, in.Imm&^1
+	case OpB:
+		out.Imm = in.Imm &^ 1
+	case OpBlHi, OpBlLo:
+		out.Imm = in.Imm
+	case OpSwi:
+		out.Imm = in.Imm
+	}
+	return out
+}
+
+func TestDecodeSpecificEncodings(t *testing.T) {
+	cases := []struct {
+		hw   uint16
+		want Instr
+	}{
+		{0x0000, Instr{Op: OpLslImm, Rd: 0, Rs: 0, Imm: 0}},  // lsl r0, r0, #0
+		{0x1840, Instr{Op: OpAddReg, Rd: 0, Rs: 0, Rn: 1}},   // add r0, r0, r1
+		{0x1A40, Instr{Op: OpSubReg, Rd: 0, Rs: 0, Rn: 1}},   // sub r0, r0, r1
+		{0x2105, Instr{Op: OpMovImm, Rd: 1, Imm: 5}},         // mov r1, #5
+		{0x3901, Instr{Op: OpSubImm8, Rd: 1, Imm: 1}},        // sub r1, #1
+		{0x4348, Instr{Op: OpMul, Rd: 0, Rs: 1}},             // mul r0, r1
+		{0x4770, Instr{Op: OpBx, Rs: LR}},                    // bx lr
+		{0x4800, Instr{Op: OpLdrPC, Rd: 0, Imm: 0}},          // ldr r0, [pc, #0]
+		{0x5088, Instr{Op: OpStrReg, Rd: 0, Rs: 1, Rn: 2}},   // str r0, [r1, r2]
+		{0x5888, Instr{Op: OpLdrReg, Rd: 0, Rs: 1, Rn: 2}},   // ldr r0, [r1, r2]
+		{0x5E88, Instr{Op: OpLdshReg, Rd: 0, Rs: 1, Rn: 2}},  // ldsh r0, [r1, r2]
+		{0x6048, Instr{Op: OpStrImm, Rd: 0, Rs: 1, Imm: 4}},  // str r0, [r1, #4]
+		{0x8888, Instr{Op: OpLdrhImm, Rd: 0, Rs: 1, Imm: 4}}, // ldrh r0, [r1, #4]
+		{0x9001, Instr{Op: OpStrSP, Rd: 0, Imm: 4}},          // str r0, [sp, #4]
+		{0xB082, Instr{Op: OpAddSPImm, Imm: -8}},             // sub sp, #8
+		{0xB500, Instr{Op: OpPush, Regs: 1 << LR}},           // push {lr}
+		{0xBD00, Instr{Op: OpPop, Regs: 1 << PC}},            // pop {pc}
+		{0xD0FE, Instr{Op: OpBCond, Cond: CondEQ, Imm: -4}},  // beq .-4
+		{0xDF00, Instr{Op: OpSwi, Imm: 0}},                   // swi #0
+		{0xE7FE, Instr{Op: OpB, Imm: -4}},                    // b .-4 (self loop)
+		{0xC107, Instr{Op: OpStmia, Rs: 1, Regs: 0x07}},      // stmia r1!, {r0,r1,r2}
+	}
+	for _, tc := range cases {
+		got := Decode(tc.hw)
+		if got != tc.want {
+			t.Errorf("Decode(%#04x) = %+v (%s), want %+v (%s)",
+				tc.hw, got, got.Disasm(0), tc.want, tc.want.Disasm(0))
+		}
+	}
+}
+
+func TestInvalidEncodings(t *testing.T) {
+	for _, hw := range []uint16{0xDE00 /* undefined cond */, 0xB400 | 1<<9 ^ 0xB400} {
+		_ = hw
+	}
+	if in := Decode(0xDE00); in.Op != OpInvalid {
+		t.Errorf("cond 1110 branch should be invalid, got %v", in.Op)
+	}
+	if in := Decode(0x4780); in.Op != OpInvalid { // BLX-style H1=1 BX
+		t.Errorf("bx with h1 set should be invalid, got %v", in.Op)
+	}
+}
+
+func TestCondInvert(t *testing.T) {
+	pairs := [][2]Cond{{CondEQ, CondNE}, {CondCS, CondCC}, {CondMI, CondPL},
+		{CondVS, CondVC}, {CondHI, CondLS}, {CondGE, CondLT}, {CondGT, CondLE}}
+	for _, p := range pairs {
+		if p[0].Invert() != p[1] || p[1].Invert() != p[0] {
+			t.Errorf("Invert broken for %v/%v", p[0], p[1])
+		}
+	}
+}
+
+func TestInstrPredicates(t *testing.T) {
+	if !(Instr{Op: OpPop, Regs: 1 << PC}).IsReturn() {
+		t.Error("pop {pc} must be a return")
+	}
+	if (Instr{Op: OpPop, Regs: 0x0F}).IsReturn() {
+		t.Error("pop without pc must not be a return")
+	}
+	if !(Instr{Op: OpBx, Rs: LR}).IsBranch() {
+		t.Error("bx must be a branch")
+	}
+	if w := (Instr{Op: OpLdrhImm}).AccessWidth(); w != 2 {
+		t.Errorf("ldrh width = %d, want 2", w)
+	}
+	if w := (Instr{Op: OpLdrPC}).AccessWidth(); w != 4 {
+		t.Errorf("ldr pc-rel width = %d, want 4", w)
+	}
+	if n := (Instr{Op: OpPush, Regs: 0x0F | 1<<LR}).RegCount(); n != 5 {
+		t.Errorf("push {r0-r3,lr} count = %d, want 5", n)
+	}
+	if !(Instr{Op: OpPush, Regs: 1}).IsStore() || !(Instr{Op: OpLdmia, Regs: 1}).IsLoad() {
+		t.Error("push/ldmia load-store predicates broken")
+	}
+}

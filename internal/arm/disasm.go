@@ -1,0 +1,94 @@
+package arm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm renders the instruction as assembly text. addr is the instruction's
+// own address, used to resolve PC-relative targets; pass 0 to print raw
+// offsets.
+func (in Instr) Disasm(addr uint32) string {
+	r := func(n Reg) string {
+		switch n {
+		case SP:
+			return "sp"
+		case LR:
+			return "lr"
+		case PC:
+			return "pc"
+		}
+		return fmt.Sprintf("r%d", n)
+	}
+	regList := func(mask uint16) string {
+		var parts []string
+		for i := Reg(0); i <= 7; i++ {
+			if mask&(1<<i) != 0 {
+				parts = append(parts, r(i))
+			}
+		}
+		if mask&(1<<LR) != 0 {
+			parts = append(parts, "lr")
+		}
+		if mask&(1<<PC) != 0 {
+			parts = append(parts, "pc")
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	}
+
+	switch in.Op {
+	case OpLslImm, OpLsrImm, OpAsrImm:
+		return fmt.Sprintf("%s %s, %s, #%d", in.Op, r(in.Rd), r(in.Rs), in.Imm)
+	case OpAddReg, OpSubReg:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, r(in.Rd), r(in.Rs), r(in.Rn))
+	case OpAddImm3, OpSubImm3:
+		return fmt.Sprintf("%s %s, %s, #%d", in.Op, r(in.Rd), r(in.Rs), in.Imm)
+	case OpMovImm, OpCmpImm, OpAddImm8, OpSubImm8:
+		return fmt.Sprintf("%s %s, #%d", in.Op, r(in.Rd), in.Imm)
+	case OpAnd, OpEor, OpLslReg, OpLsrReg, OpAsrReg, OpAdc, OpSbc, OpRor,
+		OpTst, OpNeg, OpCmpReg, OpCmn, OpOrr, OpMul, OpBic, OpMvn:
+		return fmt.Sprintf("%s %s, %s", in.Op, r(in.Rd), r(in.Rs))
+	case OpAddHi, OpCmpHi, OpMovHi:
+		return fmt.Sprintf("%s %s, %s", in.Op, r(in.Rd), r(in.Rs))
+	case OpBx:
+		return fmt.Sprintf("bx %s", r(in.Rs))
+	case OpLdrPC:
+		if addr != 0 {
+			return fmt.Sprintf("ldr %s, [pc, #%d] ; =%#x", r(in.Rd), in.Imm, ((addr+4)&^3)+uint32(in.Imm))
+		}
+		return fmt.Sprintf("ldr %s, [pc, #%d]", r(in.Rd), in.Imm)
+	case OpStrReg, OpStrbReg, OpLdrReg, OpLdrbReg, OpStrhReg, OpLdrhReg, OpLdsbReg, OpLdshReg:
+		return fmt.Sprintf("%s %s, [%s, %s]", in.Op, r(in.Rd), r(in.Rs), r(in.Rn))
+	case OpStrImm, OpLdrImm, OpStrbImm, OpLdrbImm, OpStrhImm, OpLdrhImm:
+		return fmt.Sprintf("%s %s, [%s, #%d]", in.Op, r(in.Rd), r(in.Rs), in.Imm)
+	case OpStrSP, OpLdrSP:
+		return fmt.Sprintf("%s %s, [sp, #%d]", in.Op, r(in.Rd), in.Imm)
+	case OpAddPCImm:
+		return fmt.Sprintf("add %s, pc, #%d", r(in.Rd), in.Imm)
+	case OpAddSPRel:
+		return fmt.Sprintf("add %s, sp, #%d", r(in.Rd), in.Imm)
+	case OpAddSPImm:
+		return fmt.Sprintf("add sp, #%d", in.Imm)
+	case OpPush, OpPop:
+		return fmt.Sprintf("%s %s", in.Op, regList(in.Regs))
+	case OpStmia, OpLdmia:
+		return fmt.Sprintf("%s %s!, %s", in.Op, r(in.Rs), regList(in.Regs))
+	case OpBCond:
+		if addr != 0 {
+			return fmt.Sprintf("b%s %#x", in.Cond, addr+4+uint32(in.Imm))
+		}
+		return fmt.Sprintf("b%s .%+d", in.Cond, in.Imm)
+	case OpB:
+		if addr != 0 {
+			return fmt.Sprintf("b %#x", addr+4+uint32(in.Imm))
+		}
+		return fmt.Sprintf("b .%+d", in.Imm)
+	case OpBlHi:
+		return fmt.Sprintf("bl.hi #%d", in.Imm)
+	case OpBlLo:
+		return fmt.Sprintf("bl.lo #%d", in.Imm)
+	case OpSwi:
+		return fmt.Sprintf("swi #%d", in.Imm)
+	}
+	return "<invalid>"
+}

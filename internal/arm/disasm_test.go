@@ -1,0 +1,55 @@
+package arm
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDisasmCoversAllValidEncodings: every decodable halfword must render
+// to non-empty assembly that is not the invalid marker.
+func TestDisasmCoversAllValidEncodings(t *testing.T) {
+	for hw := 0; hw <= 0xFFFF; hw++ {
+		in := Decode(uint16(hw))
+		if in.Op == OpInvalid {
+			continue
+		}
+		s := in.Disasm(0x1000)
+		if s == "" || s == "<invalid>" {
+			t.Fatalf("hw %#04x (%+v) disassembles to %q", hw, in, s)
+		}
+	}
+}
+
+func TestDisasmSpecificForms(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		addr uint32
+		want string
+	}{
+		{Instr{Op: OpMovImm, Rd: 1, Imm: 5}, 0, "mov r1, #5"},
+		{Instr{Op: OpAddReg, Rd: 0, Rs: 1, Rn: 2}, 0, "add r0, r1, r2"},
+		{Instr{Op: OpBx, Rs: LR}, 0, "bx lr"},
+		{Instr{Op: OpPush, Regs: 0b11 | 1<<LR}, 0, "push {r0, r1, lr}"},
+		{Instr{Op: OpPop, Regs: 1 << PC}, 0, "pop {pc}"},
+		{Instr{Op: OpLdrImm, Rd: 0, Rs: 7, Imm: 8}, 0, "ldr r0, [r7, #8]"},
+		{Instr{Op: OpStrSP, Rd: 3, Imm: 12}, 0, "str r3, [sp, #12]"},
+		{Instr{Op: OpB, Imm: 4}, 0x100, "b 0x108"},
+		{Instr{Op: OpBCond, Cond: CondNE, Imm: -8}, 0x100, "bne 0xfc"},
+		{Instr{Op: OpSwi, Imm: 0}, 0, "swi #0"},
+		{Instr{Op: OpAddSPImm, Imm: -16}, 0, "add sp, #-16"},
+		{Instr{Op: OpLdmia, Rs: 2, Regs: 0b101}, 0, "ldmia r2!, {r0, r2}"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.Disasm(tc.addr); got != tc.want {
+			t.Errorf("Disasm(%+v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDisasmLdrPCShowsTarget(t *testing.T) {
+	in := Instr{Op: OpLdrPC, Rd: 0, Imm: 8}
+	s := in.Disasm(0x100)
+	if !strings.Contains(s, "=0x10c") {
+		t.Errorf("pc-relative load should show the resolved address: %q", s)
+	}
+}

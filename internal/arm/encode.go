@@ -1,0 +1,350 @@
+package arm
+
+import "fmt"
+
+// Encode encodes a decoded instruction back into its 16-bit THUMB halfword.
+// It is the exact inverse of Decode for every valid instruction (verified by
+// property tests). Encode reports an error when a field is out of range for
+// the encoding (e.g. an 8-bit immediate larger than 255), which the
+// assembler uses to detect over-range branches and trigger relaxation.
+func Encode(in Instr) (uint16, error) {
+	lo3 := func(r Reg) (uint16, error) {
+		if r > 7 {
+			return 0, fmt.Errorf("arm: register r%d not encodable in 3 bits", r)
+		}
+		return uint16(r), nil
+	}
+	immRange := func(v int32, lo, hi int32, what string) error {
+		if v < lo || v > hi {
+			return fmt.Errorf("arm: %s %d out of range [%d, %d]", what, v, lo, hi)
+		}
+		return nil
+	}
+	aligned := func(v int32, m int32, what string) error {
+		if v%m != 0 {
+			return fmt.Errorf("arm: %s %d not a multiple of %d", what, v, m)
+		}
+		return nil
+	}
+
+	switch in.Op {
+	case OpLslImm, OpLsrImm, OpAsrImm:
+		op := map[Op]uint16{OpLslImm: 0, OpLsrImm: 1, OpAsrImm: 2}[in.Op]
+		if err := immRange(in.Imm, 0, 31, "shift amount"); err != nil {
+			return 0, err
+		}
+		rd, err := lo3(in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		rs, err := lo3(in.Rs)
+		if err != nil {
+			return 0, err
+		}
+		return op<<11 | uint16(in.Imm)<<6 | rs<<3 | rd, nil
+
+	case OpAddReg, OpSubReg, OpAddImm3, OpSubImm3:
+		rd, err := lo3(in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		rs, err := lo3(in.Rs)
+		if err != nil {
+			return 0, err
+		}
+		base := uint16(0b00011) << 11
+		switch in.Op {
+		case OpAddReg, OpSubReg:
+			rn, err := lo3(in.Rn)
+			if err != nil {
+				return 0, err
+			}
+			if in.Op == OpSubReg {
+				base |= 1 << 9
+			}
+			return base | rn<<6 | rs<<3 | rd, nil
+		default:
+			if err := immRange(in.Imm, 0, 7, "imm3"); err != nil {
+				return 0, err
+			}
+			base |= 1 << 10
+			if in.Op == OpSubImm3 {
+				base |= 1 << 9
+			}
+			return base | uint16(in.Imm)<<6 | rs<<3 | rd, nil
+		}
+
+	case OpMovImm, OpCmpImm, OpAddImm8, OpSubImm8:
+		op := map[Op]uint16{OpMovImm: 0, OpCmpImm: 1, OpAddImm8: 2, OpSubImm8: 3}[in.Op]
+		if err := immRange(in.Imm, 0, 255, "imm8"); err != nil {
+			return 0, err
+		}
+		rd, err := lo3(in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		return 1<<13 | op<<11 | rd<<8 | uint16(in.Imm), nil
+
+	case OpAnd, OpEor, OpLslReg, OpLsrReg, OpAsrReg, OpAdc, OpSbc, OpRor,
+		OpTst, OpNeg, OpCmpReg, OpCmn, OpOrr, OpMul, OpBic, OpMvn:
+		sub := map[Op]uint16{
+			OpAnd: 0, OpEor: 1, OpLslReg: 2, OpLsrReg: 3, OpAsrReg: 4,
+			OpAdc: 5, OpSbc: 6, OpRor: 7, OpTst: 8, OpNeg: 9, OpCmpReg: 10,
+			OpCmn: 11, OpOrr: 12, OpMul: 13, OpBic: 14, OpMvn: 15,
+		}[in.Op]
+		rd, err := lo3(in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		rs, err := lo3(in.Rs)
+		if err != nil {
+			return 0, err
+		}
+		return 0b010000<<10 | sub<<6 | rs<<3 | rd, nil
+
+	case OpAddHi, OpCmpHi, OpMovHi, OpBx:
+		op := map[Op]uint16{OpAddHi: 0, OpCmpHi: 1, OpMovHi: 2, OpBx: 3}[in.Op]
+		if in.Rd > 15 || in.Rs > 15 {
+			return 0, fmt.Errorf("arm: invalid register in hi-reg op")
+		}
+		rd := in.Rd
+		if in.Op == OpBx {
+			rd = 0
+		}
+		h1 := uint16(rd>>3) & 1
+		h2 := uint16(in.Rs>>3) & 1
+		return 0b010001<<10 | op<<8 | h1<<7 | h2<<6 | uint16(in.Rs&7)<<3 | uint16(rd&7), nil
+
+	case OpLdrPC:
+		if err := aligned(in.Imm, 4, "pc-relative offset"); err != nil {
+			return 0, err
+		}
+		if err := immRange(in.Imm/4, 0, 255, "pc-relative word offset"); err != nil {
+			return 0, err
+		}
+		rd, err := lo3(in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		return 0b01001<<11 | rd<<8 | uint16(in.Imm/4), nil
+
+	case OpStrReg, OpStrbReg, OpLdrReg, OpLdrbReg:
+		op := map[Op]uint16{OpStrReg: 0, OpStrbReg: 1, OpLdrReg: 2, OpLdrbReg: 3}[in.Op]
+		rd, err := lo3(in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		rb, err := lo3(in.Rs)
+		if err != nil {
+			return 0, err
+		}
+		ro, err := lo3(in.Rn)
+		if err != nil {
+			return 0, err
+		}
+		return 0b0101<<12 | op<<10 | ro<<6 | rb<<3 | rd, nil
+
+	case OpStrhReg, OpLdsbReg, OpLdrhReg, OpLdshReg:
+		op := map[Op]uint16{OpStrhReg: 0, OpLdsbReg: 1, OpLdrhReg: 2, OpLdshReg: 3}[in.Op]
+		rd, err := lo3(in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		rb, err := lo3(in.Rs)
+		if err != nil {
+			return 0, err
+		}
+		ro, err := lo3(in.Rn)
+		if err != nil {
+			return 0, err
+		}
+		return 0b0101<<12 | op<<10 | 1<<9 | ro<<6 | rb<<3 | rd, nil
+
+	case OpStrImm, OpLdrImm, OpStrbImm, OpLdrbImm:
+		rd, err := lo3(in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		rb, err := lo3(in.Rs)
+		if err != nil {
+			return 0, err
+		}
+		var op, imm uint16
+		switch in.Op {
+		case OpStrImm, OpLdrImm:
+			if err := aligned(in.Imm, 4, "word offset"); err != nil {
+				return 0, err
+			}
+			if err := immRange(in.Imm/4, 0, 31, "word offset"); err != nil {
+				return 0, err
+			}
+			imm = uint16(in.Imm / 4)
+			if in.Op == OpLdrImm {
+				op = 1
+			}
+		default:
+			if err := immRange(in.Imm, 0, 31, "byte offset"); err != nil {
+				return 0, err
+			}
+			imm = uint16(in.Imm)
+			op = 2
+			if in.Op == OpLdrbImm {
+				op = 3
+			}
+		}
+		return 0b011<<13 | op<<11 | imm<<6 | rb<<3 | rd, nil
+
+	case OpStrhImm, OpLdrhImm:
+		if err := aligned(in.Imm, 2, "halfword offset"); err != nil {
+			return 0, err
+		}
+		if err := immRange(in.Imm/2, 0, 31, "halfword offset"); err != nil {
+			return 0, err
+		}
+		rd, err := lo3(in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		rb, err := lo3(in.Rs)
+		if err != nil {
+			return 0, err
+		}
+		var l uint16
+		if in.Op == OpLdrhImm {
+			l = 1
+		}
+		return 0b1000<<12 | l<<11 | uint16(in.Imm/2)<<6 | rb<<3 | rd, nil
+
+	case OpStrSP, OpLdrSP:
+		if err := aligned(in.Imm, 4, "sp offset"); err != nil {
+			return 0, err
+		}
+		if err := immRange(in.Imm/4, 0, 255, "sp word offset"); err != nil {
+			return 0, err
+		}
+		rd, err := lo3(in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		var l uint16
+		if in.Op == OpLdrSP {
+			l = 1
+		}
+		return 0b1001<<12 | l<<11 | rd<<8 | uint16(in.Imm/4), nil
+
+	case OpAddPCImm, OpAddSPRel:
+		if err := aligned(in.Imm, 4, "address offset"); err != nil {
+			return 0, err
+		}
+		if err := immRange(in.Imm/4, 0, 255, "address word offset"); err != nil {
+			return 0, err
+		}
+		rd, err := lo3(in.Rd)
+		if err != nil {
+			return 0, err
+		}
+		var sp uint16
+		if in.Op == OpAddSPRel {
+			sp = 1
+		}
+		return 0b1010<<12 | sp<<11 | rd<<8 | uint16(in.Imm/4), nil
+
+	case OpAddSPImm:
+		if err := aligned(in.Imm, 4, "sp adjustment"); err != nil {
+			return 0, err
+		}
+		v := in.Imm / 4
+		var s uint16
+		if v < 0 {
+			s, v = 1, -v
+		}
+		if err := immRange(v, 0, 127, "sp adjustment (words)"); err != nil {
+			return 0, err
+		}
+		return 0b10110000<<8 | s<<7 | uint16(v), nil
+
+	case OpPush:
+		if in.Regs&^uint16(0xFF|1<<LR) != 0 {
+			return 0, fmt.Errorf("arm: push list %#x contains unencodable registers", in.Regs)
+		}
+		var r uint16
+		if in.Regs&(1<<LR) != 0 {
+			r = 1
+		}
+		return 0b1011010<<9 | r<<8 | in.Regs&0xFF, nil
+
+	case OpPop:
+		if in.Regs&^uint16(0xFF|1<<PC) != 0 {
+			return 0, fmt.Errorf("arm: pop list %#x contains unencodable registers", in.Regs)
+		}
+		var r uint16
+		if in.Regs&(1<<PC) != 0 {
+			r = 1
+		}
+		return 0b1011110<<9 | r<<8 | in.Regs&0xFF, nil
+
+	case OpStmia, OpLdmia:
+		if in.Regs&^uint16(0xFF) != 0 {
+			return 0, fmt.Errorf("arm: multiple-transfer list %#x contains unencodable registers", in.Regs)
+		}
+		rb, err := lo3(in.Rs)
+		if err != nil {
+			return 0, err
+		}
+		var l uint16
+		if in.Op == OpLdmia {
+			l = 1
+		}
+		return 0b1100<<12 | l<<11 | rb<<8 | in.Regs&0xFF, nil
+
+	case OpBCond:
+		if in.Cond > CondLE {
+			return 0, fmt.Errorf("arm: condition %d not encodable", in.Cond)
+		}
+		if err := aligned(in.Imm, 2, "branch offset"); err != nil {
+			return 0, err
+		}
+		if err := immRange(in.Imm/2, -128, 127, "conditional branch offset"); err != nil {
+			return 0, err
+		}
+		return 0b1101<<12 | uint16(in.Cond)<<8 | uint16(uint8(in.Imm/2)), nil
+
+	case OpSwi:
+		if err := immRange(in.Imm, 0, 255, "swi number"); err != nil {
+			return 0, err
+		}
+		return 0b11011111<<8 | uint16(in.Imm), nil
+
+	case OpB:
+		if err := aligned(in.Imm, 2, "branch offset"); err != nil {
+			return 0, err
+		}
+		if err := immRange(in.Imm/2, -1024, 1023, "branch offset"); err != nil {
+			return 0, err
+		}
+		return 0b11100<<11 | uint16(in.Imm/2)&0x7FF, nil
+
+	case OpBlHi:
+		if err := immRange(in.Imm, -1024, 1023, "bl high offset"); err != nil {
+			return 0, err
+		}
+		return 0b11110<<11 | uint16(in.Imm)&0x7FF, nil
+
+	case OpBlLo:
+		if err := immRange(in.Imm, 0, 2047, "bl low offset"); err != nil {
+			return 0, err
+		}
+		return 0b11111<<11 | uint16(in.Imm)&0x7FF, nil
+	}
+	return 0, fmt.Errorf("arm: cannot encode op %v", in.Op)
+}
+
+// MustEncode is Encode for instructions known to be valid; it panics on
+// error and is intended for the runtime-library tables in internal/asm.
+func MustEncode(in Instr) uint16 {
+	hw, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return hw
+}

@@ -1,0 +1,420 @@
+// Package asm builds THUMB code objects. It provides the function Builder
+// used by the compiler back end (labels, branch relaxation, literal pools,
+// call and address relocations, flow-fact and access-hint attachment) and
+// the hand-written runtime-library routines (startup stub, software
+// division).
+package asm
+
+import (
+	"fmt"
+
+	"repro/internal/arm"
+	"repro/internal/obj"
+)
+
+// Label identifies a position in a function under construction.
+type Label int
+
+type itemKind uint8
+
+const (
+	itInstr itemKind = iota
+	itLabel
+	itBranch // conditional branch, relaxable
+	itJump   // unconditional branch
+	itCall   // BL, always 4 bytes
+	itLoad   // LDR rd, =literal (value or symbol+addend)
+)
+
+type item struct {
+	kind   itemKind
+	in     arm.Instr
+	label  Label
+	cond   arm.Cond
+	bound  int64 // >0: this branch is a loop back edge with that bound
+	total  int64 // >0: total back-edge executions per function invocation
+	target string
+	lit    int32
+	rd     arm.Reg
+	hint   string
+
+	expanded bool // conditional branch relaxed to inverted-cond + B
+	offset   uint32
+	size     uint32
+}
+
+// Builder assembles one function.
+type Builder struct {
+	name         string
+	items        []item
+	nlabels      int
+	pendingHint  string
+	pendingBound int64
+	pendingTotal int64
+	err          error
+}
+
+// NewBuilder starts a new function with the given (unique) name.
+func NewBuilder(name string) *Builder { return &Builder{name: name} }
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("asm: %s: %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+func (b *Builder) push(it item) {
+	if it.kind == itInstr || it.kind == itLoad {
+		it.hint = b.pendingHint
+		b.pendingHint = ""
+	}
+	if it.kind == itBranch || it.kind == itJump {
+		if b.pendingBound > 0 && it.bound == 0 {
+			it.bound = b.pendingBound
+		}
+		if b.pendingTotal > 0 && it.total == 0 {
+			it.total = b.pendingTotal
+		}
+		b.pendingBound, b.pendingTotal = 0, 0
+	}
+	b.items = append(b.items, it)
+}
+
+// Op emits a plain instruction.
+func (b *Builder) Op(in arm.Instr) { b.push(item{kind: itInstr, in: in}) }
+
+// Label allocates a fresh label.
+func (b *Builder) Label() Label {
+	b.nlabels++
+	return Label(b.nlabels - 1)
+}
+
+// Bind places the label at the current position.
+func (b *Builder) Bind(l Label) { b.push(item{kind: itLabel, label: l}) }
+
+// Branch emits a conditional branch to l.
+func (b *Builder) Branch(cond arm.Cond, l Label) {
+	b.push(item{kind: itBranch, cond: cond, label: l})
+}
+
+// Jump emits an unconditional branch to l.
+func (b *Builder) Jump(l Label) { b.push(item{kind: itJump, label: l}) }
+
+// SetNextBranchBound marks the next emitted branch as a loop back edge with
+// the given maximum iteration count (a flow fact for the WCET analyser).
+func (b *Builder) SetNextBranchBound(maxIter int64) {
+	if maxIter <= 0 {
+		b.fail("loop bound %d must be positive", maxIter)
+		return
+	}
+	b.pendingBound = maxIter
+}
+
+// SetNextBranchTotal additionally bounds the next branch's total executions
+// per function invocation (a global flow fact for triangular loop nests).
+func (b *Builder) SetNextBranchTotal(total int64) {
+	if total <= 0 {
+		b.fail("loop total bound %d must be positive", total)
+		return
+	}
+	b.pendingTotal = total
+}
+
+// Call emits a BL to the named function (resolved by the linker).
+func (b *Builder) Call(target string) { b.push(item{kind: itCall, target: target}) }
+
+// Hint attaches a data-access annotation to the next emitted instruction:
+// it accesses the named memory object.
+func (b *Builder) Hint(objectName string) { b.pendingHint = objectName }
+
+// LoadAddr emits code loading the absolute address of sym (+addend) into rd
+// via the literal pool.
+func (b *Builder) LoadAddr(rd arm.Reg, sym string, addend int32) {
+	b.push(item{kind: itLoad, rd: rd, target: sym, lit: addend})
+}
+
+// LoadConst emits code loading an arbitrary 32-bit constant into rd.
+// Constants are synthesised from MOV/LSL/SUB/NEG sequences where possible
+// (as ARM compilers do), falling back to the literal pool. The sequences
+// set flags, so LoadConst must not be placed between a compare and its
+// branch — the code generator never does.
+func (b *Builder) LoadConst(rd arm.Reg, v int32) {
+	if b.synthConst(rd, v) {
+		return
+	}
+	b.push(item{kind: itLoad, rd: rd, lit: v})
+}
+
+// synthConst tries to materialise v without a literal pool entry.
+func (b *Builder) synthConst(rd arm.Reg, v int32) bool {
+	mov := func(imm int32) { b.Op(arm.Instr{Op: arm.OpMovImm, Rd: rd, Imm: imm}) }
+	lsl := func(sh int32) { b.Op(arm.Instr{Op: arm.OpLslImm, Rd: rd, Rs: rd, Imm: sh}) }
+	neg := func() { b.Op(arm.Instr{Op: arm.OpNeg, Rd: rd, Rs: rd}) }
+
+	switch {
+	case v >= 0 && v <= 255:
+		mov(v)
+		return true
+	case v < 0 && v >= -255:
+		mov(-v)
+		neg()
+		return true
+	}
+	// m << s with 8-bit m.
+	shifted := func(u uint32) (int32, int32, bool) {
+		for s := int32(1); s <= 24; s++ {
+			if u&(1<<s-1) == 0 && u>>s <= 255 {
+				return int32(u >> s), s, true
+			}
+		}
+		return 0, 0, false
+	}
+	if v > 0 {
+		if m, s, ok := shifted(uint32(v)); ok {
+			mov(m)
+			lsl(s)
+			return true
+		}
+		// (m << s) - 1 covers 2^k-1 masks (8191, 32767, …).
+		if m, s, ok := shifted(uint32(v) + 1); ok {
+			mov(m)
+			lsl(s)
+			b.Op(arm.Instr{Op: arm.OpSubImm8, Rd: rd, Imm: 1})
+			return true
+		}
+	} else {
+		u := uint32(-int64(v))
+		if m, s, ok := shifted(u); ok {
+			mov(m)
+			lsl(s)
+			neg()
+			return true
+		}
+	}
+	return false
+}
+
+type litKey struct {
+	target string
+	val    int32
+}
+
+// Assemble resolves labels, relaxes branches, lays out the literal pool and
+// produces the code object.
+func (b *Builder) Assemble() (*obj.Object, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	// Iteratively assign sizes and offsets until branch relaxation reaches
+	// a fixed point. Sizes only ever grow, so this terminates.
+	for pass := 0; ; pass++ {
+		if pass > 64 {
+			return nil, fmt.Errorf("asm: %s: relaxation did not converge", b.name)
+		}
+		labelOff := make(map[Label]uint32, b.nlabels)
+		off := uint32(0)
+		for i := range b.items {
+			it := &b.items[i]
+			switch it.kind {
+			case itLabel:
+				it.size = 0
+				labelOff[it.label] = off
+			case itInstr, itLoad:
+				it.size = 2
+			case itCall:
+				it.size = 4
+			case itJump:
+				it.size = 2
+			case itBranch:
+				if it.expanded {
+					it.size = 4
+				} else {
+					it.size = 2
+				}
+			}
+			it.offset = off
+			off += it.size
+		}
+		changed := false
+		for i := range b.items {
+			it := &b.items[i]
+			switch it.kind {
+			case itBranch:
+				if it.expanded {
+					continue
+				}
+				t, ok := labelOff[it.label]
+				if !ok {
+					return nil, fmt.Errorf("asm: %s: unbound label %d", b.name, it.label)
+				}
+				disp := int64(t) - int64(it.offset) - 4
+				if disp < -256 || disp > 254 {
+					it.expanded = true
+					changed = true
+				}
+			case itJump:
+				t, ok := labelOff[it.label]
+				if !ok {
+					return nil, fmt.Errorf("asm: %s: unbound label %d", b.name, it.label)
+				}
+				disp := int64(t) - int64(it.offset) - 4
+				if disp < -2048 || disp > 2046 {
+					return nil, fmt.Errorf("asm: %s: jump displacement %d exceeds B range; function too large", b.name, disp)
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Final label offsets.
+	labelOff := make(map[Label]uint32, b.nlabels)
+	var codeSize uint32
+	for _, it := range b.items {
+		if it.kind == itLabel {
+			labelOff[it.label] = it.offset
+		}
+		codeSize = it.offset + it.size
+	}
+
+	// Literal pool layout: word-aligned, after the code.
+	poolBase := (codeSize + 3) &^ 3
+	pool := make([]litKey, 0, 8)
+	poolIndex := map[litKey]uint32{}
+	for _, it := range b.items {
+		if it.kind != itLoad {
+			continue
+		}
+		k := litKey{it.target, it.lit}
+		if _, ok := poolIndex[k]; !ok {
+			poolIndex[k] = poolBase + uint32(4*len(pool))
+			pool = append(pool, k)
+		}
+	}
+	total := poolBase + uint32(4*len(pool))
+
+	out := &obj.Object{
+		Name:     b.name,
+		Kind:     obj.Code,
+		Align:    4,
+		Data:     make([]byte, total),
+		CodeSize: codeSize,
+		ReadOnly: true,
+	}
+	putHW := func(off uint32, hw uint16) {
+		out.Data[off] = byte(hw)
+		out.Data[off+1] = byte(hw >> 8)
+	}
+	encode := func(in arm.Instr) (uint16, bool) {
+		hw, err := arm.Encode(in)
+		if err != nil {
+			b.fail("%v (instr %s)", err, in.Disasm(0))
+			return 0, false
+		}
+		return hw, true
+	}
+
+	callees := map[string]bool{}
+	for _, it := range b.items {
+		switch it.kind {
+		case itInstr:
+			hw, ok := encode(it.in)
+			if !ok {
+				return nil, b.err
+			}
+			putHW(it.offset, hw)
+			if it.hint != "" {
+				out.Accesses = append(out.Accesses, obj.AccessHint{InstrOffset: it.offset, Target: it.hint})
+			}
+		case itLoad:
+			slot := poolIndex[litKey{it.target, it.lit}]
+			// LDR rd, [pc, #off]; base is (instrAddr+4) word-aligned. The
+			// object itself is 4-byte aligned, so parity of it.offset
+			// decides the base.
+			base := (it.offset + 4) &^ 3
+			disp := int64(slot) - int64(base)
+			if disp < 0 || disp > 1020 {
+				return nil, fmt.Errorf("asm: %s: literal pool displacement %d out of range", b.name, disp)
+			}
+			hw, ok := encode(arm.Instr{Op: arm.OpLdrPC, Rd: it.rd, Imm: int32(disp)})
+			if !ok {
+				return nil, b.err
+			}
+			putHW(it.offset, hw)
+			if it.hint != "" {
+				out.Accesses = append(out.Accesses, obj.AccessHint{InstrOffset: it.offset, Target: it.hint})
+			}
+		case itCall:
+			// BL pair; offsets are fixed up by the linker via RelocBL.
+			hw1, _ := encode(arm.Instr{Op: arm.OpBlHi, Imm: 0})
+			hw2, _ := encode(arm.Instr{Op: arm.OpBlLo, Imm: 0})
+			putHW(it.offset, hw1)
+			putHW(it.offset+2, hw2)
+			out.Relocs = append(out.Relocs, obj.Reloc{Kind: obj.RelocBL, Offset: it.offset, Target: it.target})
+			if !callees[it.target] {
+				callees[it.target] = true
+				out.Calls = append(out.Calls, it.target)
+			}
+		case itJump:
+			t := labelOff[it.label]
+			disp := int32(t) - int32(it.offset) - 4
+			hw, ok := encode(arm.Instr{Op: arm.OpB, Imm: disp})
+			if !ok {
+				return nil, b.err
+			}
+			putHW(it.offset, hw)
+			if it.bound > 0 {
+				out.LoopBounds = append(out.LoopBounds, obj.LoopBound{BranchOffset: it.offset, MaxIter: it.bound, TotalIter: it.total})
+			}
+		case itBranch:
+			t := labelOff[it.label]
+			if !it.expanded {
+				disp := int32(t) - int32(it.offset) - 4
+				hw, ok := encode(arm.Instr{Op: arm.OpBCond, Cond: it.cond, Imm: disp})
+				if !ok {
+					return nil, b.err
+				}
+				putHW(it.offset, hw)
+				if it.bound > 0 {
+					out.LoopBounds = append(out.LoopBounds, obj.LoopBound{BranchOffset: it.offset, MaxIter: it.bound, TotalIter: it.total})
+				}
+				continue
+			}
+			// Relaxed form: b<inv> +2 (skip the B); b target.
+			hw1, ok := encode(arm.Instr{Op: arm.OpBCond, Cond: it.cond.Invert(), Imm: 0})
+			if !ok {
+				return nil, b.err
+			}
+			disp := int32(t) - int32(it.offset+2) - 4
+			hw2, ok := encode(arm.Instr{Op: arm.OpB, Imm: disp})
+			if !ok {
+				return nil, b.err
+			}
+			putHW(it.offset, hw1)
+			putHW(it.offset+2, hw2)
+			if it.bound > 0 {
+				// The actual back edge is the unconditional B.
+				out.LoopBounds = append(out.LoopBounds, obj.LoopBound{BranchOffset: it.offset + 2, MaxIter: it.bound, TotalIter: it.total})
+			}
+		}
+	}
+
+	// Literal pool contents and relocations.
+	for i, k := range pool {
+		slot := poolBase + uint32(4*i)
+		if k.target != "" {
+			out.Relocs = append(out.Relocs, obj.Reloc{Kind: obj.RelocAbs32, Offset: slot, Target: k.target, Addend: k.val})
+			continue
+		}
+		v := uint32(k.val)
+		out.Data[slot] = byte(v)
+		out.Data[slot+1] = byte(v >> 8)
+		out.Data[slot+2] = byte(v >> 16)
+		out.Data[slot+3] = byte(v >> 24)
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	return out, nil
+}

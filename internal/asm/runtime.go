@@ -1,0 +1,129 @@
+package asm
+
+import (
+	"fmt"
+
+	"repro/internal/arm"
+	"repro/internal/obj"
+)
+
+// Move emits a register move that is architecturally valid for any register
+// combination: hi-register MOV when either register is r8..r15, otherwise
+// ADD rd, rs, #0 (the canonical THUMB low-to-low move; it sets flags).
+func (b *Builder) Move(rd, rs arm.Reg) {
+	if rd > 7 || rs > 7 {
+		b.Op(arm.Instr{Op: arm.OpMovHi, Rd: rd, Rs: rs})
+		return
+	}
+	b.Op(arm.Instr{Op: arm.OpAddImm3, Rd: rd, Rs: rs, Imm: 0})
+}
+
+// Crt0 builds the startup stub: it calls main and exits via SWI 0. The
+// simulator initialises SP; main's return value stays in r0 for inspection.
+func Crt0(mainName string) (*obj.Object, error) {
+	b := NewBuilder("__start")
+	b.Call(mainName)
+	b.Op(arm.Instr{Op: arm.OpSwi, Imm: 0})
+	return b.Assemble()
+}
+
+// UDiv32Bound is the loop bound of the software division routine: one
+// iteration per result bit.
+const UDiv32Bound = 32
+
+// Udivsi3 builds __udivsi3: unsigned 32÷32 division.
+// In: r0 = numerator, r1 = denominator. Out: r0 = quotient, r1 = remainder.
+// Division by zero yields quotient 0xFFFFFFFF... by construction of the
+// shift-subtract loop it yields quotient all-ones-ish results; callers must
+// not divide by zero (matching C's undefined behaviour).
+func Udivsi3() (*obj.Object, error) {
+	b := NewBuilder("__udivsi3")
+	loop := b.Label()
+	skip := b.Label()
+	b.Op(arm.Instr{Op: arm.OpPush, Regs: 1 << 4})     // push {r4}
+	b.Op(arm.Instr{Op: arm.OpMovImm, Rd: 2, Imm: 0})  // rem = 0
+	b.Op(arm.Instr{Op: arm.OpMovImm, Rd: 3, Imm: 0})  // quot = 0
+	b.Op(arm.Instr{Op: arm.OpMovImm, Rd: 4, Imm: 32}) // counter
+	b.Bind(loop)
+	b.Op(arm.Instr{Op: arm.OpLslImm, Rd: 3, Rs: 3, Imm: 1}) // quot <<= 1
+	b.Op(arm.Instr{Op: arm.OpLslImm, Rd: 0, Rs: 0, Imm: 1}) // num <<= 1, C = msb
+	b.Op(arm.Instr{Op: arm.OpAdc, Rd: 2, Rs: 2})            // rem = rem<<1 | C
+	b.Op(arm.Instr{Op: arm.OpCmpReg, Rd: 2, Rs: 1})
+	b.Branch(arm.CondCC, skip)                             // rem < den
+	b.Op(arm.Instr{Op: arm.OpSubReg, Rd: 2, Rs: 2, Rn: 1}) // rem -= den
+	b.Op(arm.Instr{Op: arm.OpAddImm8, Rd: 3, Imm: 1})      // quot |= 1
+	b.Bind(skip)
+	b.Op(arm.Instr{Op: arm.OpSubImm8, Rd: 4, Imm: 1})
+	b.SetNextBranchBound(UDiv32Bound)
+	b.Branch(arm.CondNE, loop)
+	b.Move(0, 3)
+	b.Move(1, 2)
+	b.Op(arm.Instr{Op: arm.OpPop, Regs: 1 << 4})
+	b.Op(arm.Instr{Op: arm.OpBx, Rs: arm.LR})
+	return b.Assemble()
+}
+
+// Divsi3 builds __divsi3: signed quotient (truncated toward zero).
+// In: r0, r1. Out: r0 = quotient. Clobbers r1-r3.
+func Divsi3() (*obj.Object, error) {
+	b := NewBuilder("__divsi3")
+	l1, l2, l3 := b.Label(), b.Label(), b.Label()
+	b.Op(arm.Instr{Op: arm.OpPush, Regs: 1<<4 | 1<<arm.LR})
+	b.Move(4, 0)
+	b.Op(arm.Instr{Op: arm.OpEor, Rd: 4, Rs: 1}) // r4 bit31 = result sign
+	b.Op(arm.Instr{Op: arm.OpCmpImm, Rd: 0, Imm: 0})
+	b.Branch(arm.CondGE, l1)
+	b.Op(arm.Instr{Op: arm.OpNeg, Rd: 0, Rs: 0})
+	b.Bind(l1)
+	b.Op(arm.Instr{Op: arm.OpCmpImm, Rd: 1, Imm: 0})
+	b.Branch(arm.CondGE, l2)
+	b.Op(arm.Instr{Op: arm.OpNeg, Rd: 1, Rs: 1})
+	b.Bind(l2)
+	b.Call("__udivsi3")
+	b.Op(arm.Instr{Op: arm.OpCmpImm, Rd: 4, Imm: 0})
+	b.Branch(arm.CondGE, l3)
+	b.Op(arm.Instr{Op: arm.OpNeg, Rd: 0, Rs: 0})
+	b.Bind(l3)
+	b.Op(arm.Instr{Op: arm.OpPop, Regs: 1<<4 | 1<<arm.PC})
+	return b.Assemble()
+}
+
+// Modsi3 builds __modsi3: signed remainder (sign follows the dividend, as
+// in C). In: r0, r1. Out: r0 = remainder. Clobbers r1-r3.
+func Modsi3() (*obj.Object, error) {
+	b := NewBuilder("__modsi3")
+	m1, m2, m3 := b.Label(), b.Label(), b.Label()
+	b.Op(arm.Instr{Op: arm.OpPush, Regs: 1<<4 | 1<<arm.LR})
+	b.Move(4, 0)
+	b.Op(arm.Instr{Op: arm.OpCmpImm, Rd: 0, Imm: 0})
+	b.Branch(arm.CondGE, m1)
+	b.Op(arm.Instr{Op: arm.OpNeg, Rd: 0, Rs: 0})
+	b.Bind(m1)
+	b.Op(arm.Instr{Op: arm.OpCmpImm, Rd: 1, Imm: 0})
+	b.Branch(arm.CondGE, m2)
+	b.Op(arm.Instr{Op: arm.OpNeg, Rd: 1, Rs: 1})
+	b.Bind(m2)
+	b.Call("__udivsi3")
+	b.Move(0, 1) // remainder
+	b.Op(arm.Instr{Op: arm.OpCmpImm, Rd: 4, Imm: 0})
+	b.Branch(arm.CondGE, m3)
+	b.Op(arm.Instr{Op: arm.OpNeg, Rd: 0, Rs: 0})
+	b.Bind(m3)
+	b.Op(arm.Instr{Op: arm.OpPop, Regs: 1<<4 | 1<<arm.PC})
+	return b.Assemble()
+}
+
+// RuntimeObjects returns all runtime-library objects needed by compiled
+// programs: the division helpers. The startup stub is added separately by
+// the compiler driver (it references main by name).
+func RuntimeObjects() ([]*obj.Object, error) {
+	var objs []*obj.Object
+	for _, f := range []func() (*obj.Object, error){Udivsi3, Divsi3, Modsi3} {
+		o, err := f()
+		if err != nil {
+			return nil, fmt.Errorf("asm: building runtime: %w", err)
+		}
+		objs = append(objs, o)
+	}
+	return objs, nil
+}

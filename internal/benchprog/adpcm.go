@@ -1,0 +1,142 @@
+package benchprog
+
+// ADPCMSource is the mediabench IMA ADPCM coder/decoder (rawcaudio /
+// rawdaudio kernel) restructured for MiniC: the two-samples-per-byte
+// packing is dropped (one 4-bit code per byte) and state lives in globals
+// instead of a struct — neither changes the arithmetic or the control
+// structure that determines timing.
+const ADPCMSource = `
+/* IMA ADPCM coder and decoder over a synthesised speech-like signal. */
+
+short stepsize_table[89] = {
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+    19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+    50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+    130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+    337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+    876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+    5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767 };
+
+char index_table[16] = {
+    -1, -1, -1, -1, 2, 4, 6, 8,
+    -1, -1, -1, -1, 2, 4, 6, 8 };
+
+short pcm_in[256];
+uchar adpcm_codes[256];
+short pcm_out[256];
+
+int enc_valprev = 0;
+int enc_index = 0;
+int dec_valprev = 0;
+int dec_index = 0;
+int noise_seed = 424243;
+
+/* Synthesised "typical input": two triangle waves plus LCG noise. */
+void gen_input() {
+    int phase1 = 0;
+    int phase2 = 0;
+    for (int i = 0; i < 256; i += 1) {
+        phase1 += 300;
+        phase2 += 77;
+        int tri1 = phase1 % 4000;
+        if (tri1 > 2000) tri1 = 4000 - tri1;
+        int tri2 = phase2 % 1000;
+        if (tri2 > 500) tri2 = 1000 - tri2;
+        noise_seed = noise_seed * 1103515245 + 12345;
+        int noise = (noise_seed >> 20) & 63;
+        pcm_in[i] = tri1 * 8 + tri2 * 4 - 9000 + noise;
+    }
+}
+
+void adpcm_coder() {
+    int valpred = enc_valprev;
+    int index = enc_index;
+    for (int i = 0; i < 256; i += 1) {
+        int val = pcm_in[i];
+        int step = stepsize_table[index];
+        int diff = val - valpred;
+        int sign = 0;
+        if (diff < 0) {
+            sign = 8;
+            diff = -diff;
+        }
+        /* Quantise: delta = 4*d4 + 2*d2 + d1 via successive comparison. */
+        int delta = 0;
+        int vpdiff = step >> 3;
+        if (diff >= step) {
+            delta = 4;
+            diff -= step;
+            vpdiff += step;
+        }
+        step >>= 1;
+        if (diff >= step) {
+            delta |= 2;
+            diff -= step;
+            vpdiff += step;
+        }
+        step >>= 1;
+        if (diff >= step) {
+            delta |= 1;
+            vpdiff += step;
+        }
+        /* Reconstruct predicted value. */
+        if (sign) valpred -= vpdiff;
+        else valpred += vpdiff;
+        if (valpred > 32767) valpred = 32767;
+        else if (valpred < -32768) valpred = -32768;
+        delta |= sign;
+        /* Adapt step size index. */
+        index += index_table[delta];
+        if (index < 0) index = 0;
+        if (index > 88) index = 88;
+        adpcm_codes[i] = delta;
+    }
+    enc_valprev = valpred;
+    enc_index = index;
+}
+
+void adpcm_decoder() {
+    int valpred = dec_valprev;
+    int index = dec_index;
+    for (int i = 0; i < 256; i += 1) {
+        int delta = adpcm_codes[i];
+        int step = stepsize_table[index];
+        index += index_table[delta];
+        if (index < 0) index = 0;
+        if (index > 88) index = 88;
+        int sign = delta & 8;
+        delta = delta & 7;
+        int vpdiff = step >> 3;
+        if (delta & 4) vpdiff += step;
+        if (delta & 2) vpdiff += step >> 1;
+        if (delta & 1) vpdiff += step >> 2;
+        if (sign) valpred -= vpdiff;
+        else valpred += vpdiff;
+        if (valpred > 32767) valpred = 32767;
+        else if (valpred < -32768) valpred = -32768;
+        pcm_out[i] = valpred;
+    }
+    dec_valprev = valpred;
+    dec_index = index;
+}
+
+/* Mean absolute reconstruction error over the frame. */
+int quality() {
+    int errsum = 0;
+    for (int i = 0; i < 256; i += 1) {
+        int e = pcm_in[i] - pcm_out[i];
+        if (e < 0) e = -e;
+        errsum += e;
+    }
+    return errsum / 256;
+}
+
+int main() {
+    gen_input();
+    adpcm_coder();
+    adpcm_decoder();
+    return quality();
+}
+`

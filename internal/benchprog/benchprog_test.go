@@ -1,0 +1,115 @@
+package benchprog
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/link"
+	"repro/internal/sim"
+	"repro/internal/wcet"
+)
+
+func runBench(t *testing.T, b Benchmark) (*sim.Result, *link.Executable) {
+	t.Helper()
+	prog, err := cc.Compile(b.Source)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", b.Name, err)
+	}
+	exe, err := link.Link(prog, 0, nil)
+	if err != nil {
+		t.Fatalf("%s: link: %v", b.Name, err)
+	}
+	res, err := sim.Run(exe, sim.Options{})
+	if err != nil {
+		t.Fatalf("%s: run: %v", b.Name, err)
+	}
+	return res, exe
+}
+
+// TestBenchmarksCompileRunAndBehave checks each Table 2 benchmark compiles,
+// runs to completion and produces a sane functional result.
+func TestBenchmarksCompileRunAndBehave(t *testing.T) {
+	for _, b := range All() {
+		res, _ := runBench(t, b)
+		exit := int32(res.ExitCode)
+		if b.MaxExit == 0 && exit != 0 {
+			t.Errorf("%s: exit %d, want 0", b.Name, exit)
+		}
+		if b.MaxExit > 0 && (exit < 0 || exit > b.MaxExit) {
+			t.Errorf("%s: exit %d outside [0, %d] — codec quality off the rails", b.Name, exit, b.MaxExit)
+		}
+		if res.Cycles < 10_000 {
+			t.Errorf("%s: only %d cycles; workload suspiciously small", b.Name, res.Cycles)
+		}
+		t.Logf("%s: %d cycles, %d instrs, exit %d", b.Name, res.Cycles, res.Instrs, exit)
+	}
+}
+
+// TestBenchmarksAnalysable: every benchmark must pass WCET analysis (all
+// loops bounded, no recursion, all accesses classified) and the bound must
+// cover the simulation.
+func TestBenchmarksAnalysable(t *testing.T) {
+	for _, b := range append(All(), WorstCaseSort) {
+		res, exe := runBench(t, b)
+		wres, err := wcet.Analyze(exe, wcet.Options{})
+		if err != nil {
+			t.Errorf("%s: analyse: %v", b.Name, err)
+			continue
+		}
+		if wres.WCET < res.Cycles {
+			t.Errorf("%s: WCET %d below simulation %d (unsound)", b.Name, wres.WCET, res.Cycles)
+		}
+		ratio := float64(wres.WCET) / float64(res.Cycles)
+		if ratio > 25 {
+			t.Errorf("%s: WCET/sim ratio %.1f implausibly loose", b.Name, ratio)
+		}
+		t.Logf("%s: sim %d, WCET %d, ratio %.2f", b.Name, res.Cycles, wres.WCET, ratio)
+	}
+}
+
+// TestWorstCaseSortPrecision reproduces the paper's precision check: with a
+// known worst-case input, WCET and simulation differ by only a few percent.
+func TestWorstCaseSortPrecision(t *testing.T) {
+	res, exe := runBench(t, WorstCaseSort)
+	wres, err := wcet.Analyze(exe, wcet.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wres.WCET < res.Cycles {
+		t.Fatalf("WCET %d below simulation %d", wres.WCET, res.Cycles)
+	}
+	over := float64(wres.WCET-res.Cycles) / float64(res.Cycles) * 100
+	if over > 5 {
+		t.Errorf("worst-case-input overestimation %.2f%%, paper reports ~1%%", over)
+	}
+	t.Logf("worst-case sort: sim %d, WCET %d, overestimation %.2f%%", res.Cycles, wres.WCET, over)
+}
+
+// TestBenchmarkCodeSizesSuitForSweep: the paper sweeps 64 B – 8 KB, so each
+// benchmark's objects must span that range meaningfully: more total bytes
+// than the smallest scratchpad holds, and the hot set must not fit in 64 B.
+func TestBenchmarkCodeSizesSuitForSweep(t *testing.T) {
+	for _, b := range All() {
+		prog, err := cc.Compile(b.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total uint32
+		for _, o := range prog.Objects {
+			total += o.Size()
+		}
+		if total < 1024 {
+			t.Errorf("%s: total object bytes %d too small for a 64B-8KB sweep", b.Name, total)
+		}
+		t.Logf("%s: %d objects, %d bytes total", b.Name, len(prog.Objects), total)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("G.721"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+}

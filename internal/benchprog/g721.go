@@ -1,0 +1,369 @@
+package benchprog
+
+// G721Source is a CCITT G.721 32 kbps ADPCM transcoder in MiniC, following
+// the structure of the Sun Microsystems reference implementation used by
+// mediabench (g721.c/g72x.c): logarithmic quantiser with table search,
+// "floating point" multiplication (fmult), two-pole/six-zero adaptive
+// predictor, scale-factor and speed-control adaptation (update).
+//
+// Adaptations for MiniC, none of which change the control structure the
+// timing analysis sees: per-channel state lives in globals instead of a
+// struct; the 16-bit sign-magnitude encodings of dq/sr are replaced by
+// two's complement values with the same exponent/mantissa layout in their
+// magnitude; the tandem-adjustment path (relevant only for PCM tandeming
+// quality) is omitted as in the paper's evaluation setup.
+const G721Source = `
+/* G.721 ADPCM transcoder, reference structure. */
+
+short power2[15] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384};
+short qtab_721[7] = {-124, 80, 178, 246, 300, 349, 400};
+/* Maps G.721 code word to reconstructed magnitude in log domain. */
+short dqlntab[16] = {-2048, 4, 135, 213, 273, 323, 373, 425,
+                     425, 373, 323, 273, 213, 135, 4, -2048};
+/* Maps G.721 code word to log of scale factor multiplier. */
+short witab[16] = {-12, 18, 41, 64, 112, 198, 355, 1122,
+                   1122, 355, 198, 112, 64, 41, 18, -12};
+/* Maps G.721 code words to a set of values for speed control. */
+short fitab[16] = {0, 0, 0, 512, 512, 512, 1536, 3584,
+                   3584, 1536, 512, 512, 512, 0, 0, 0};
+
+/* Predictor state (one channel). */
+int st_yl;     /* locked scale factor, 19 bits with 6 fractional */
+int st_yu;     /* unlocked scale factor */
+int st_dms;    /* short-term average magnitude */
+int st_dml;    /* long-term average magnitude */
+int st_ap;     /* speed-control parameter */
+int st_a[2];   /* pole predictor coefficients */
+int st_b[6];   /* zero predictor coefficients */
+int st_pk[2];  /* signs of previous dqsez */
+int st_dq[6];  /* quantised difference signal, float-format magnitude */
+int st_sr[2];  /* reconstructed signal, float-format magnitude */
+int st_td;     /* tone detect flag */
+
+short g_pcm_in[128];
+uchar g_codes[128];
+short g_pcm_out[128];
+int g_seed = 777;
+
+void g72x_init() {
+    st_yl = 34816;
+    st_yu = 544;
+    st_dms = 0;
+    st_dml = 0;
+    st_ap = 0;
+    st_td = 0;
+    for (int i = 0; i < 2; i += 1) {
+        st_a[i] = 0;
+        st_pk[i] = 0;
+        st_sr[i] = 32;
+    }
+    for (int i = 0; i < 6; i += 1) {
+        st_b[i] = 0;
+        st_dq[i] = 32;
+    }
+}
+
+/* quan: index of the first table value exceeding val (7-entry table). */
+int quan(int val) {
+    for (int i = 0; i < 7; i += 1) {
+        if (val < qtab_721[i]) return i;
+    }
+    return 7;
+}
+
+/* quan_exp: index of the first power of two exceeding val. */
+int quan_exp(int val) {
+    for (int i = 0; i < 15; i += 1) {
+        if (val < power2[i]) return i;
+    }
+    return 15;
+}
+
+/* fmult: multiply a predictor coefficient with a float-format signal. */
+int fmult(int an, int srn) {
+    int anmag;
+    int anexp;
+    int anmant;
+    int wanexp;
+    int wanmant;
+    int retval;
+    int srmag = srn;
+    if (srmag < 0) srmag = -srmag;
+    if (an > 0) anmag = an;
+    else anmag = (-an) & 8191;
+    anexp = quan_exp(anmag) - 6;
+    if (anmag == 0) anmant = 32;
+    else if (anexp >= 0) anmant = anmag >> anexp;
+    else anmant = anmag << (-anexp);
+    wanexp = anexp + ((srmag >> 6) & 15) - 13;
+    wanmant = (anmant * (srmag & 63) + 48) >> 4;
+    if (wanexp >= 0) retval = (wanmant << wanexp) & 32767;
+    else if (wanexp > -16) retval = wanmant >> (-wanexp);
+    else retval = 0;
+    if ((an ^ srn) < 0) return -retval;
+    return retval;
+}
+
+/* predictor_zero: six-tap FIR section of the predictor. */
+int predictor_zero() {
+    int sezi = fmult(st_b[0] >> 2, st_dq[0]);
+    for (int i = 1; i < 6; i += 1) {
+        sezi += fmult(st_b[i] >> 2, st_dq[i]);
+    }
+    return sezi;
+}
+
+/* predictor_pole: two-tap IIR section of the predictor. */
+int predictor_pole() {
+    return fmult(st_a[1] >> 2, st_sr[1]) + fmult(st_a[0] >> 2, st_sr[0]);
+}
+
+/* step_size: current quantiser scale factor from speed control. */
+int step_size() {
+    if (st_ap >= 256) return st_yu;
+    int y = st_yl >> 6;
+    int dif = st_yu - y;
+    int al = st_ap >> 2;
+    if (dif > 0) y += (dif * al) >> 6;
+    else if (dif < 0) y += (dif * al + 63) >> 6;
+    return y;
+}
+
+/* quantize: 4-bit G.721 code for prediction difference d at scale y. */
+int quantize(int d, int y) {
+    int dqm = d;
+    if (d < 0) dqm = -d;
+    int exp = quan_exp(dqm >> 1);
+    int mant = ((dqm << 7) >> exp) & 127;
+    int dl = (exp << 7) + mant;
+    int dln = dl - (y >> 2);
+    int i = quan(dln);
+    if (d < 0) return (7 << 1) + 1 - i;
+    if (i == 0) return (7 << 1) + 1;
+    return i;
+}
+
+/* reconstruct: quantised difference signal from log domain back to linear. */
+int reconstruct(int sign, int dqln, int y) {
+    int dql = dqln + (y >> 2);
+    if (dql < 0) return 0;
+    int dex = (dql >> 7) & 15;
+    int dqt = 128 + (dql & 127);
+    int dq;
+    if (dex < 7) dq = dqt >> (7 - dex);
+    else dq = dqt << (dex - 7);
+    if (sign) return -dq;
+    return dq;
+}
+
+/* to_float: linear value to the 11-bit float format used by fmult. */
+int to_float(int v) {
+    int mag = v;
+    if (mag < 0) mag = -mag;
+    int exp = quan_exp(mag) - 1;
+    if (exp < 0) exp = 0;
+    int fp = (exp << 6) + ((mag << 6) >> exp);
+    if (v < 0) return -fp;
+    return fp;
+}
+
+/* update inputs/intermediates beyond the 4-register calling convention. */
+int upd_dq;
+int upd_sr;
+int upd_dqsez;
+int upd_pk0;
+int upd_tr;
+int upd_a2p;
+
+/* update_coeffs: pole and zero predictor coefficient adaptation
+   (the middle section of the reference update()). */
+void update_coeffs() {
+    int dq = upd_dq;
+    int dqsez = upd_dqsez;
+    int a2p = 0;
+    if (upd_tr == 1) {
+        st_a[0] = 0;
+        st_a[1] = 0;
+        for (int i = 0; i < 6; i += 1) st_b[i] = 0;
+    } else {
+        int pks1 = upd_pk0 ^ st_pk[0];
+        /* Pole coefficient a2 with leakage and stability limits. */
+        a2p = st_a[1] - (st_a[1] >> 7);
+        if (dqsez != 0) {
+            int fa1 = st_a[0];
+            if (pks1) fa1 = -fa1;
+            if (fa1 < -8191) a2p -= 256;
+            else if (fa1 > 8191) a2p += 255;
+            else a2p += fa1 >> 5;
+            if (upd_pk0 ^ st_pk[1]) {
+                if (a2p <= -12160) a2p = -12288;
+                else if (a2p >= 12416) a2p = 12288;
+                else a2p -= 128;
+            }
+            else if (a2p <= -12416) a2p = -12288;
+            else if (a2p >= 12160) a2p = 12288;
+            else a2p += 128;
+        }
+        st_a[1] = a2p;
+
+        /* Pole coefficient a1 with leakage and limits depending on a2. */
+        st_a[0] -= st_a[0] >> 8;
+        if (dqsez != 0) {
+            if (pks1 == 0) st_a[0] += 192;
+            else st_a[0] -= 192;
+        }
+        int a1ul = 15360 - a2p;
+        if (st_a[0] < -a1ul) st_a[0] = -a1ul;
+        else if (st_a[0] > a1ul) st_a[0] = a1ul;
+
+        /* Zero coefficients with leakage and sign correlation. */
+        for (int i = 0; i < 6; i += 1) {
+            st_b[i] -= st_b[i] >> 8;
+            if (dq != 0) {
+                if ((dq ^ st_dq[i]) >= 0) st_b[i] += 128;
+                else st_b[i] -= 128;
+            }
+        }
+    }
+    upd_a2p = a2p;
+}
+
+/* update_finish: delay lines, tone detect and speed control
+   (the tail section of the reference update()). */
+void update_finish(int y, int fi) {
+    for (int i = 5; i > 0; i -= 1) st_dq[i] = st_dq[i - 1];
+    st_dq[0] = to_float(upd_dq);
+    st_sr[1] = st_sr[0];
+    st_sr[0] = to_float(upd_sr);
+
+    st_pk[1] = st_pk[0];
+    st_pk[0] = upd_pk0;
+
+    /* Tone detect. */
+    if (upd_tr == 1) st_td = 0;
+    else if (upd_a2p < -11776) st_td = 1;
+    else st_td = 0;
+
+    /* Speed control adaptation. */
+    st_dms += (fi - st_dms) >> 5;
+    st_dml += (((fi << 2) - st_dml) >> 7);
+
+    if (upd_tr == 1) st_ap = 256;
+    else if (y < 1536) st_ap += (512 - st_ap) >> 4;
+    else if (st_td == 1) st_ap += (512 - st_ap) >> 4;
+    else {
+        int dif = (st_dms << 2) - st_dml;
+        if (dif < 0) dif = -dif;
+        if (dif >= (st_dml >> 3)) st_ap += (512 - st_ap) >> 4;
+        else st_ap += (-st_ap) >> 4;
+    }
+}
+
+/* update: adapt predictor coefficients, scale factors and speed control.
+   Reads upd_dq/upd_sr/upd_dqsez set by the caller. Split into three code
+   objects (update/update_coeffs/update_finish) to respect THUMB literal
+   pool reach; the computation is the reference one. */
+void update(int y, int wi, int fi) {
+    int dqsez = upd_dqsez;
+    int pk0 = 0;
+    if (dqsez < 0) pk0 = 1;
+    int mag = upd_dq;
+    if (mag < 0) mag = -mag;
+
+    /* Transition detect: large signal while a tone is present. */
+    int ylint = st_yl >> 15;
+    int ylfrac = (st_yl >> 10) & 31;
+    int thr1 = (32 + ylfrac) << ylint;
+    int thr2 = thr1;
+    if (thr1 > 12288) thr2 = 12288;
+    int tr = 0;
+    if (st_td == 1 && mag > ((thr2 * 3) >> 1)) tr = 1;
+
+    /* Scale factor adaptation. */
+    st_yu = y + ((wi - y) >> 5);
+    if (st_yu < 544) st_yu = 544;
+    if (st_yu > 5120) st_yu = 5120;
+    st_yl += st_yu + ((-st_yl) >> 6);
+
+    upd_pk0 = pk0;
+    upd_tr = tr;
+    update_coeffs();
+    update_finish(y, fi);
+}
+
+/* g721_encoder: one 16-bit linear PCM sample to a 4-bit code word. */
+int g721_encoder(int sl) {
+    sl = sl >> 2; /* 14-bit input as in the reference */
+    int sezi = predictor_zero();
+    int sez = sezi >> 1;
+    int se = (sezi + predictor_pole()) >> 1;
+    int d = sl - se;
+    int y = step_size();
+    int i = quantize(d, y);
+    int dq = reconstruct(i & 8, dqlntab[i], y);
+    int sr = se + dq;
+    upd_dq = dq;
+    upd_sr = sr;
+    upd_dqsez = dq + sez;
+    update(y, witab[i] << 5, fitab[i]);
+    return i;
+}
+
+/* g721_decoder: one 4-bit code word back to 16-bit linear PCM. */
+int g721_decoder(int i) {
+    i = i & 15;
+    int sezi = predictor_zero();
+    int sez = sezi >> 1;
+    int se = (sezi + predictor_pole()) >> 1;
+    int y = step_size();
+    int dq = reconstruct(i & 8, dqlntab[i], y);
+    int sr = se + dq;
+    upd_dq = dq;
+    upd_sr = sr;
+    upd_dqsez = dq + sez;
+    update(y, witab[i] << 5, fitab[i]);
+    return sr << 2;
+}
+
+/* Typical input: speech-like mix of triangle carriers and noise. */
+void gen_input() {
+    int phase1 = 0;
+    int phase2 = 0;
+    for (int i = 0; i < 128; i += 1) {
+        phase1 += 440;
+        phase2 += 131;
+        int tri1 = phase1 % 6000;
+        if (tri1 > 3000) tri1 = 6000 - tri1;
+        int tri2 = phase2 % 1400;
+        if (tri2 > 700) tri2 = 1400 - tri2;
+        g_seed = g_seed * 1103515245 + 12345;
+        int noise = (g_seed >> 21) & 127;
+        g_pcm_in[i] = tri1 * 6 + tri2 * 3 - 10000 + noise;
+    }
+}
+
+int quality_check() {
+    int errsum = 0;
+    for (int i = 0; i < 128; i += 1) {
+        int e = g_pcm_in[i] - g_pcm_out[i];
+        if (e < 0) e = -e;
+        errsum += e;
+    }
+    return errsum / 128;
+}
+
+int main() {
+    gen_input();
+    /* Encode the frame. */
+    g72x_init();
+    for (int i = 0; i < 128; i += 1) {
+        g_codes[i] = g721_encoder(g_pcm_in[i]);
+    }
+    /* Decode it with a fresh predictor, as a receiver would. */
+    g72x_init();
+    for (int i = 0; i < 128; i += 1) {
+        g_pcm_out[i] = g721_decoder(g_codes[i]);
+    }
+    return quality_check();
+}
+`

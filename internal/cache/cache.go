@@ -1,0 +1,183 @@
+// Package cache models the unified cache the paper evaluates: direct
+// mapped, four 32-bit words per line, write-through with no write
+// allocation. A set-associative LRU mode is provided for the ablation the
+// paper lists as future work.
+//
+// The cache is tag-only (timing model, not storage): main memory is always
+// current because writes are write-through. A read hit costs HitCycles; a
+// read miss fills the whole line with four 32-bit main-memory reads
+// (4 accesses + 12 waitstates, as in the paper) and then delivers the word.
+package cache
+
+import "fmt"
+
+// Timing constants, derived from the paper's Table 1 and cache description.
+const (
+	// HitCycles is the cost of a read hit.
+	HitCycles = 1
+	// LineFillCycles is the cost of filling one 16-byte line from main
+	// memory: four 32-bit accesses at 4 cycles each (no burst support).
+	LineFillCycles = 4 * 4
+	// MissCycles is the total cost of a read miss: line fill + delivery.
+	MissCycles = LineFillCycles + HitCycles
+)
+
+// DefaultLineSize is the paper's line length: four 32-bit words.
+const DefaultLineSize = 16
+
+// Config describes a cache organisation.
+type Config struct {
+	// Size is the total capacity in bytes.
+	Size uint32
+	// LineSize is the line length in bytes (default 16).
+	LineSize uint32
+	// Assoc is the associativity; 1 (the paper's configuration) means
+	// direct mapped. Replacement within a set is LRU.
+	Assoc int
+	// InstructionOnly makes this an instruction cache: data accesses
+	// bypass it and pay main-memory cost. This is the cache configuration
+	// the paper's §5 lists as future work; the unified cache (false) is
+	// what the paper evaluates.
+	InstructionOnly bool
+}
+
+// WithDefaults returns the configuration with the paper's defaults filled
+// in: 16-byte lines, direct mapped.
+func (c Config) WithDefaults() Config {
+	if c.LineSize == 0 {
+		c.LineSize = DefaultLineSize
+	}
+	if c.Assoc == 0 {
+		c.Assoc = 1
+	}
+	return c
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	c = c.WithDefaults()
+	if c.Size == 0 || c.Size&(c.Size-1) != 0 {
+		return fmt.Errorf("cache: size %d must be a power of two", c.Size)
+	}
+	if c.LineSize&(c.LineSize-1) != 0 || c.LineSize < 4 {
+		return fmt.Errorf("cache: line size %d must be a power of two >= 4", c.LineSize)
+	}
+	if c.Assoc < 1 {
+		return fmt.Errorf("cache: associativity %d must be >= 1", c.Assoc)
+	}
+	if c.Size%(c.LineSize*uint32(c.Assoc)) != 0 {
+		return fmt.Errorf("cache: size %d not divisible by line size %d x assoc %d",
+			c.Size, c.LineSize, c.Assoc)
+	}
+	return nil
+}
+
+// NumSets returns the number of cache sets.
+func (c Config) NumSets() uint32 {
+	c = c.WithDefaults()
+	return c.Size / (c.LineSize * uint32(c.Assoc))
+}
+
+// way is one cache way within a set; tag-only.
+type way struct {
+	valid bool
+	tag   uint32
+	lru   uint64 // last-use stamp; larger is more recent
+}
+
+// Cache is a running cache model.
+type Cache struct {
+	cfg   Config
+	sets  [][]way
+	clock uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+// New creates a cache; the configuration must be valid.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.WithDefaults()
+	sets := make([][]way, cfg.NumSets())
+	for i := range sets {
+		sets[i] = make([]way, cfg.Assoc)
+	}
+	return &Cache{cfg: cfg, sets: sets}, nil
+}
+
+// Config returns the cache configuration (with defaults applied).
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) index(addr uint32) (set uint32, tag uint32) {
+	line := addr / c.cfg.LineSize
+	return line % uint32(len(c.sets)), line / uint32(len(c.sets))
+}
+
+// lookup returns the way holding addr, or nil.
+func (c *Cache) lookup(addr uint32) *way {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		w := &c.sets[set][i]
+		if w.valid && w.tag == tag {
+			return w
+		}
+	}
+	return nil
+}
+
+// Read performs a read access and returns its cycle cost. A miss fills the
+// line (evicting the LRU way of the set).
+func (c *Cache) Read(addr uint32) int {
+	c.clock++
+	if w := c.lookup(addr); w != nil {
+		w.lru = c.clock
+		c.Hits++
+		return HitCycles
+	}
+	c.Misses++
+	set, tag := c.index(addr)
+	victim := &c.sets[set][0]
+	for i := range c.sets[set] {
+		w := &c.sets[set][i]
+		if !w.valid {
+			victim = w
+			break
+		}
+		if w.lru < victim.lru {
+			victim = w
+		}
+	}
+	*victim = way{valid: true, tag: tag, lru: c.clock}
+	return MissCycles
+}
+
+// Write performs a write-through access and returns its cycle cost: the
+// main-memory cost of the written width. No allocation happens on a write
+// miss; a write hit refreshes the line's LRU stamp (the line stays valid —
+// memory and cache are updated together).
+func (c *Cache) Write(addr uint32, size uint8) int {
+	c.clock++
+	if w := c.lookup(addr); w != nil {
+		w.lru = c.clock
+	}
+	if size == 4 {
+		return 4 // MainWordCycles; kept literal to avoid an import cycle
+	}
+	return 2
+}
+
+// Flush invalidates all lines and resets statistics.
+func (c *Cache) Flush() {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			c.sets[s][i] = way{}
+		}
+	}
+	c.clock, c.Hits, c.Misses = 0, 0, 0
+}
+
+// Contains reports whether addr's line is currently cached (for tests).
+func (c *Cache) Contains(addr uint32) bool { return c.lookup(addr) != nil }

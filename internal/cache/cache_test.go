@@ -1,0 +1,181 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{Size: 64}, {Size: 128}, {Size: 8192},
+		{Size: 1024, Assoc: 2}, {Size: 1024, Assoc: 4, LineSize: 32},
+	}
+	for _, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", cfg, err)
+		}
+	}
+	bad := []Config{
+		{Size: 0}, {Size: 96}, {Size: 64, LineSize: 12},
+		{Size: 64, Assoc: -1}, {Size: 16, Assoc: 2, LineSize: 16},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", cfg)
+		}
+	}
+}
+
+func TestDirectMappedHitMiss(t *testing.T) {
+	c := mustNew(t, Config{Size: 64}) // 4 lines of 16 bytes
+	if cyc := c.Read(0x1000); cyc != MissCycles {
+		t.Fatalf("cold read cost %d, want %d", cyc, MissCycles)
+	}
+	if cyc := c.Read(0x1000); cyc != HitCycles {
+		t.Fatalf("warm read cost %d, want %d", cyc, HitCycles)
+	}
+	// Same line, different word: hit.
+	if cyc := c.Read(0x100C); cyc != HitCycles {
+		t.Fatalf("same-line read cost %d, want hit", cyc)
+	}
+	// Conflicting line (same index, different tag): 0x1000 + 64.
+	if cyc := c.Read(0x1040); cyc != MissCycles {
+		t.Fatalf("conflict read cost %d, want miss", cyc)
+	}
+	// Original line was evicted.
+	if cyc := c.Read(0x1000); cyc != MissCycles {
+		t.Fatalf("evicted read cost %d, want miss", cyc)
+	}
+	if c.Hits != 2 || c.Misses != 3 {
+		t.Fatalf("hits=%d misses=%d, want 2, 3", c.Hits, c.Misses)
+	}
+}
+
+func TestTwoWayLRUAvoidsConflict(t *testing.T) {
+	dm := mustNew(t, Config{Size: 64, Assoc: 1})
+	sa := mustNew(t, Config{Size: 64, Assoc: 2})
+	// Two addresses that conflict in the direct-mapped cache. With 2-way
+	// (2 sets of 2 ways), line index = (addr/16) % 2: choose both even.
+	a, b := uint32(0x000), uint32(0x040)
+	dm.Read(a)
+	dm.Read(b)
+	sa.Read(a)
+	sa.Read(b)
+	// Re-access a: direct-mapped misses (b evicted it), 2-way hits.
+	if cyc := dm.Read(a); cyc != MissCycles {
+		t.Errorf("direct-mapped re-read: %d, want miss", cyc)
+	}
+	if cyc := sa.Read(a); cyc != HitCycles {
+		t.Errorf("2-way re-read: %d, want hit", cyc)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 2-way, 2 sets; fill set 0 with lines A and B, touch A, insert C:
+	// B (least recently used) must be evicted.
+	c := mustNew(t, Config{Size: 64, Assoc: 2})
+	A, B, C := uint32(0x000), uint32(0x040), uint32(0x080)
+	c.Read(A)
+	c.Read(B)
+	c.Read(A) // A most recent
+	c.Read(C) // evicts B
+	if !c.Contains(A) {
+		t.Error("A should still be cached")
+	}
+	if c.Contains(B) {
+		t.Error("B should have been evicted (LRU)")
+	}
+	if !c.Contains(C) {
+		t.Error("C should be cached")
+	}
+}
+
+func TestWriteThroughNoAllocate(t *testing.T) {
+	c := mustNew(t, Config{Size: 64})
+	if cyc := c.Write(0x2000, 4); cyc != 4 {
+		t.Fatalf("word write cost %d, want 4", cyc)
+	}
+	if c.Contains(0x2000) {
+		t.Fatal("write must not allocate")
+	}
+	if cyc := c.Write(0x2000, 2); cyc != 2 {
+		t.Fatalf("halfword write cost %d, want 2", cyc)
+	}
+	// A write to a cached line keeps it valid.
+	c.Read(0x2000)
+	c.Write(0x2000, 4)
+	if !c.Contains(0x2000) {
+		t.Fatal("write-through must keep the line valid")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := mustNew(t, Config{Size: 64})
+	c.Read(0x0)
+	c.Read(0x0)
+	c.Flush()
+	if c.Hits != 0 || c.Misses != 0 || c.Contains(0x0) {
+		t.Fatal("flush did not reset state")
+	}
+}
+
+// TestPropertyRepeatAccessAlwaysHits: any read immediately repeated is a hit,
+// for arbitrary cache geometry and address.
+func TestPropertyRepeatAccessAlwaysHits(t *testing.T) {
+	f := func(sizeExp uint8, assocExp uint8, addr uint32) bool {
+		size := uint32(64) << (sizeExp % 8) // 64 B .. 8 KB
+		assoc := 1 << (assocExp % 3)        // 1, 2, 4
+		c, err := New(Config{Size: size, Assoc: assoc})
+		if err != nil {
+			return true
+		}
+		c.Read(addr)
+		return c.Read(addr) == HitCycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyWorkingSetFitsAllHitsSecondPass: if the working set fits, a
+// second sequential pass over it hits on every access.
+func TestPropertyWorkingSetFitsAllHitsSecondPass(t *testing.T) {
+	f := func(sizeExp uint8, base uint32) bool {
+		size := uint32(64) << (sizeExp % 8)
+		c, err := New(Config{Size: size})
+		if err != nil {
+			return true
+		}
+		base &^= size - 1 // aligned working set of exactly the cache size
+		for a := base; a < base+size; a += 4 {
+			c.Read(a)
+		}
+		before := c.Misses
+		for a := base; a < base+size; a += 4 {
+			c.Read(a)
+		}
+		return c.Misses == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNumSets(t *testing.T) {
+	if n := (Config{Size: 8192}).NumSets(); n != 512 {
+		t.Errorf("8K direct mapped: %d sets, want 512", n)
+	}
+	if n := (Config{Size: 1024, Assoc: 4}).NumSets(); n != 16 {
+		t.Errorf("1K 4-way: %d sets, want 16", n)
+	}
+}

@@ -1,0 +1,228 @@
+package cc
+
+// BaseType is a MiniC scalar type. All arithmetic happens in 32-bit int;
+// the base type determines storage width and load extension for globals.
+type BaseType uint8
+
+const (
+	TypeInt BaseType = iota
+	TypeUint
+	TypeShort
+	TypeUshort
+	TypeChar
+	TypeUchar
+	TypeVoid
+)
+
+// Width returns the storage width in bytes.
+func (b BaseType) Width() uint8 {
+	switch b {
+	case TypeShort, TypeUshort:
+		return 2
+	case TypeChar, TypeUchar:
+		return 1
+	case TypeVoid:
+		return 0
+	}
+	return 4
+}
+
+// Signed reports whether loads sign-extend.
+func (b BaseType) Signed() bool {
+	switch b {
+	case TypeUint, TypeUshort, TypeUchar:
+		return false
+	}
+	return true
+}
+
+func (b BaseType) String() string {
+	return [...]string{"int", "uint", "short", "ushort", "char", "uchar", "void"}[b]
+}
+
+// Type is a scalar or one-dimensional array type.
+type Type struct {
+	Base     BaseType
+	ArrayLen int // 0 for scalars
+}
+
+// GlobalDecl is a file-scope variable: one memory object.
+type GlobalDecl struct {
+	Name  string
+	Type  Type
+	Init  []int64 // nil, or 1 value for scalars, or up to ArrayLen values
+	Const bool
+	Line  int
+}
+
+// Param is a function parameter (always int-typed storage).
+type Param struct {
+	Name string
+}
+
+// FuncDecl is a function definition: one memory object.
+type FuncDecl struct {
+	Name    string
+	Params  []Param
+	RetVoid bool
+	Body    *Block
+	Line    int
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// Block is { ... }.
+type Block struct {
+	Stmts []Stmt
+}
+
+// VarDecl declares (and optionally initialises) a local int variable.
+type VarDecl struct {
+	Name string
+	Init Expr // may be nil
+	Line int
+}
+
+// DeclGroup is a comma-separated declaration list (`int a, b = 2;`). Unlike
+// Block it does not open a scope.
+type DeclGroup struct {
+	Decls []*VarDecl
+}
+
+// If is if/else.
+type If struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// While covers while (pre-test) and do-while (post-test) loops.
+type While struct {
+	Cond     Expr
+	Body     Stmt
+	PostTest bool  // do-while
+	Bound    int64 // max body iterations; 0 = unbounded/unannotated
+	// BoundTotal bounds total body iterations per function invocation
+	// (__loopboundtotal), tightening triangular loop nests.
+	BoundTotal int64
+	Line       int
+}
+
+// For is for (init; cond; post). Init may be a VarDecl or ExprStmt; Cond
+// and Post may be nil.
+type For struct {
+	Init  Stmt
+	Cond  Expr
+	Post  Expr
+	Body  Stmt
+	Bound int64 // max body iterations; 0 = not derivable and unannotated
+	// BoundTotal bounds total body iterations per function invocation.
+	BoundTotal int64
+	Line       int
+}
+
+// Return returns from the function.
+type Return struct {
+	Value Expr // nil for void return
+	Line  int
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	X Expr
+}
+
+// Break exits the innermost loop.
+type Break struct{ Line int }
+
+// Continue jumps to the innermost loop's continuation point.
+type Continue struct{ Line int }
+
+// Empty is ';'.
+type Empty struct{}
+
+func (*Block) stmt()     {}
+func (*VarDecl) stmt()   {}
+func (*DeclGroup) stmt() {}
+func (*If) stmt()        {}
+func (*While) stmt()     {}
+func (*For) stmt()       {}
+func (*Return) stmt()    {}
+func (*ExprStmt) stmt()  {}
+func (*Break) stmt()     {}
+func (*Continue) stmt()  {}
+func (*Empty) stmt()     {}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val  int64
+	Line int
+}
+
+// VarRef names a local variable, parameter or global scalar.
+type VarRef struct {
+	Name string
+	Line int
+}
+
+// Index is a global array element access: Name[Idx].
+type Index struct {
+	Name string
+	Idx  Expr
+	Line int
+}
+
+// Call is a function call.
+type Call struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// Unary is -x, ~x or !x.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary is a binary operation (arithmetic, comparison, logical, bitwise).
+type Binary struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// Assign assigns to a VarRef or Index target. Op is "=" or a compound
+// operator like "+=".
+type Assign struct {
+	Target Expr
+	Op     string
+	Value  Expr
+	Line   int
+}
+
+// CondExpr is the ternary operator c ? a : b.
+type CondExpr struct {
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+func (*IntLit) expr()   {}
+func (*VarRef) expr()   {}
+func (*Index) expr()    {}
+func (*Call) expr()     {}
+func (*Unary) expr()    {}
+func (*Binary) expr()   {}
+func (*Assign) expr()   {}
+func (*CondExpr) expr() {}

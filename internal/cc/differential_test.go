@@ -1,0 +1,235 @@
+package cc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/link"
+	"repro/internal/sim"
+)
+
+// Differential testing of the code generator: random expression trees are
+// rendered to MiniC, compiled and simulated, and the result is compared
+// against a Go reference evaluator implementing MiniC's semantics (32-bit
+// two's-complement arithmetic, ARM shift behaviour, C-style truncated
+// division).
+
+// refExpr is a tiny expression AST with a direct evaluator.
+type refExpr struct {
+	op   string // "lit", "+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", "neg", "not", "cmp<", "and", "or", "ternary"
+	val  int32
+	kids []*refExpr
+}
+
+func (e *refExpr) render(sb *strings.Builder) {
+	switch e.op {
+	case "lit":
+		fmt.Fprintf(sb, "%d", e.val)
+	case "neg":
+		sb.WriteString("(-")
+		e.kids[0].render(sb)
+		sb.WriteString(")")
+	case "not":
+		sb.WriteString("(~")
+		e.kids[0].render(sb)
+		sb.WriteString(")")
+	case "ternary":
+		sb.WriteString("(")
+		e.kids[0].render(sb)
+		sb.WriteString(" ? ")
+		e.kids[1].render(sb)
+		sb.WriteString(" : ")
+		e.kids[2].render(sb)
+		sb.WriteString(")")
+	default:
+		cOp := e.op
+		switch e.op {
+		case "cmp<":
+			cOp = "<"
+		case "and":
+			cOp = "&&"
+		case "or":
+			cOp = "||"
+		}
+		sb.WriteString("(")
+		e.kids[0].render(sb)
+		sb.WriteString(" " + cOp + " ")
+		e.kids[1].render(sb)
+		sb.WriteString(")")
+	}
+}
+
+func (e *refExpr) eval() int32 {
+	switch e.op {
+	case "lit":
+		return e.val
+	case "neg":
+		return -e.kids[0].eval()
+	case "not":
+		return ^e.kids[0].eval()
+	case "+":
+		return e.kids[0].eval() + e.kids[1].eval()
+	case "-":
+		return e.kids[0].eval() - e.kids[1].eval()
+	case "*":
+		return e.kids[0].eval() * e.kids[1].eval()
+	case "/":
+		d := e.kids[1].eval()
+		if d == 0 {
+			return 0 // generator never produces 0 denominators
+		}
+		return e.kids[0].eval() / d
+	case "%":
+		d := e.kids[1].eval()
+		if d == 0 {
+			return 0
+		}
+		return e.kids[0].eval() % d
+	case "&":
+		return e.kids[0].eval() & e.kids[1].eval()
+	case "|":
+		return e.kids[0].eval() | e.kids[1].eval()
+	case "^":
+		return e.kids[0].eval() ^ e.kids[1].eval()
+	case "<<":
+		// ARM LSL by register: amounts >= 32 give 0.
+		amt := uint32(e.kids[1].eval()) & 0xFF
+		if amt >= 32 {
+			return 0
+		}
+		return e.kids[0].eval() << amt
+	case ">>":
+		// ARM ASR by register: amounts >= 32 give the sign fill.
+		amt := uint32(e.kids[1].eval()) & 0xFF
+		if amt >= 32 {
+			return e.kids[0].eval() >> 31
+		}
+		return e.kids[0].eval() >> amt
+	case "cmp<":
+		if e.kids[0].eval() < e.kids[1].eval() {
+			return 1
+		}
+		return 0
+	case "and":
+		if e.kids[0].eval() != 0 && e.kids[1].eval() != 0 {
+			return 1
+		}
+		return 0
+	case "or":
+		if e.kids[0].eval() != 0 || e.kids[1].eval() != 0 {
+			return 1
+		}
+		return 0
+	case "ternary":
+		if e.kids[0].eval() != 0 {
+			return e.kids[1].eval()
+		}
+		return e.kids[2].eval()
+	}
+	panic("bad op " + e.op)
+}
+
+// genExpr builds a random expression of bounded depth.
+func genExpr(rng *rand.Rand, depth int) *refExpr {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		// Leaf literal; keep magnitudes modest to avoid multiply overflow
+		// dominating every value (wrapping is still exercised via shifts).
+		return &refExpr{op: "lit", val: int32(rng.Intn(2001) - 1000)}
+	}
+	ops := []string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", "neg", "not", "cmp<", "and", "or", "ternary"}
+	op := ops[rng.Intn(len(ops))]
+	e := &refExpr{op: op}
+	switch op {
+	case "neg", "not":
+		e.kids = []*refExpr{genExpr(rng, depth-1)}
+	case "/", "%":
+		num := genExpr(rng, depth-1)
+		// Non-zero constant denominator keeps C semantics defined.
+		den := &refExpr{op: "lit", val: int32(rng.Intn(99) + 1)}
+		if rng.Intn(2) == 0 {
+			den.val = -den.val
+		}
+		e.kids = []*refExpr{num, den}
+	case "<<", ">>":
+		e.kids = []*refExpr{
+			genExpr(rng, depth-1),
+			{op: "lit", val: int32(rng.Intn(33))}, // includes the ==32 edge
+		}
+	case "ternary":
+		e.kids = []*refExpr{genExpr(rng, depth-1), genExpr(rng, depth-1), genExpr(rng, depth-1)}
+	default:
+		e.kids = []*refExpr{genExpr(rng, depth-1), genExpr(rng, depth-1)}
+	}
+	return e
+}
+
+func TestDifferentialExpressions(t *testing.T) {
+	rng := rand.New(rand.NewSource(2005))
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		e := genExpr(rng, 4)
+		var sb strings.Builder
+		sb.WriteString("int main() { return ")
+		e.render(&sb)
+		sb.WriteString("; }")
+		src := sb.String()
+
+		want := e.eval()
+		prog, err := Compile(src)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\n%s", i, err, src)
+		}
+		exe, err := link.Link(prog, 0, nil)
+		if err != nil {
+			t.Fatalf("trial %d: link: %v", i, err)
+		}
+		res, err := sim.Run(exe, sim.Options{MaxInstrs: 2_000_000})
+		if err != nil {
+			t.Fatalf("trial %d: run: %v\n%s", i, err, src)
+		}
+		if int32(res.ExitCode) != want {
+			t.Fatalf("trial %d: compiled result %d != reference %d\n%s",
+				i, int32(res.ExitCode), want, src)
+		}
+	}
+}
+
+// TestDifferentialExpressionStatements exercises the same generator through
+// local-variable assignment chains instead of one big expression.
+func TestDifferentialExpressionStatements(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 25; i++ {
+		exprs := make([]*refExpr, 4)
+		var sb strings.Builder
+		sb.WriteString("int main() {\n")
+		sum := int32(0)
+		for j := range exprs {
+			exprs[j] = genExpr(rng, 3)
+			fmt.Fprintf(&sb, "  int v%d = ", j)
+			exprs[j].render(&sb)
+			sb.WriteString(";\n")
+			sum += exprs[j].eval()
+		}
+		sb.WriteString("  return v0 + v1 + v2 + v3;\n}")
+		src := sb.String()
+
+		prog, err := Compile(src)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\n%s", i, err, src)
+		}
+		exe, err := link.Link(prog, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(exe, sim.Options{MaxInstrs: 2_000_000})
+		if err != nil {
+			t.Fatalf("trial %d: run: %v\n%s", i, err, src)
+		}
+		if int32(res.ExitCode) != sum {
+			t.Fatalf("trial %d: compiled result %d != reference %d\n%s",
+				i, int32(res.ExitCode), sum, src)
+		}
+	}
+}

@@ -1,0 +1,670 @@
+package cc
+
+import "fmt"
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func parse(src string) (*File, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.file()
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) peek() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return &Error{t.line, t.col, fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) advance() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(text string) bool {
+	if t := p.cur(); (t.kind == tokPunct || t.kind == tokKeyword) && t.text == text {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf(p.cur(), "expected %q, found %s", text, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) ident() (token, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return t, p.errf(t, "expected identifier, found %s", t)
+	}
+	p.advance()
+	return t, nil
+}
+
+var typeNames = map[string]BaseType{
+	"int": TypeInt, "uint": TypeUint, "short": TypeShort,
+	"ushort": TypeUshort, "char": TypeChar, "uchar": TypeUchar,
+	"void": TypeVoid,
+}
+
+func (p *parser) atType() bool {
+	t := p.cur()
+	if t.kind != tokKeyword {
+		return false
+	}
+	_, ok := typeNames[t.text]
+	return ok || t.text == "const"
+}
+
+func (p *parser) file() (*File, error) {
+	f := &File{}
+	for p.cur().kind != tokEOF {
+		if !p.atType() {
+			return nil, p.errf(p.cur(), "expected declaration, found %s", p.cur())
+		}
+		isConst := p.accept("const")
+		bt, ok := typeNames[p.cur().text]
+		if !ok {
+			return nil, p.errf(p.cur(), "expected type, found %s", p.cur())
+		}
+		p.advance()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind == tokPunct && p.cur().text == "(" {
+			fn, err := p.funcDecl(bt, name)
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+			continue
+		}
+		if bt == TypeVoid {
+			return nil, p.errf(name, "variable %s cannot have void type", name.text)
+		}
+		g, err := p.globalDecl(bt, name, isConst)
+		if err != nil {
+			return nil, err
+		}
+		f.Globals = append(f.Globals, g)
+	}
+	return f, nil
+}
+
+func (p *parser) constInt() (int64, error) {
+	neg := p.accept("-")
+	t := p.cur()
+	if t.kind != tokInt {
+		return 0, p.errf(t, "expected integer constant, found %s", t)
+	}
+	p.advance()
+	v := t.val
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) globalDecl(bt BaseType, name token, isConst bool) (*GlobalDecl, error) {
+	g := &GlobalDecl{Name: name.text, Type: Type{Base: bt}, Const: isConst, Line: name.line}
+	if p.accept("[") {
+		t := p.cur()
+		n, err := p.constInt()
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 || n > 1<<20 {
+			return nil, p.errf(t, "array length %d out of range", n)
+		}
+		g.Type.ArrayLen = int(n)
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept("=") {
+		if g.Type.ArrayLen > 0 {
+			if err := p.expect("{"); err != nil {
+				return nil, err
+			}
+			for {
+				v, err := p.constInt()
+				if err != nil {
+					return nil, err
+				}
+				g.Init = append(g.Init, v)
+				if !p.accept(",") {
+					break
+				}
+				if p.cur().kind == tokPunct && p.cur().text == "}" {
+					break // trailing comma
+				}
+			}
+			if err := p.expect("}"); err != nil {
+				return nil, err
+			}
+			if len(g.Init) > g.Type.ArrayLen {
+				return nil, p.errf(name, "%d initialisers for array of %d", len(g.Init), g.Type.ArrayLen)
+			}
+		} else {
+			v, err := p.constInt()
+			if err != nil {
+				return nil, err
+			}
+			g.Init = []int64{v}
+		}
+	}
+	return g, p.expect(";")
+}
+
+func (p *parser) funcDecl(bt BaseType, name token) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: name.text, RetVoid: bt == TypeVoid, Line: name.line}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if !p.accept(")") {
+		if p.cur().kind == tokKeyword && p.cur().text == "void" && p.peek().text == ")" {
+			p.advance()
+		} else {
+			for {
+				pt := p.cur()
+				bt, ok := typeNames[pt.text]
+				if pt.kind != tokKeyword || !ok || bt == TypeVoid {
+					return nil, p.errf(pt, "expected parameter type, found %s", pt)
+				}
+				p.advance()
+				id, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				fn.Params = append(fn.Params, Param{Name: id.text})
+				if !p.accept(",") {
+					break
+				}
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.accept("}") {
+		if p.cur().kind == tokEOF {
+			return nil, p.errf(p.cur(), "unexpected end of file in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokPunct && t.text == "{":
+		return p.block()
+	case t.kind == tokPunct && t.text == ";":
+		p.advance()
+		return &Empty{}, nil
+	case t.kind == tokKeyword:
+		switch t.text {
+		case "int", "uint", "short", "ushort", "char", "uchar":
+			return p.localDecl()
+		case "if":
+			return p.ifStmt()
+		case "while":
+			return p.whileStmt(0, 0)
+		case "do":
+			return p.doWhileStmt(0, 0)
+		case "for":
+			return p.forStmt(0, 0)
+		case "__loopbound", "__loopboundtotal":
+			return p.loopBoundStmt()
+		case "return":
+			p.advance()
+			r := &Return{Line: t.line}
+			if !(p.cur().kind == tokPunct && p.cur().text == ";") {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				r.Value = e
+			}
+			return r, p.expect(";")
+		case "break":
+			p.advance()
+			return &Break{Line: t.line}, p.expect(";")
+		case "continue":
+			p.advance()
+			return &Continue{Line: t.line}, p.expect(";")
+		}
+		return nil, p.errf(t, "unexpected %s", t)
+	default:
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: e}, p.expect(";")
+	}
+}
+
+// loopBoundStmt parses one or more flow-fact annotations (__loopbound,
+// __loopboundtotal, in any order) followed by a loop statement.
+func (p *parser) loopBoundStmt() (Stmt, error) {
+	var bound, total int64
+	for p.cur().kind == tokKeyword && (p.cur().text == "__loopbound" || p.cur().text == "__loopboundtotal") {
+		t := p.advance()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		n, err := p.constInt()
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, p.errf(t, "loop bound must be positive, got %d", n)
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if t.text == "__loopbound" {
+			bound = n
+		} else {
+			total = n
+		}
+	}
+	switch p.cur().text {
+	case "while":
+		return p.whileStmt(bound, total)
+	case "do":
+		if total != 0 {
+			return nil, p.errf(p.cur(), "__loopboundtotal is not supported on do-while loops")
+		}
+		return p.doWhileStmt(bound, total)
+	case "for":
+		return p.forStmt(bound, total)
+	}
+	return nil, p.errf(p.cur(), "loop bound annotations must be followed by a loop, found %s", p.cur())
+}
+
+func (p *parser) localDecl() (Stmt, error) {
+	p.advance() // type keyword; locals are stored as int words regardless
+	id, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokPunct && p.cur().text == "[" {
+		return nil, p.errf(id, "local arrays are not supported; use a global")
+	}
+	d := &VarDecl{Name: id.text, Line: id.line}
+	if p.accept("=") {
+		e, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	// Allow `int a = 1, b = 2;` via a scope-transparent declaration group.
+	if p.accept(",") {
+		rest, err := p.localDeclTail()
+		if err != nil {
+			return nil, err
+		}
+		return &DeclGroup{Decls: append([]*VarDecl{d}, rest...)}, nil
+	}
+	return d, p.expect(";")
+}
+
+func (p *parser) localDeclTail() ([]*VarDecl, error) {
+	var out []*VarDecl
+	for {
+		id, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		d := &VarDecl{Name: id.text, Line: id.line}
+		if p.accept("=") {
+			e, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = e
+		}
+		out = append(out, d)
+		if !p.accept(",") {
+			break
+		}
+	}
+	return out, p.expect(";")
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	p.advance()
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &If{Cond: cond, Then: then}
+	if p.accept("else") {
+		e, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Else = e
+	}
+	return s, nil
+}
+
+func (p *parser) whileStmt(bound, total int64) (Stmt, error) {
+	t := p.advance()
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return &While{Cond: cond, Body: body, Bound: bound, BoundTotal: total, Line: t.line}, nil
+}
+
+func (p *parser) doWhileStmt(bound, _ int64) (Stmt, error) {
+	t := p.advance()
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("while"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return &While{Cond: cond, Body: body, PostTest: true, Bound: bound, Line: t.line}, nil
+}
+
+func (p *parser) forStmt(bound, total int64) (Stmt, error) {
+	t := p.advance()
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	f := &For{Bound: bound, BoundTotal: total, Line: t.line}
+	// Init clause.
+	if !p.accept(";") {
+		if p.atType() {
+			d, err := p.localDecl() // consumes the ';'
+			if err != nil {
+				return nil, err
+			}
+			f.Init = d
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			f.Init = &ExprStmt{X: e}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Condition.
+	if !p.accept(";") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		f.Cond = e
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	// Post.
+	if !(p.cur().kind == tokPunct && p.cur().text == ")") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		f.Post = e
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+// Expression parsing: precedence climbing.
+
+func (p *parser) expr() (Expr, error) { return p.assignExpr() }
+
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"<<=": true, ">>=": true, "&=": true, "|=": true, "^=": true,
+}
+
+func (p *parser) assignExpr() (Expr, error) {
+	lhs, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tokPunct && assignOps[t.text] {
+		switch lhs.(type) {
+		case *VarRef, *Index:
+		default:
+			return nil, p.errf(t, "left side of %s is not assignable", t.text)
+		}
+		p.advance()
+		rhs, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Target: lhs, Op: t.text, Value: rhs, Line: t.line}, nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) ternary() (Expr, error) {
+	cond, err := p.binary(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept("?") {
+		return cond, nil
+	}
+	then, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	els, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{Cond: cond, Then: then, Else: els}, nil
+}
+
+// binary operator precedence levels, loosest first.
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) binary(level int) (Expr, error) {
+	if level >= len(binLevels) {
+		return p.unary()
+	}
+	lhs, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		matched := false
+		for _, op := range binLevels[level] {
+			if t.text == op {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return lhs, nil
+		}
+		p.advance()
+		rhs, err := p.binary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: t.text, L: lhs, R: rhs, Line: t.line}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "~" || t.text == "!") {
+		p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := x.(*IntLit); ok && t.text == "-" {
+			return &IntLit{Val: -lit.Val, Line: t.line}, nil
+		}
+		return &Unary{Op: t.text, X: x}, nil
+	}
+	if t.kind == tokPunct && t.text == "+" {
+		p.advance()
+		return p.unary()
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.advance()
+		return &IntLit{Val: t.val, Line: t.line}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	case t.kind == tokIdent:
+		p.advance()
+		switch {
+		case p.cur().kind == tokPunct && p.cur().text == "(":
+			p.advance()
+			c := &Call{Name: t.text, Line: t.line}
+			if !p.accept(")") {
+				for {
+					a, err := p.assignExpr()
+					if err != nil {
+						return nil, err
+					}
+					c.Args = append(c.Args, a)
+					if !p.accept(",") {
+						break
+					}
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+			}
+			return c, nil
+		case p.cur().kind == tokPunct && p.cur().text == "[":
+			p.advance()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &Index{Name: t.text, Idx: idx, Line: t.line}, nil
+		default:
+			return &VarRef{Name: t.text, Line: t.line}, nil
+		}
+	}
+	return nil, p.errf(t, "expected expression, found %s", t)
+}

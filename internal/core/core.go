@@ -1,0 +1,233 @@
+// Package core implements the paper's experimental workflow (Figure 1):
+// compile a benchmark once, profile it on its typical input, and then for
+// each memory configuration either
+//
+//   - scratchpad branch: solve the energy knapsack, re-link with the chosen
+//     objects in the scratchpad, simulate (average case) and run the WCET
+//     analysis with nothing but memory-region timings; or
+//   - cache branch: keep the single main-memory executable, simulate with a
+//     unified cache of the given capacity, and run the WCET analysis with
+//     the abstract-interpretation cache module.
+//
+// Every figure and table of the paper is a projection of the Measurement
+// values this package produces.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/benchprog"
+	"repro/internal/cache"
+	"repro/internal/cc"
+	"repro/internal/energy"
+	"repro/internal/link"
+	"repro/internal/obj"
+	"repro/internal/sim"
+	"repro/internal/spm"
+	"repro/internal/wcet"
+)
+
+// PaperSizes are the capacities evaluated in the paper: 64 bytes to 8 KB.
+var PaperSizes = []uint32{64, 128, 256, 512, 1024, 2048, 4096, 8192}
+
+// Measurement is one (benchmark, memory configuration) data point.
+type Measurement struct {
+	Benchmark string
+	// SPMSize is the scratchpad capacity (0 in cache/baseline runs).
+	SPMSize uint32
+	// CacheSize is the unified cache capacity (0 in SPM/baseline runs).
+	CacheSize uint32
+
+	SimCycles uint64
+	WCET      uint64
+
+	CacheHits   uint64
+	CacheMisses uint64
+	// SPMUsed is the number of scratchpad bytes occupied by the allocation.
+	SPMUsed uint32
+	// SPMObjects is the number of memory objects moved to the scratchpad.
+	SPMObjects int
+	// Energy is the modelled energy of the profiled run under this
+	// placement (nJ; scratchpad runs only).
+	Energy float64
+}
+
+// Ratio returns WCET / simulated cycles, the paper's Figures 4 and 5 metric.
+func (m Measurement) Ratio() float64 {
+	if m.SimCycles == 0 {
+		return 0
+	}
+	return float64(m.WCET) / float64(m.SimCycles)
+}
+
+// Lab is a compiled benchmark with its typical-input profile, ready for
+// configuration sweeps.
+type Lab struct {
+	Bench   benchprog.Benchmark
+	Prog    *obj.Program
+	Profile *sim.Profile
+	Model   energy.Model
+	// StackBound is the stack-usage annotation handed to the cache
+	// analysis: twice the observed depth plus slack.
+	StackBound uint32
+}
+
+// NewLab compiles the benchmark and collects its baseline profile.
+func NewLab(b benchprog.Benchmark) (*Lab, error) {
+	prog, err := cc.Compile(b.Source)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", b.Name, err)
+	}
+	exe, err := link.Link(prog, 0, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", b.Name, err)
+	}
+	prof, err := sim.CollectProfile(exe, sim.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: profiling: %w", b.Name, err)
+	}
+	return &Lab{
+		Bench:      b,
+		Prog:       prog,
+		Profile:    prof,
+		Model:      energy.Default(),
+		StackBound: prof.ObservedStackDepth()*2 + 64,
+	}, nil
+}
+
+// NewLabByName looks the benchmark up in the Table 2 registry.
+func NewLabByName(name string) (*Lab, error) {
+	b, err := benchprog.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return NewLab(b)
+}
+
+// Baseline measures the system with neither scratchpad nor cache.
+func (l *Lab) Baseline() (Measurement, error) {
+	exe, err := link.Link(l.Prog, 0, nil)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return l.measure(exe, nil, nil)
+}
+
+// WithScratchpad runs the scratchpad branch for one capacity.
+func (l *Lab) WithScratchpad(size uint32) (Measurement, error) {
+	alloc, err := spm.Allocate(l.Prog, l.Profile, size, l.Model)
+	if err != nil {
+		return Measurement{}, err
+	}
+	exe, err := link.Link(l.Prog, size, alloc.InSPM)
+	if err != nil {
+		return Measurement{}, err
+	}
+	m, err := l.measure(exe, nil, alloc)
+	if err != nil {
+		return Measurement{}, err
+	}
+	m.SPMSize = size
+	m.Energy = l.Model.ProgramEnergy(l.Prog, l.Profile, alloc.InSPM)
+	return m, nil
+}
+
+// WithCache runs the cache branch for one capacity (direct mapped, 16-byte
+// lines — the paper's configuration). assoc > 1 selects the paper's §5
+// future-work set-associative LRU configuration, analysed with the aging
+// MUST domain.
+func (l *Lab) WithCache(size uint32, assoc int) (Measurement, error) {
+	return l.withCacheConfig(cache.Config{Size: size, Assoc: assoc})
+}
+
+// WithInstructionCache runs the §5 future-work instruction-cache
+// configuration: fetches are cached, data pays main-memory cost.
+func (l *Lab) WithInstructionCache(size uint32) (Measurement, error) {
+	return l.withCacheConfig(cache.Config{Size: size, InstructionOnly: true})
+}
+
+func (l *Lab) withCacheConfig(ccfg cache.Config) (Measurement, error) {
+	exe, err := link.Link(l.Prog, 0, nil)
+	if err != nil {
+		return Measurement{}, err
+	}
+	m, err := l.measure(exe, &ccfg, nil)
+	if err != nil {
+		return Measurement{}, err
+	}
+	m.CacheSize = ccfg.Size
+	return m, nil
+}
+
+// measure simulates and analyses one configuration.
+func (l *Lab) measure(exe *link.Executable, ccfg *cache.Config, alloc *spm.Allocation) (Measurement, error) {
+	res, err := sim.Run(exe, sim.Options{Cache: ccfg})
+	if err != nil {
+		return Measurement{}, err
+	}
+	if err := l.validateExit(int32(res.ExitCode)); err != nil {
+		return Measurement{}, err
+	}
+	var wopts wcet.Options
+	if ccfg != nil {
+		wopts.Cache = ccfg
+		wopts.StackBound = l.StackBound
+	}
+	wres, err := wcet.Analyze(exe, wopts)
+	if err != nil {
+		return Measurement{}, err
+	}
+	if wres.WCET < res.Cycles {
+		return Measurement{}, fmt.Errorf("core: %s: unsound bound %d < simulation %d",
+			l.Bench.Name, wres.WCET, res.Cycles)
+	}
+	m := Measurement{
+		Benchmark:   l.Bench.Name,
+		SimCycles:   res.Cycles,
+		WCET:        wres.WCET,
+		CacheHits:   res.CacheHits,
+		CacheMisses: res.CacheMisses,
+	}
+	if alloc != nil {
+		m.SPMUsed = alloc.Used
+		m.SPMObjects = len(alloc.InSPM)
+	}
+	return m, nil
+}
+
+func (l *Lab) validateExit(exit int32) error {
+	if l.Bench.MaxExit == 0 && exit != 0 {
+		return fmt.Errorf("core: %s: functional check failed, exit %d", l.Bench.Name, exit)
+	}
+	if l.Bench.MaxExit > 0 && (exit < 0 || exit > l.Bench.MaxExit) {
+		return fmt.Errorf("core: %s: functional check failed, exit %d outside [0,%d]",
+			l.Bench.Name, exit, l.Bench.MaxExit)
+	}
+	return nil
+}
+
+// SweepScratchpad measures every paper scratchpad capacity.
+func (l *Lab) SweepScratchpad() ([]Measurement, error) {
+	var out []Measurement
+	for _, size := range PaperSizes {
+		m, err := l.WithScratchpad(size)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s spm %d: %w", l.Bench.Name, size, err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// SweepCache measures every paper cache capacity (direct mapped).
+func (l *Lab) SweepCache() ([]Measurement, error) {
+	var out []Measurement
+	for _, size := range PaperSizes {
+		m, err := l.WithCache(size, 1)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s cache %d: %w", l.Bench.Name, size, err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

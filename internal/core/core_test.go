@@ -1,0 +1,213 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/benchprog"
+)
+
+// labFor caches compiled labs per benchmark across tests in this package.
+var labCache = map[string]*Lab{}
+
+func labFor(t *testing.T, name string) *Lab {
+	t.Helper()
+	if l, ok := labCache[name]; ok {
+		return l
+	}
+	l, err := NewLabByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labCache[name] = l
+	return l
+}
+
+// TestScratchpadSweepShape verifies the paper's Figure 3a shape on G.721:
+// simulated time and WCET both decrease monotonically (weakly) with
+// scratchpad capacity, and the WCET/sim ratio stays near-constant.
+func TestScratchpadSweepShape(t *testing.T) {
+	l := labFor(t, "G.721")
+	ms, err := l.SweepScratchpad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := l.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevSim, prevWCET := base.SimCycles, base.WCET
+	var minRatio, maxRatio float64
+	for i, m := range ms {
+		if m.SimCycles > prevSim {
+			t.Errorf("spm %d: sim cycles rose: %d > %d", m.SPMSize, m.SimCycles, prevSim)
+		}
+		if m.WCET > prevWCET {
+			t.Errorf("spm %d: WCET rose: %d > %d", m.SPMSize, m.WCET, prevWCET)
+		}
+		prevSim, prevWCET = m.SimCycles, m.WCET
+		r := m.Ratio()
+		if i == 0 {
+			minRatio, maxRatio = r, r
+		}
+		if r < minRatio {
+			minRatio = r
+		}
+		if r > maxRatio {
+			maxRatio = r
+		}
+		t.Logf("spm %5d: sim %8d wcet %8d ratio %.3f (%d objects, %d bytes)",
+			m.SPMSize, m.SimCycles, m.WCET, r, m.SPMObjects, m.SPMUsed)
+	}
+	// "The difference between average case simulation and WCET analysis
+	// results remains constant for all scratchpad memory sizes."
+	if maxRatio/minRatio > 1.25 {
+		t.Errorf("SPM WCET/sim ratio varies too much: %.3f .. %.3f", minRatio, maxRatio)
+	}
+	// The largest scratchpad must give a real speedup over the baseline.
+	last := ms[len(ms)-1]
+	if float64(last.SimCycles) > 0.8*float64(base.SimCycles) {
+		t.Errorf("8K scratchpad speedup too small: %d vs baseline %d", last.SimCycles, base.SimCycles)
+	}
+}
+
+// TestCacheSweepShape verifies the paper's Figure 3b shape on G.721: the
+// simulation speeds up with cache size, while the WCET bound stays high —
+// the ratio grows with capacity.
+func TestCacheSweepShape(t *testing.T) {
+	l := labFor(t, "G.721")
+	ms, err := l.SweepCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		t.Logf("cache %5d: sim %8d wcet %8d ratio %.3f (hits %d misses %d)",
+			m.CacheSize, m.SimCycles, m.WCET, m.Ratio(), m.CacheHits, m.CacheMisses)
+	}
+	small, big := ms[0], ms[len(ms)-1]
+	if big.SimCycles >= small.SimCycles {
+		t.Errorf("large cache not faster in simulation: %d >= %d", big.SimCycles, small.SimCycles)
+	}
+	if big.Ratio() <= small.Ratio() {
+		t.Errorf("cache ratio did not grow with size: %.3f -> %.3f", small.Ratio(), big.Ratio())
+	}
+	// WCET stays "at a very high level": the best cache WCET must remain
+	// well above the best cache simulation.
+	if float64(big.WCET) < 1.5*float64(big.SimCycles) {
+		t.Errorf("cache WCET %d too close to simulation %d for a MUST-only analysis",
+			big.WCET, big.SimCycles)
+	}
+}
+
+// TestScratchpadBeatsCacheOnWCET: the paper's conclusion — for every
+// capacity, the scratchpad system's WCET bound beats the cache system's.
+func TestScratchpadBeatsCacheOnWCET(t *testing.T) {
+	l := labFor(t, "ADPCM")
+	spms, err := l.SweepScratchpad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	caches, err := l.SweepCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range spms {
+		if spms[i].WCET >= caches[i].WCET {
+			t.Errorf("capacity %d: scratchpad WCET %d not below cache WCET %d",
+				spms[i].SPMSize, spms[i].WCET, caches[i].WCET)
+		}
+	}
+}
+
+// TestEnergyDecreasesWithScratchpad: the allocation objective must be
+// reflected in the modelled energy.
+func TestEnergyDecreasesWithScratchpad(t *testing.T) {
+	l := labFor(t, "MultiSort")
+	ms, err := l.SweepScratchpad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := l.Model.ProgramEnergy(l.Prog, l.Profile, nil)
+	for _, m := range ms {
+		if m.Energy > prev+1e-6 {
+			t.Errorf("spm %d: energy rose: %.1f > %.1f", m.SPMSize, m.Energy, prev)
+		}
+		prev = m.Energy
+	}
+}
+
+// TestBaselineMatchesZeroSizedConfigs: baseline == scratchpad sweep with an
+// empty allocation in the limit (the 64-byte allocation may already help,
+// so only check the baseline itself is consistent between calls).
+func TestBaselineDeterministic(t *testing.T) {
+	l := labFor(t, "MultiSort")
+	a, err := l.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SimCycles != b.SimCycles || a.WCET != b.WCET {
+		t.Fatalf("baseline not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestSetAssociativeAblation: the §5 future-work configuration — a 2-way
+// LRU cache — simulates with fewer conflict misses and is analysed with
+// the aging MUST domain; the bound must stay sound.
+func TestSetAssociativeAblation(t *testing.T) {
+	l := labFor(t, "ADPCM")
+	dm, err := l.WithCache(256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := l.WithCache(256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.WCET < sa.SimCycles {
+		t.Errorf("2-way WCET %d below simulation %d (unsound)", sa.WCET, sa.SimCycles)
+	}
+	t.Logf("256B cache: direct-mapped sim %d wcet %d (%d misses), 2-way LRU sim %d wcet %d (%d misses)",
+		dm.SimCycles, dm.WCET, dm.CacheMisses, sa.SimCycles, sa.WCET, sa.CacheMisses)
+}
+
+// TestInstructionCacheAblation: the §5 future-work instruction cache —
+// data bypasses the cache, so the MUST analysis never loses instruction
+// classification to unknown data addresses and the WCET bound is tighter
+// than the unified cache's at the same capacity.
+func TestInstructionCacheAblation(t *testing.T) {
+	l := labFor(t, "ADPCM")
+	unified, err := l.WithCache(1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	icache, err := l.WithInstructionCache(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if icache.WCET < icache.SimCycles {
+		t.Fatalf("icache WCET %d below simulation %d (unsound)", icache.WCET, icache.SimCycles)
+	}
+	if icache.WCET >= unified.WCET {
+		t.Errorf("icache WCET %d not tighter than unified %d", icache.WCET, unified.WCET)
+	}
+	t.Logf("1KB: unified sim %d wcet %d (ratio %.2f); icache sim %d wcet %d (ratio %.2f)",
+		unified.SimCycles, unified.WCET, unified.Ratio(),
+		icache.SimCycles, icache.WCET, icache.Ratio())
+}
+
+func TestAllBenchmarksBaseline(t *testing.T) {
+	for _, b := range benchprog.All() {
+		l := labFor(t, b.Name)
+		m, err := l.Baseline()
+		if err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+			continue
+		}
+		if m.WCET < m.SimCycles {
+			t.Errorf("%s: unsound baseline bound", b.Name)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package energy
+
+import (
+	"testing"
+
+	"repro/internal/obj"
+	"repro/internal/sim"
+)
+
+func TestAccessCostOrdering(t *testing.T) {
+	m := Default()
+	if !(m.SPM < m.MainByte && m.MainByte <= m.MainHalf && m.MainHalf < m.MainWord) {
+		t.Fatalf("energy ordering broken: %+v", m)
+	}
+	if m.MainAccess(1) != m.MainByte || m.MainAccess(2) != m.MainHalf || m.MainAccess(4) != m.MainWord {
+		t.Fatal("MainAccess width dispatch broken")
+	}
+	for _, w := range []uint8{1, 2, 4} {
+		if m.SaveBenefit(w) <= 0 {
+			t.Errorf("width %d: moving to SPM must always save energy", w)
+		}
+	}
+}
+
+func TestObjectBenefit(t *testing.T) {
+	m := Default()
+	code := &obj.Object{Name: "f", Kind: obj.Code, Align: 4}
+	data := &obj.Object{Name: "g", Kind: obj.Data, Align: 4, ElemWidth: 2}
+
+	cp := &sim.ObjectProfile{Fetches: 100, LiteralReads: 10}
+	wantCode := 100*m.SaveBenefit(2) + 10*m.SaveBenefit(4)
+	if got := m.ObjectBenefit(code, cp); got != wantCode {
+		t.Errorf("code benefit %f, want %f", got, wantCode)
+	}
+
+	dp := &sim.ObjectProfile{Reads: 40, Writes: 20}
+	wantData := 60 * m.SaveBenefit(2)
+	if got := m.ObjectBenefit(data, dp); got != wantData {
+		t.Errorf("data benefit %f, want %f", got, wantData)
+	}
+
+	if m.ObjectBenefit(code, nil) != 0 {
+		t.Error("nil profile must yield zero benefit")
+	}
+	if m.ObjectBenefit(code, &sim.ObjectProfile{}) != 0 {
+		t.Error("unaccessed object must yield zero benefit")
+	}
+}
+
+func TestBenefitScalesWithAccessCount(t *testing.T) {
+	m := Default()
+	code := &obj.Object{Name: "f", Kind: obj.Code, Align: 4}
+	lo := m.ObjectBenefit(code, &sim.ObjectProfile{Fetches: 10})
+	hi := m.ObjectBenefit(code, &sim.ObjectProfile{Fetches: 1000})
+	if hi <= lo {
+		t.Fatal("benefit must grow with access frequency")
+	}
+}

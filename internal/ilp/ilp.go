@@ -1,0 +1,111 @@
+// Package ilp solves (mixed) integer linear programs by branch & bound over
+// the LP relaxation from internal/lp. It stands in for the commercial ILP
+// solver (CPLEX) the paper uses for the scratchpad knapsack, and solves the
+// IPET programs of the WCET analyser, whose flow-conservation relaxations
+// are almost always integral already.
+package ilp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// Problem is an integer program: an LP plus integrality flags.
+type Problem struct {
+	LP lp.Problem
+	// Integer marks variables that must take integral values. A nil slice
+	// means every variable is integral.
+	Integer []bool
+}
+
+// Solution of an integer program.
+type Solution struct {
+	Status lp.Status
+	X      []float64 // integral for all flagged variables
+	Obj    float64
+}
+
+const intTol = 1e-6
+
+// MaxNodes bounds the branch & bound search; the structured problems in
+// this repository stay far below it.
+const MaxNodes = 200000
+
+func (p *Problem) integral(i int) bool {
+	return p.Integer == nil || (i < len(p.Integer) && p.Integer[i])
+}
+
+// Solve runs best-first branch & bound (maximisation).
+func Solve(p *Problem) (Solution, error) {
+	incumbent := Solution{Status: lp.Infeasible, Obj: math.Inf(-1)}
+	type node struct {
+		prob *lp.Problem
+	}
+	stack := []node{{prob: p.LP.Clone()}}
+	nodes := 0
+	for len(stack) > 0 {
+		nodes++
+		if nodes > MaxNodes {
+			return incumbent, fmt.Errorf("ilp: node limit %d exceeded", MaxNodes)
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		rel := lp.Solve(nd.prob)
+		switch rel.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			return Solution{}, fmt.Errorf("ilp: relaxation unbounded")
+		}
+		if rel.Obj <= incumbent.Obj+intTol && incumbent.Status == lp.Optimal {
+			continue // bound: cannot beat the incumbent
+		}
+		// Find the most fractional integral variable.
+		branch := -1
+		worst := intTol
+		for i := 0; i < nd.prob.NumVars; i++ {
+			if !p.integral(i) {
+				continue
+			}
+			f := math.Abs(rel.X[i] - math.Round(rel.X[i]))
+			if f > worst {
+				worst = f
+				branch = i
+			}
+		}
+		if branch < 0 {
+			// Integral solution.
+			if rel.Obj > incumbent.Obj {
+				x := make([]float64, len(rel.X))
+				for i, v := range rel.X {
+					if p.integral(i) {
+						x[i] = math.Round(v)
+					} else {
+						x[i] = v
+					}
+				}
+				incumbent = Solution{Status: lp.Optimal, X: x, Obj: rel.Obj}
+			}
+			continue
+		}
+		v := rel.X[branch]
+		lo, hi := math.Floor(v), math.Ceil(v)
+		le := nd.prob.Clone()
+		le.AddConstraint(unit(nd.prob.NumVars, branch), lp.LE, lo)
+		ge := nd.prob.Clone()
+		ge.AddConstraint(unit(nd.prob.NumVars, branch), lp.GE, hi)
+		stack = append(stack, node{prob: le}, node{prob: ge})
+	}
+	if incumbent.Status != lp.Optimal {
+		return incumbent, fmt.Errorf("ilp: infeasible")
+	}
+	return incumbent, nil
+}
+
+func unit(n, i int) []float64 {
+	c := make([]float64, n)
+	c[i] = 1
+	return c
+}

@@ -1,0 +1,213 @@
+// Package link places memory objects at addresses and resolves relocations,
+// producing an executable image. The memory map mirrors the paper's
+// AT91EB01-based model: an on-chip scratchpad at the bottom of the address
+// space and off-chip main memory regions for code, data and the stack.
+//
+// The linker is re-run for every scratchpad capacity: the allocator's
+// chosen objects move into the scratchpad region, all addresses shift, and
+// relocations (BL offsets, literal-pool addresses) are re-resolved — the
+// paper's observation that "relative branch offsets ... do not reflect the
+// actual execution time addresses" is handled here.
+package link
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/obj"
+)
+
+// Memory map constants.
+const (
+	// SPMBase is the scratchpad base address (tightly coupled memory).
+	SPMBase uint32 = 0x0000_0000
+	// SPMMax is the largest scratchpad capacity considered by the paper.
+	SPMMax uint32 = 8192
+	// CodeBase is the main-memory code region.
+	CodeBase uint32 = 0x0010_0000
+	// DataBase is the main-memory data region.
+	DataBase uint32 = 0x0020_0000
+	// StackBase is the main-memory stack region (grows down from StackTop).
+	StackBase uint32 = 0x0030_0000
+	// StackSize is the stack region size.
+	StackSize uint32 = 0x1_0000
+	// StackTop is the initial stack pointer.
+	StackTop = StackBase + StackSize
+)
+
+// Placement is one placed memory object.
+type Placement struct {
+	Obj   *obj.Object
+	Addr  uint32
+	InSPM bool
+	// Image is the object's data with relocations resolved.
+	Image []byte
+}
+
+// End returns the first address after the object.
+func (p *Placement) End() uint32 { return p.Addr + p.Obj.Size() }
+
+// Contains reports whether addr lies within the placed object.
+func (p *Placement) Contains(addr uint32) bool { return addr >= p.Addr && addr < p.End() }
+
+// Executable is a fully linked program.
+type Executable struct {
+	Prog    *obj.Program
+	SPMSize uint32
+	// Placements in address order per region.
+	Placements []*Placement
+	byName     map[string]*Placement
+	EntryAddr  uint32
+	MainAddr   uint32
+}
+
+// Placement returns the placement of the named object, or nil.
+func (e *Executable) Placement(name string) *Placement { return e.byName[name] }
+
+// FindAddr returns the placement containing addr, or nil.
+func (e *Executable) FindAddr(addr uint32) *Placement {
+	for _, p := range e.Placements {
+		if p.Contains(addr) {
+			return p
+		}
+	}
+	return nil
+}
+
+// Link places the program with the given scratchpad capacity. Objects named
+// in inSPM go to the scratchpad (the allocator guarantees they fit);
+// remaining code and data objects go to the main-memory code and data
+// regions. spmSize 0 produces a system without a scratchpad.
+func Link(p *obj.Program, spmSize uint32, inSPM map[string]bool) (*Executable, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if spmSize > SPMMax {
+		return nil, fmt.Errorf("link: scratchpad size %d exceeds maximum %d", spmSize, SPMMax)
+	}
+	e := &Executable{
+		Prog:    p,
+		SPMSize: spmSize,
+		byName:  make(map[string]*Placement, len(p.Objects)),
+	}
+	align := func(v, a uint32) uint32 { return (v + a - 1) &^ (a - 1) }
+	spmCur, codeCur, dataCur := SPMBase, CodeBase, DataBase
+	for _, o := range p.Objects {
+		pl := &Placement{Obj: o}
+		switch {
+		case inSPM[o.Name]:
+			if spmSize == 0 {
+				return nil, fmt.Errorf("link: %s allocated to scratchpad but scratchpad size is 0", o.Name)
+			}
+			spmCur = align(spmCur, o.Align)
+			pl.Addr, pl.InSPM = spmCur, true
+			spmCur += o.Size()
+			if spmCur-SPMBase > spmSize {
+				return nil, fmt.Errorf("link: scratchpad overflow: %s ends at %d, capacity %d", o.Name, spmCur-SPMBase, spmSize)
+			}
+		case o.Kind == obj.Code:
+			codeCur = align(codeCur, o.Align)
+			pl.Addr = codeCur
+			codeCur += o.Size()
+		default:
+			dataCur = align(dataCur, o.Align)
+			pl.Addr = dataCur
+			dataCur += o.Size()
+		}
+		e.Placements = append(e.Placements, pl)
+		e.byName[o.Name] = pl
+	}
+
+	// Resolve relocations into per-placement images.
+	for _, pl := range e.Placements {
+		img := make([]byte, len(pl.Obj.Data))
+		copy(img, pl.Obj.Data)
+		for _, r := range pl.Obj.Relocs {
+			tgt, ok := e.byName[r.Target]
+			if !ok {
+				return nil, fmt.Errorf("link: %s: undefined symbol %q", pl.Obj.Name, r.Target)
+			}
+			switch r.Kind {
+			case obj.RelocAbs32:
+				v := tgt.Addr + uint32(r.Addend)
+				img[r.Offset] = byte(v)
+				img[r.Offset+1] = byte(v >> 8)
+				img[r.Offset+2] = byte(v >> 16)
+				img[r.Offset+3] = byte(v >> 24)
+			case obj.RelocBL:
+				instrAddr := pl.Addr + r.Offset
+				disp := int64(tgt.Addr) - int64(instrAddr) - 4
+				if disp < -(1<<22) || disp >= 1<<22 {
+					return nil, fmt.Errorf("link: %s: BL to %s displacement %d exceeds range", pl.Obj.Name, r.Target, disp)
+				}
+				hi := uint16((disp >> 12) & 0x7FF)
+				lo := uint16((disp >> 1) & 0x7FF)
+				hw1 := uint16(0b11110<<11) | hi
+				hw2 := uint16(0b11111<<11) | lo
+				img[r.Offset] = byte(hw1)
+				img[r.Offset+1] = byte(hw1 >> 8)
+				img[r.Offset+2] = byte(hw2)
+				img[r.Offset+3] = byte(hw2 >> 8)
+			default:
+				return nil, fmt.Errorf("link: %s: unknown relocation kind %d", pl.Obj.Name, r.Kind)
+			}
+		}
+		pl.Image = img
+	}
+
+	if p.Entry != "" {
+		e.EntryAddr = e.byName[p.Entry].Addr
+	}
+	if p.Main != "" {
+		e.MainAddr = e.byName[p.Main].Addr
+	}
+	return e, nil
+}
+
+// NewMemory materialises the executable into a fresh memory system,
+// optionally fronted by a unified cache (cacheCfg nil means no cache). Every
+// call returns an independent image, so repeated simulations start cold.
+func (e *Executable) NewMemory(cacheCfg *cache.Config) (*mem.System, error) {
+	var spm *mem.Segment
+	if e.SPMSize > 0 {
+		spm = &mem.Segment{Name: "spm", Base: SPMBase, Data: make([]byte, e.SPMSize)}
+	}
+	codeEnd, dataEnd := CodeBase, DataBase
+	for _, pl := range e.Placements {
+		if pl.InSPM {
+			continue
+		}
+		if pl.Obj.Kind == obj.Code && pl.End() > codeEnd {
+			codeEnd = pl.End()
+		}
+		if pl.Obj.Kind == obj.Data && pl.End() > dataEnd {
+			dataEnd = pl.End()
+		}
+	}
+	pad := func(v uint32) uint32 { return (v + 15) &^ 15 }
+	code := &mem.Segment{Name: "code", Base: CodeBase, Data: make([]byte, pad(codeEnd-CodeBase)+16)}
+	data := &mem.Segment{Name: "data", Base: DataBase, Data: make([]byte, pad(dataEnd-DataBase)+16)}
+	stack := &mem.Segment{Name: "stack", Base: StackBase, Data: make([]byte, StackSize)}
+	sys := mem.NewSystem(spm, code, data, stack)
+	for _, pl := range e.Placements {
+		var seg *mem.Segment
+		switch {
+		case pl.InSPM:
+			seg = spm
+		case pl.Obj.Kind == obj.Code:
+			seg = code
+		default:
+			seg = data
+		}
+		copy(seg.Data[pl.Addr-seg.Base:], pl.Image)
+	}
+	if cacheCfg != nil {
+		c, err := cache.New(*cacheCfg)
+		if err != nil {
+			return nil, err
+		}
+		sys.Cache = c
+	}
+	return sys, nil
+}

@@ -1,0 +1,342 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	maximise  c·x   subject to  A·x {<=,=,>=} b,  x >= 0.
+//
+// It is the optimisation substrate for the scratchpad knapsack allocation
+// (the paper solves it with a commercial ILP solver) and for the IPET path
+// analysis in the WCET tool. Problems in this repository are small (tens to
+// hundreds of variables), so a dense tableau with Bland's anti-cycling rule
+// is entirely adequate.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rel is a constraint relation.
+type Rel int8
+
+// Constraint relations.
+const (
+	LE Rel = iota // <=
+	GE            // >=
+	EQ            // ==
+)
+
+func (r Rel) String() string { return [...]string{"<=", ">=", "=="}[r] }
+
+// Constraint is one linear constraint: Coef·x Rel RHS. Coef may be shorter
+// than the variable count; missing entries are zero.
+type Constraint struct {
+	Coef []float64
+	Rel  Rel
+	RHS  float64
+}
+
+// Problem is a linear program. All variables are implicitly non-negative.
+type Problem struct {
+	// NumVars is the number of decision variables.
+	NumVars int
+	// Objective holds the maximisation coefficients (padded with zeros).
+	Objective []float64
+	// Cons are the constraints.
+	Cons []Constraint
+}
+
+// AddConstraint appends a constraint.
+func (p *Problem) AddConstraint(coef []float64, rel Rel, rhs float64) {
+	p.Cons = append(p.Cons, Constraint{Coef: coef, Rel: rel, RHS: rhs})
+}
+
+// Status reports the outcome of a solve.
+type Status int8
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string { return [...]string{"optimal", "infeasible", "unbounded"}[s] }
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status Status
+	// X holds the optimal variable values (length NumVars).
+	X []float64
+	// Obj is the optimal objective value.
+	Obj float64
+}
+
+const eps = 1e-9
+
+// tableau is the dense simplex tableau. Row 0..m-1 are constraints with the
+// RHS in the last column; the objective row is stored separately.
+type tableau struct {
+	m, n  int // constraint rows, total columns (excluding RHS)
+	a     [][]float64
+	rhs   []float64
+	obj   []float64 // reduced-cost row (for maximisation)
+	objC  float64   // objective constant
+	basis []int     // basic variable of each row
+}
+
+func (t *tableau) pivot(row, col int) {
+	p := t.a[row][col]
+	inv := 1 / p
+	for j := 0; j < t.n; j++ {
+		t.a[row][j] *= inv
+	}
+	t.rhs[row] *= inv
+	t.a[row][col] = 1
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			t.a[i][j] -= f * t.a[row][j]
+		}
+		t.rhs[i] -= f * t.rhs[row]
+		t.a[i][col] = 0
+	}
+	f := t.obj[col]
+	if f != 0 {
+		for j := 0; j < t.n; j++ {
+			t.obj[j] -= f * t.a[row][j]
+		}
+		t.objC -= f * t.rhs[row]
+		t.obj[col] = 0
+	}
+	t.basis[row] = col
+}
+
+// iterate runs primal simplex until optimality or unboundedness, using
+// Bland's rule (smallest index) to prevent cycling.
+func (t *tableau) iterate() Status {
+	for iter := 0; ; iter++ {
+		if iter > 50000 {
+			// Defensive limit; with Bland's rule this should not trigger.
+			return Unbounded
+		}
+		col := -1
+		for j := 0; j < t.n; j++ {
+			if t.obj[j] > eps {
+				col = j
+				break
+			}
+		}
+		if col < 0 {
+			return Optimal
+		}
+		row := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][col] > eps {
+				ratio := t.rhs[i] / t.a[i][col]
+				if ratio < best-eps || (ratio < best+eps && (row < 0 || t.basis[i] < t.basis[row])) {
+					best = ratio
+					row = i
+				}
+			}
+		}
+		if row < 0 {
+			return Unbounded
+		}
+		t.pivot(row, col)
+	}
+}
+
+// Solve solves the problem with the two-phase simplex method.
+func Solve(p *Problem) Solution {
+	m := len(p.Cons)
+	nv := p.NumVars
+
+	coef := func(c Constraint, j int) float64 {
+		if j < len(c.Coef) {
+			return c.Coef[j]
+		}
+		return 0
+	}
+
+	// Count slack and artificial columns.
+	nSlack := 0
+	nArt := 0
+	for _, c := range p.Cons {
+		rel, rhs := c.Rel, c.RHS
+		if rhs < 0 { // normalised below: flips the relation
+			rel = flip(rel)
+		}
+		switch rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	n := nv + nSlack + nArt
+	t := &tableau{
+		m: m, n: n,
+		a:     make([][]float64, m),
+		rhs:   make([]float64, m),
+		obj:   make([]float64, n),
+		basis: make([]int, m),
+	}
+	artCols := make([]int, 0, nArt)
+	slackCur, artCur := nv, nv+nSlack
+	for i, c := range p.Cons {
+		t.a[i] = make([]float64, n)
+		sign := 1.0
+		rel := c.Rel
+		if c.RHS < 0 {
+			sign = -1
+			rel = flip(rel)
+		}
+		for j := 0; j < nv; j++ {
+			t.a[i][j] = sign * coef(c, j)
+		}
+		t.rhs[i] = sign * c.RHS
+		switch rel {
+		case LE:
+			t.a[i][slackCur] = 1
+			t.basis[i] = slackCur
+			slackCur++
+		case GE:
+			t.a[i][slackCur] = -1
+			slackCur++
+			t.a[i][artCur] = 1
+			t.basis[i] = artCur
+			artCols = append(artCols, artCur)
+			artCur++
+		case EQ:
+			t.a[i][artCur] = 1
+			t.basis[i] = artCur
+			artCols = append(artCols, artCur)
+			artCur++
+		}
+	}
+
+	// Phase 1: maximise -(sum of artificials).
+	if len(artCols) > 0 {
+		isArt := make([]bool, n)
+		for _, j := range artCols {
+			isArt[j] = true
+			t.obj[j] = -1
+		}
+		// Price out the artificial basis.
+		for i := 0; i < t.m; i++ {
+			if isArt[t.basis[i]] {
+				for j := 0; j < t.n; j++ {
+					t.obj[j] += t.a[i][j]
+				}
+				t.objC += t.rhs[i]
+				t.obj[t.basis[i]] = 0
+			}
+		}
+		if st := t.iterate(); st == Unbounded {
+			return Solution{Status: Infeasible}
+		}
+		// objC tracks the negated objective, so a positive residual means
+		// some artificial variable is still non-zero: infeasible.
+		if t.objC > 1e-6 {
+			return Solution{Status: Infeasible}
+		}
+		// Drive remaining artificials out of the basis where possible.
+		for i := 0; i < t.m; i++ {
+			if !isArt[t.basis[i]] {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < nv+nSlack; j++ {
+				if math.Abs(t.a[i][j]) > eps {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted && math.Abs(t.rhs[i]) > 1e-6 {
+				return Solution{Status: Infeasible}
+			}
+		}
+		// Forbid artificials from re-entering: zero their columns.
+		for _, j := range artCols {
+			for i := 0; i < t.m; i++ {
+				t.a[i][j] = 0
+			}
+		}
+	}
+
+	// Phase 2: the real objective.
+	for j := range t.obj {
+		t.obj[j] = 0
+	}
+	t.objC = 0
+	for j := 0; j < nv && j < len(p.Objective); j++ {
+		t.obj[j] = p.Objective[j]
+	}
+	// Price out basic variables.
+	for i := 0; i < t.m; i++ {
+		b := t.basis[i]
+		f := t.obj[b]
+		if f != 0 {
+			for j := 0; j < t.n; j++ {
+				t.obj[j] -= f * t.a[i][j]
+			}
+			t.objC -= f * t.rhs[i]
+			t.obj[b] = 0
+		}
+	}
+	if st := t.iterate(); st == Unbounded {
+		return Solution{Status: Unbounded}
+	}
+
+	x := make([]float64, nv)
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < nv {
+			x[t.basis[i]] = t.rhs[i]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < nv && j < len(p.Objective); j++ {
+		obj += p.Objective[j] * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Obj: obj}
+}
+
+func flip(r Rel) Rel {
+	switch r {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	}
+	return EQ
+}
+
+// Clone deep-copies the problem (used by the branch & bound search).
+func (p *Problem) Clone() *Problem {
+	q := &Problem{NumVars: p.NumVars, Objective: append([]float64(nil), p.Objective...)}
+	q.Cons = make([]Constraint, len(p.Cons))
+	for i, c := range p.Cons {
+		q.Cons[i] = Constraint{Coef: append([]float64(nil), c.Coef...), Rel: c.Rel, RHS: c.RHS}
+	}
+	return q
+}
+
+// String renders the problem for debugging.
+func (p *Problem) String() string {
+	s := fmt.Sprintf("max %v subject to:\n", p.Objective)
+	for _, c := range p.Cons {
+		s += fmt.Sprintf("  %v %s %g\n", c.Coef, c.Rel, c.RHS)
+	}
+	return s
+}

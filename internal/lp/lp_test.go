@@ -1,0 +1,173 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestBasicMaximisation(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4; x + 3y <= 6 → x=4, y=0, obj 12.
+	p := &Problem{NumVars: 2, Objective: []float64{3, 2}}
+	p.AddConstraint([]float64{1, 1}, LE, 4)
+	p.AddConstraint([]float64{1, 3}, LE, 6)
+	s := Solve(p)
+	if s.Status != Optimal || !approx(s.Obj, 12) {
+		t.Fatalf("solution %+v, want obj 12", s)
+	}
+}
+
+func TestDegenerateVertex(t *testing.T) {
+	// max x + y s.t. x <= 2; y <= 2; x + y <= 4 (redundant at optimum).
+	p := &Problem{NumVars: 2, Objective: []float64{1, 1}}
+	p.AddConstraint([]float64{1, 0}, LE, 2)
+	p.AddConstraint([]float64{0, 1}, LE, 2)
+	p.AddConstraint([]float64{1, 1}, LE, 4)
+	s := Solve(p)
+	if s.Status != Optimal || !approx(s.Obj, 4) {
+		t.Fatalf("solution %+v, want obj 4", s)
+	}
+}
+
+func TestEqualityConstraints(t *testing.T) {
+	// max 2x + y s.t. x + y = 3; x <= 2 → x=2, y=1, obj 5.
+	p := &Problem{NumVars: 2, Objective: []float64{2, 1}}
+	p.AddConstraint([]float64{1, 1}, EQ, 3)
+	p.AddConstraint([]float64{1, 0}, LE, 2)
+	s := Solve(p)
+	if s.Status != Optimal || !approx(s.Obj, 5) || !approx(s.X[0], 2) || !approx(s.X[1], 1) {
+		t.Fatalf("solution %+v, want x=(2,1) obj 5", s)
+	}
+}
+
+func TestGEConstraintsAndNegativeRHS(t *testing.T) {
+	// max -x s.t. x >= 3 → x=3. Also expressed as -x <= -3.
+	p := &Problem{NumVars: 1, Objective: []float64{-1}}
+	p.AddConstraint([]float64{1}, GE, 3)
+	s := Solve(p)
+	if s.Status != Optimal || !approx(s.X[0], 3) {
+		t.Fatalf("ge: %+v, want x=3", s)
+	}
+	p2 := &Problem{NumVars: 1, Objective: []float64{-1}}
+	p2.AddConstraint([]float64{-1}, LE, -3)
+	s2 := Solve(p2)
+	if s2.Status != Optimal || !approx(s2.X[0], 3) {
+		t.Fatalf("negative rhs: %+v, want x=3", s2)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddConstraint([]float64{1}, LE, 1)
+	p.AddConstraint([]float64{1}, GE, 2)
+	if s := Solve(p); s.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{NumVars: 2, Objective: []float64{1, 0}}
+	p.AddConstraint([]float64{0, 1}, LE, 5)
+	if s := Solve(p); s.Status != Unbounded {
+		t.Fatalf("status %v, want unbounded", s.Status)
+	}
+}
+
+func TestZeroObjectiveFeasibility(t *testing.T) {
+	p := &Problem{NumVars: 2}
+	p.AddConstraint([]float64{1, 1}, EQ, 1)
+	s := Solve(p)
+	if s.Status != Optimal || !approx(s.X[0]+s.X[1], 1) {
+		t.Fatalf("feasibility solve: %+v", s)
+	}
+}
+
+// TestFlowConservationIntegrality: an IPET-shaped program (network flow with
+// a loop bound) must have an integral optimum.
+func TestFlowConservationIntegrality(t *testing.T) {
+	// Blocks: entry(0), head(1), body(2), exit(3).
+	// x0 = 1; x0 + xback = x1 (head in-flow); body = xback; bound: body <= 10*x0.
+	// maximise 5*x1 + 20*x2.
+	p := &Problem{NumVars: 4, Objective: []float64{0, 5, 20, 0}}
+	p.AddConstraint([]float64{1, 0, 0, 0}, EQ, 1)   // entry once
+	p.AddConstraint([]float64{1, -1, 1, 0}, EQ, 0)  // x0 + x2 = x1
+	p.AddConstraint([]float64{0, 1, -1, -1}, EQ, 0) // x1 = x2 + x3
+	p.AddConstraint([]float64{-10, 0, 1, 0}, LE, 0) // x2 <= 10 x0
+	s := Solve(p)
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	want := 5*11.0 + 20*10.0
+	if !approx(s.Obj, want) {
+		t.Fatalf("obj %g, want %g", s.Obj, want)
+	}
+	for i, v := range s.X {
+		if !approx(v, math.Round(v)) {
+			t.Fatalf("x%d = %g not integral", i, v)
+		}
+	}
+}
+
+// TestPropertySolutionFeasible: whatever the solver returns as optimal must
+// satisfy every constraint.
+func TestPropertySolutionFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func() bool {
+		nv := 1 + rng.Intn(5)
+		p := &Problem{NumVars: nv}
+		p.Objective = make([]float64, nv)
+		for i := range p.Objective {
+			p.Objective[i] = float64(rng.Intn(21) - 10)
+		}
+		ncons := 1 + rng.Intn(6)
+		for c := 0; c < ncons; c++ {
+			coef := make([]float64, nv)
+			for i := range coef {
+				coef[i] = float64(rng.Intn(11) - 3)
+			}
+			p.AddConstraint(coef, Rel(rng.Intn(3)), float64(rng.Intn(41)-10))
+		}
+		// Keep it bounded.
+		all := make([]float64, nv)
+		for i := range all {
+			all[i] = 1
+		}
+		p.AddConstraint(all, LE, 100)
+		s := Solve(p)
+		if s.Status != Optimal {
+			return true // infeasible/unbounded is fine for random input
+		}
+		for _, c := range p.Cons {
+			lhs := 0.0
+			for j := 0; j < nv && j < len(c.Coef); j++ {
+				lhs += c.Coef[j] * s.X[j]
+			}
+			switch c.Rel {
+			case LE:
+				if lhs > c.RHS+1e-6 {
+					return false
+				}
+			case GE:
+				if lhs < c.RHS-1e-6 {
+					return false
+				}
+			case EQ:
+				if math.Abs(lhs-c.RHS) > 1e-6 {
+					return false
+				}
+			}
+		}
+		for _, v := range s.X {
+			if v < -1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}

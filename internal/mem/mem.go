@@ -1,0 +1,172 @@
+// Package mem models the target memory system of the paper's evaluation
+// board (ATMEL AT91EB01): a slow off-chip main memory whose access time
+// depends on the access width (Table 1 of the paper), an optional on-chip
+// scratchpad with uniform single-cycle access, and an optional unified
+// cache in front of main memory.
+//
+// The cache is tag-only: because writes are write-through, main memory is
+// always current and the cache contributes timing, not storage. This keeps
+// the functional simulation independent of the cache configuration — only
+// cycle counts change, which is exactly the property the paper's comparison
+// relies on.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// Cycle costs from Table 1 of the paper: a main-memory access takes the
+// base cycle plus width-dependent waitstates; the scratchpad always
+// answers in a single cycle.
+const (
+	MainByteCycles = 2 // 1 + 1 waitstate
+	MainHalfCycles = 2 // 1 + 1 waitstate
+	MainWordCycles = 4 // 1 + 3 waitstates
+	SPMCycles      = 1
+)
+
+// MainCost returns the main-memory access cost for an access of the given
+// width in bytes (Table 1).
+func MainCost(width uint8) int {
+	if width == 4 {
+		return MainWordCycles
+	}
+	return MainHalfCycles
+}
+
+// Segment is a contiguous backed address range.
+type Segment struct {
+	Name string
+	Base uint32
+	Data []byte
+}
+
+// Contains reports whether the address range [addr, addr+size) lies in the
+// segment.
+func (s *Segment) Contains(addr uint32, size uint8) bool {
+	return addr >= s.Base && uint64(addr)+uint64(size) <= uint64(s.Base)+uint64(len(s.Data))
+}
+
+func (s *Segment) read(addr uint32, size uint8) uint32 {
+	off := addr - s.Base
+	var v uint32
+	for i := uint8(0); i < size; i++ {
+		v |= uint32(s.Data[off+uint32(i)]) << (8 * i)
+	}
+	return v
+}
+
+func (s *Segment) write(addr uint32, size uint8, val uint32) {
+	off := addr - s.Base
+	for i := uint8(0); i < size; i++ {
+		s.Data[off+uint32(i)] = byte(val >> (8 * i))
+	}
+}
+
+// Access describes one memory access, as observed by profiling hooks.
+type Access struct {
+	Addr  uint32
+	Size  uint8
+	Fetch bool
+	Write bool
+}
+
+// System is the complete memory system; it implements arm.Bus.
+type System struct {
+	// SPM is the scratchpad segment; nil when the system has no scratchpad.
+	SPM *Segment
+	// Main holds the main-memory segments (code, data, stack, …).
+	Main []*Segment
+	// Cache, when non-nil, fronts every main-memory access (unified cache);
+	// scratchpad accesses bypass it.
+	Cache *cache.Cache
+
+	// OnAccess, when non-nil, observes every access (before cost
+	// accounting). Used by the profiler that feeds the SPM allocator.
+	OnAccess func(Access)
+
+	// Statistics.
+	SPMAccesses  uint64
+	MainAccesses uint64
+}
+
+// NewSystem builds a memory system from segments. spm may be nil.
+func NewSystem(spm *Segment, main ...*Segment) *System {
+	return &System{SPM: spm, Main: main}
+}
+
+func (m *System) find(addr uint32, size uint8) (*Segment, bool) {
+	if m.SPM != nil && m.SPM.Contains(addr, size) {
+		return m.SPM, true
+	}
+	for _, s := range m.Main {
+		if s.Contains(addr, size) {
+			return s, false
+		}
+	}
+	return nil, false
+}
+
+// Read implements arm.Bus.
+func (m *System) Read(addr uint32, size uint8, fetch bool) (uint32, int, error) {
+	if m.OnAccess != nil {
+		m.OnAccess(Access{Addr: addr, Size: size, Fetch: fetch})
+	}
+	seg, isSPM := m.find(addr, size)
+	if seg == nil {
+		return 0, 0, fmt.Errorf("mem: unmapped %d-byte read at %#x", size, addr)
+	}
+	v := seg.read(addr, size)
+	if isSPM {
+		m.SPMAccesses++
+		return v, SPMCycles, nil
+	}
+	m.MainAccesses++
+	if m.Cache != nil && (fetch || !m.Cache.Config().InstructionOnly) {
+		return v, m.Cache.Read(addr), nil
+	}
+	return v, MainCost(size), nil
+}
+
+// Write implements arm.Bus.
+func (m *System) Write(addr uint32, size uint8, val uint32) (int, error) {
+	if m.OnAccess != nil {
+		m.OnAccess(Access{Addr: addr, Size: size, Write: true})
+	}
+	seg, isSPM := m.find(addr, size)
+	if seg == nil {
+		return 0, fmt.Errorf("mem: unmapped %d-byte write at %#x", size, addr)
+	}
+	seg.write(addr, size, val)
+	if isSPM {
+		m.SPMAccesses++
+		return SPMCycles, nil
+	}
+	m.MainAccesses++
+	if m.Cache != nil && !m.Cache.Config().InstructionOnly {
+		return m.Cache.Write(addr, size), nil
+	}
+	return MainCost(size), nil
+}
+
+// Peek reads memory without timing, statistics or profiling side effects.
+// It is used to inspect results after simulation.
+func (m *System) Peek(addr uint32, size uint8) (uint32, error) {
+	seg, _ := m.find(addr, size)
+	if seg == nil {
+		return 0, fmt.Errorf("mem: unmapped %d-byte peek at %#x", size, addr)
+	}
+	return seg.read(addr, size), nil
+}
+
+// Poke writes memory without timing side effects (test/input injection).
+func (m *System) Poke(addr uint32, size uint8, val uint32) error {
+	seg, _ := m.find(addr, size)
+	if seg == nil {
+		return fmt.Errorf("mem: unmapped %d-byte poke at %#x", size, addr)
+	}
+	seg.write(addr, size, val)
+	return nil
+}

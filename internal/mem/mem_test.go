@@ -1,0 +1,179 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func sys(spmSize int) *System {
+	var spm *Segment
+	if spmSize > 0 {
+		spm = &Segment{Name: "spm", Base: 0x0000, Data: make([]byte, spmSize)}
+	}
+	return NewSystem(spm,
+		&Segment{Name: "code", Base: 0x10000, Data: make([]byte, 0x8000)},
+		&Segment{Name: "data", Base: 0x20000, Data: make([]byte, 0x8000)},
+	)
+}
+
+func TestTable1Costs(t *testing.T) {
+	m := sys(1024)
+	cases := []struct {
+		addr uint32
+		size uint8
+		want int
+	}{
+		{0x10, 1, SPMCycles}, // SPM byte
+		{0x10, 2, SPMCycles}, // SPM halfword
+		{0x10, 4, SPMCycles}, // SPM word
+		{0x10000, 1, MainByteCycles},
+		{0x10000, 2, MainHalfCycles},
+		{0x10000, 4, MainWordCycles},
+	}
+	for _, c := range cases {
+		_, cyc, err := m.Read(c.addr, c.size, false)
+		if err != nil {
+			t.Fatalf("read %#x: %v", c.addr, err)
+		}
+		if cyc != c.want {
+			t.Errorf("read %#x size %d: %d cycles, want %d", c.addr, c.size, cyc, c.want)
+		}
+		wcyc, err := m.Write(c.addr, c.size, 0)
+		if err != nil {
+			t.Fatalf("write %#x: %v", c.addr, err)
+		}
+		if wcyc != c.want {
+			t.Errorf("write %#x size %d: %d cycles, want %d", c.addr, c.size, wcyc, c.want)
+		}
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := sys(256)
+	for _, tc := range []struct {
+		addr uint32
+		size uint8
+		val  uint32
+	}{
+		{0x20, 4, 0xDEADBEEF},
+		{0x24, 2, 0xBEEF},
+		{0x26, 1, 0x7F},
+		{0x20010, 4, 0x12345678},
+	} {
+		if _, err := m.Write(tc.addr, tc.size, tc.val); err != nil {
+			t.Fatal(err)
+		}
+		v, _, err := m.Read(tc.addr, tc.size, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != tc.val {
+			t.Errorf("round trip %#x size %d: got %#x, want %#x", tc.addr, tc.size, v, tc.val)
+		}
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	m := sys(0)
+	m.Write(0x20000, 4, 0x11223344)
+	lo, _, _ := m.Read(0x20000, 1, false)
+	hi, _, _ := m.Read(0x20003, 1, false)
+	if lo != 0x44 || hi != 0x11 {
+		t.Fatalf("little-endian bytes: lo=%#x hi=%#x", lo, hi)
+	}
+	h, _, _ := m.Read(0x20002, 2, false)
+	if h != 0x1122 {
+		t.Fatalf("high halfword = %#x, want 0x1122", h)
+	}
+}
+
+func TestUnmappedAccess(t *testing.T) {
+	m := sys(64)
+	if _, _, err := m.Read(0x9000000, 4, false); err == nil {
+		t.Error("unmapped read should fail")
+	}
+	if _, err := m.Write(0x9000000, 4, 0); err == nil {
+		t.Error("unmapped write should fail")
+	}
+	// Access straddling the end of a segment fails.
+	if _, _, err := m.Read(0x17FFE, 4, false); err == nil {
+		t.Error("straddling read should fail")
+	}
+	// SPM boundary: inside 64-byte SPM ok, beyond falls through to unmapped.
+	if _, _, err := m.Read(60, 4, false); err != nil {
+		t.Errorf("in-SPM read failed: %v", err)
+	}
+	if _, _, err := m.Read(64, 4, false); err == nil {
+		t.Error("read past SPM should be unmapped")
+	}
+}
+
+func TestCachedMainMemory(t *testing.T) {
+	m := sys(0)
+	var err error
+	m.Cache, err = cache.New(cache.Config{Size: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First read: miss; second: hit.
+	_, cyc, _ := m.Read(0x10000, 2, true)
+	if cyc != cache.MissCycles {
+		t.Fatalf("cold fetch cost %d, want %d", cyc, cache.MissCycles)
+	}
+	_, cyc, _ = m.Read(0x10000, 2, true)
+	if cyc != cache.HitCycles {
+		t.Fatalf("warm fetch cost %d, want %d", cyc, cache.HitCycles)
+	}
+	// Writes are write-through at main-memory cost.
+	wcyc, _ := m.Write(0x10000, 4, 1)
+	if wcyc != MainWordCycles {
+		t.Fatalf("cached write cost %d, want %d", wcyc, MainWordCycles)
+	}
+}
+
+func TestSPMBypassesCache(t *testing.T) {
+	m := sys(1024)
+	var err error
+	m.Cache, err = cache.New(cache.Config{Size: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cyc, _ := m.Read(0x10, 4, false)
+	if cyc != SPMCycles {
+		t.Fatalf("SPM read through cache-enabled system cost %d, want %d", cyc, SPMCycles)
+	}
+	if m.Cache.Hits+m.Cache.Misses != 0 {
+		t.Fatal("SPM access must not touch the cache")
+	}
+}
+
+func TestOnAccessHook(t *testing.T) {
+	m := sys(64)
+	var got []Access
+	m.OnAccess = func(a Access) { got = append(got, a) }
+	m.Read(0x10, 4, true)
+	m.Write(0x10000, 2, 7)
+	if len(got) != 2 {
+		t.Fatalf("hook saw %d accesses, want 2", len(got))
+	}
+	if !got[0].Fetch || got[0].Write {
+		t.Errorf("first access should be a fetch: %+v", got[0])
+	}
+	if !got[1].Write || got[1].Size != 2 {
+		t.Errorf("second access should be a 2-byte write: %+v", got[1])
+	}
+}
+
+func TestPeekPokeNoSideEffects(t *testing.T) {
+	m := sys(64)
+	m.Poke(0x10000, 4, 42)
+	before := m.MainAccesses
+	v, err := m.Peek(0x10000, 4)
+	if err != nil || v != 42 {
+		t.Fatalf("peek = %d, %v", v, err)
+	}
+	if m.MainAccesses != before {
+		t.Fatal("peek must not count as an access")
+	}
+}

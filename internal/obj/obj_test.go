@@ -1,0 +1,100 @@
+package obj
+
+import (
+	"strings"
+	"testing"
+)
+
+func codeObj(name string, size uint32) *Object {
+	return &Object{Name: name, Kind: Code, Align: 4, Data: make([]byte, size), CodeSize: size}
+}
+
+func dataObj(name string, size uint32, w uint8) *Object {
+	return &Object{Name: name, Kind: Data, Align: 4, Data: make([]byte, size), ElemWidth: w}
+}
+
+func TestObjectValidate(t *testing.T) {
+	good := []*Object{
+		codeObj("f", 8),
+		dataObj("g", 16, 4),
+		dataObj("s", 2, 2),
+		{Name: "pool", Kind: Code, Align: 4, Data: make([]byte, 12), CodeSize: 8},
+	}
+	for _, o := range good {
+		if err := o.Validate(); err != nil {
+			t.Errorf("%s: %v", o.Name, err)
+		}
+	}
+	bad := []struct {
+		o    *Object
+		frag string
+	}{
+		{&Object{Kind: Code, Align: 4}, "unnamed"},
+		{&Object{Name: "x", Align: 3, Kind: Data, ElemWidth: 4}, "alignment"},
+		{&Object{Name: "x", Align: 4, Kind: Code, CodeSize: 8, Data: make([]byte, 4)}, "code size"},
+		{&Object{Name: "x", Align: 4, Kind: Code, CodeSize: 3, Data: make([]byte, 4)}, "odd"},
+		{&Object{Name: "x", Align: 4, Kind: Data, ElemWidth: 3, Data: make([]byte, 4)}, "width"},
+		{&Object{Name: "x", Align: 4, Kind: Data, ElemWidth: 4, Data: make([]byte, 4),
+			Relocs: []Reloc{{Kind: RelocAbs32, Offset: 2}}}, "relocation"},
+	}
+	for _, tc := range bad {
+		err := tc.o.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("want error containing %q, got %v", tc.frag, err)
+		}
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	p := &Program{
+		Objects: []*Object{codeObj("main", 4), dataObj("g", 4, 4)},
+		Entry:   "main",
+		Main:    "main",
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate object.
+	dup := &Program{Objects: []*Object{codeObj("a", 4), codeObj("a", 4)}}
+	if err := dup.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate: %v", err)
+	}
+	// Undefined relocation target.
+	rel := codeObj("f", 8)
+	rel.Relocs = []Reloc{{Kind: RelocBL, Offset: 0, Target: "ghost"}}
+	if err := (&Program{Objects: []*Object{rel}}).Validate(); err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Errorf("undefined reloc: %v", err)
+	}
+	// Undefined call.
+	call := codeObj("f", 8)
+	call.Calls = []string{"ghost"}
+	if err := (&Program{Objects: []*Object{call}}).Validate(); err == nil {
+		t.Error("undefined call should fail")
+	}
+	// Undefined entry/main.
+	if err := (&Program{Objects: []*Object{codeObj("f", 4)}, Entry: "nope"}).Validate(); err == nil {
+		t.Error("undefined entry should fail")
+	}
+	if err := (&Program{Objects: []*Object{codeObj("f", 4)}, Main: "nope"}).Validate(); err == nil {
+		t.Error("undefined main should fail")
+	}
+}
+
+func TestProgramAccessors(t *testing.T) {
+	p := &Program{Objects: []*Object{codeObj("f", 4), dataObj("g", 4, 4), codeObj("h", 4)}}
+	if p.Object("g") == nil || p.Object("zz") != nil {
+		t.Error("Object lookup broken")
+	}
+	if n := len(p.Functions()); n != 2 {
+		t.Errorf("functions = %d, want 2", n)
+	}
+	if n := len(p.Globals()); n != 1 {
+		t.Errorf("globals = %d, want 1", n)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Code.String() != "code" || Data.String() != "data" {
+		t.Error("Kind.String broken")
+	}
+}

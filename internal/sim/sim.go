@@ -1,0 +1,153 @@
+// Package sim runs linked executables on the ARM7 THUMB model, producing
+// average-case cycle counts (the paper's ARMulator role) and per-object
+// access profiles that drive the scratchpad allocator.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/arm"
+	"repro/internal/cache"
+	"repro/internal/link"
+	"repro/internal/mem"
+	"repro/internal/obj"
+)
+
+// DefaultMaxInstrs bounds simulated instructions to catch runaway programs.
+const DefaultMaxInstrs = 200_000_000
+
+// Options configures a simulation run.
+type Options struct {
+	// Cache, when non-nil, enables a unified cache in front of main memory.
+	Cache *cache.Config
+	// MaxInstrs overrides the default instruction budget when non-zero.
+	MaxInstrs uint64
+	// OnAccess observes every memory access (profiling).
+	OnAccess func(mem.Access)
+}
+
+// Result summarises a simulation run.
+type Result struct {
+	Cycles      uint64
+	Instrs      uint64
+	CacheHits   uint64
+	CacheMisses uint64
+	// ExitCode is r0 when the program executed SWI 0 (main's return value).
+	ExitCode uint32
+	// Mem is the final memory system, for post-run inspection of outputs.
+	Mem *mem.System
+}
+
+// Run simulates the executable from its entry point until SWI 0.
+func Run(exe *link.Executable, opts Options) (*Result, error) {
+	sys, err := exe.NewMemory(opts.Cache)
+	if err != nil {
+		return nil, err
+	}
+	sys.OnAccess = opts.OnAccess
+	cpu := arm.NewCPU(sys, exe.EntryAddr, link.StackTop)
+	budget := opts.MaxInstrs
+	if budget == 0 {
+		budget = DefaultMaxInstrs
+	}
+	if err := cpu.Run(budget); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	res := &Result{
+		Cycles:   cpu.Cycles,
+		Instrs:   cpu.Instrs,
+		ExitCode: cpu.R[0],
+		Mem:      sys,
+	}
+	if sys.Cache != nil {
+		res.CacheHits = sys.Cache.Hits
+		res.CacheMisses = sys.Cache.Misses
+	}
+	return res, nil
+}
+
+// ObjectProfile aggregates the accesses hitting one memory object during a
+// profiling run.
+type ObjectProfile struct {
+	// Fetches counts instruction fetches (16-bit accesses) within the
+	// object (code objects only).
+	Fetches uint64
+	// LiteralReads counts 32-bit data reads within a code object (literal
+	// pool accesses).
+	LiteralReads uint64
+	// Reads and Writes count data accesses to data objects, performed at
+	// the object's element width.
+	Reads  uint64
+	Writes uint64
+}
+
+// Total returns the total access count.
+func (p *ObjectProfile) Total() uint64 {
+	return p.Fetches + p.LiteralReads + p.Reads + p.Writes
+}
+
+// Profile is a per-object access profile from a typical-input run.
+type Profile struct {
+	// ByObject maps object name to its access counts.
+	ByObject map[string]*ObjectProfile
+	// StackAccesses counts accesses that fell into the stack region.
+	StackAccesses uint64
+	// MinStackAddr is the lowest stack address touched (== link.StackTop if
+	// the stack was never used). StackTop-MinStackAddr is the observed
+	// maximum stack depth, which the WCET pipeline inflates into a safe
+	// stack bound annotation.
+	MinStackAddr uint32
+	// Result is the underlying simulation result.
+	Result *Result
+}
+
+// ObservedStackDepth returns the maximum stack depth seen in bytes.
+func (p *Profile) ObservedStackDepth() uint32 { return link.StackTop - p.MinStackAddr }
+
+// CollectProfile simulates the baseline executable (typically linked with
+// no scratchpad) and attributes every access to its memory object. The
+// paper's compiler uses exactly this knowledge of "execution and access
+// frequencies" to drive the knapsack allocation.
+func CollectProfile(exe *link.Executable, opts Options) (*Profile, error) {
+	prof := &Profile{
+		ByObject:     make(map[string]*ObjectProfile, len(exe.Placements)),
+		MinStackAddr: link.StackTop,
+	}
+	for _, pl := range exe.Placements {
+		prof.ByObject[pl.Obj.Name] = &ObjectProfile{}
+	}
+	prev := opts.OnAccess
+	opts.OnAccess = func(a mem.Access) {
+		if prev != nil {
+			prev(a)
+		}
+		if a.Addr >= link.StackBase && a.Addr < link.StackTop {
+			prof.StackAccesses++
+			if a.Addr < prof.MinStackAddr {
+				prof.MinStackAddr = a.Addr
+			}
+			return
+		}
+		pl := exe.FindAddr(a.Addr)
+		if pl == nil {
+			return
+		}
+		op := prof.ByObject[pl.Obj.Name]
+		switch {
+		case a.Fetch:
+			op.Fetches++
+		case pl.Obj.Kind == obj.Code:
+			op.LiteralReads++
+		case a.Write:
+			op.Writes++
+		default:
+			op.Reads++
+		}
+	}
+	res, err := Run(exe, opts)
+	if err != nil {
+		return nil, err
+	}
+	prof.Result = res
+	return prof, nil
+}

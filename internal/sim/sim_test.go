@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cc"
+	"repro/internal/link"
+)
+
+const profProgram = `
+int hot[8];
+int cold_scalar = 3;
+int work() {
+    int s = 0;
+    for (int r = 0; r < 10; r += 1)
+        for (int i = 0; i < 8; i += 1)
+            s += hot[i];
+    return s;
+}
+int main() {
+    hot[0] = cold_scalar;
+    return work();
+}
+`
+
+func exeFor(t *testing.T, src string, spm uint32, inSPM map[string]bool) *link.Executable {
+	t.Helper()
+	prog, err := cc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := link.Link(prog, spm, inSPM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exe
+}
+
+func TestRunDeterministic(t *testing.T) {
+	exe := exeFor(t, profProgram, 0, nil)
+	a, err := Run(exe, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(exe, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Instrs != b.Instrs || a.ExitCode != b.ExitCode {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+	if a.ExitCode != 30 {
+		t.Fatalf("exit = %d, want 30", a.ExitCode)
+	}
+}
+
+func TestRunWithCacheCountsHitsAndSpeedsUp(t *testing.T) {
+	exe := exeFor(t, profProgram, 0, nil)
+	plain, err := Run(exe, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := Run(exe, Options{Cache: &cache.Config{Size: 8192}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.CacheHits == 0 || cached.CacheMisses == 0 {
+		t.Fatalf("cache stats missing: %+v", cached)
+	}
+	if cached.Cycles >= plain.Cycles {
+		t.Fatalf("big cache should beat plain main memory: %d >= %d", cached.Cycles, plain.Cycles)
+	}
+	if cached.ExitCode != plain.ExitCode {
+		t.Fatalf("cache changed program semantics: %d vs %d", cached.ExitCode, plain.ExitCode)
+	}
+}
+
+func TestInstructionBudget(t *testing.T) {
+	exe := exeFor(t, `int main() { int i = 0; __loopbound(1000000) while (i < 1000000) i += 1; return 0; }`, 0, nil)
+	if _, err := Run(exe, Options{MaxInstrs: 100}); err == nil {
+		t.Fatal("expected budget exhaustion")
+	}
+}
+
+func TestProfileAttribution(t *testing.T) {
+	exe := exeFor(t, profProgram, 0, nil)
+	prof, err := CollectProfile(exe, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := prof.ByObject["hot"]
+	if hot == nil || hot.Reads != 80 {
+		t.Fatalf("hot profile = %+v, want 80 reads", hot)
+	}
+	if hot.Writes != 1 {
+		t.Errorf("hot writes = %d, want 1", hot.Writes)
+	}
+	cs := prof.ByObject["cold_scalar"]
+	if cs.Reads != 1 || cs.Writes != 0 {
+		t.Errorf("cold_scalar profile = %+v, want 1 read", cs)
+	}
+	work := prof.ByObject["work"]
+	if work.Fetches == 0 {
+		t.Error("work has no fetches")
+	}
+	mainP := prof.ByObject["main"]
+	if mainP.LiteralReads == 0 {
+		t.Error("main should read its literal pool (global addresses)")
+	}
+	if prof.StackAccesses == 0 {
+		t.Error("no stack accesses recorded")
+	}
+}
+
+func TestObservedStackDepth(t *testing.T) {
+	exe := exeFor(t, `
+int depth3(int x) { return x + 1; }
+int depth2(int x) { return depth3(x) + 1; }
+int depth1(int x) { return depth2(x) + 1; }
+int main() { return depth1(0); }
+`, 0, nil)
+	prof, err := CollectProfile(exe, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prof.ObservedStackDepth()
+	if d == 0 {
+		t.Fatal("no stack depth observed")
+	}
+	// Four frames of a handful of words each: sane bounds.
+	if d > 512 {
+		t.Fatalf("depth %d implausibly large", d)
+	}
+	// A deeper call chain uses more stack.
+	exe2 := exeFor(t, `
+int f4(int x) { return x + 1; }
+int f3(int x) { return f4(x) + f4(x); }
+int f2(int x) { return f3(x) + f3(x); }
+int f1(int x) { return f2(x) + f2(x); }
+int f0(int x) { return f1(x) + f1(x); }
+int main() { return f0(0); }
+`, 0, nil)
+	prof2, err := CollectProfile(exe2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof2.ObservedStackDepth() <= d {
+		t.Errorf("deeper chain %d not deeper than %d", prof2.ObservedStackDepth(), d)
+	}
+}
+
+func TestProfileTotalsConsistent(t *testing.T) {
+	exe := exeFor(t, profProgram, 0, nil)
+	prof, err := CollectProfile(exe, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every fetch belongs to some code object: total fetches equals
+	// retired instruction count (BL pairs are two fetches, two "retires"
+	// in the CPU model... each Step retires one instruction and fetches
+	// once, so they match exactly).
+	var fetches uint64
+	for _, op := range prof.ByObject {
+		fetches += op.Fetches
+	}
+	if fetches != prof.Result.Instrs {
+		t.Fatalf("fetches %d != instructions %d", fetches, prof.Result.Instrs)
+	}
+}

@@ -1,0 +1,132 @@
+// Package spm implements the paper's static scratchpad allocation
+// (Steinke et al., DATE 2002): given per-object access profiles from a
+// typical-input simulation and an energy model, choose the set of functions
+// and globals to place in the scratchpad by solving a 0/1 knapsack.
+//
+// The paper formulates the knapsack in ILP notation and solves it with a
+// commercial solver; this package does the same against internal/ilp, and
+// additionally provides an exact dynamic-programming solver used to
+// cross-check the ILP result in tests.
+package spm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/energy"
+	"repro/internal/ilp"
+	"repro/internal/lp"
+	"repro/internal/obj"
+	"repro/internal/sim"
+)
+
+// Allocation is the result of a scratchpad allocation.
+type Allocation struct {
+	// InSPM names the objects placed in the scratchpad.
+	InSPM map[string]bool
+	// Benefit is the total energy benefit (nJ per program run).
+	Benefit float64
+	// Used is the number of scratchpad bytes occupied (ignoring alignment
+	// padding, which the linker re-checks).
+	Used uint32
+}
+
+// item is one knapsack candidate.
+type item struct {
+	name    string
+	size    uint32
+	benefit float64
+}
+
+// candidates builds the knapsack items: every object with a positive
+// benefit that individually fits the capacity. Alignment padding is
+// over-approximated by rounding sizes up to the object alignment, so any
+// chosen set is guaranteed to link.
+func candidates(prog *obj.Program, prof *sim.Profile, m energy.Model, capacity uint32) []item {
+	var items []item
+	for _, o := range prog.Objects {
+		b := m.ObjectBenefit(o, prof.ByObject[o.Name])
+		if b <= 0 {
+			continue
+		}
+		sz := (o.Size() + o.Align - 1) &^ (o.Align - 1)
+		if sz == 0 || sz > capacity {
+			continue
+		}
+		items = append(items, item{name: o.Name, size: sz, benefit: b})
+	}
+	// Deterministic order for reproducible allocations.
+	sort.Slice(items, func(i, j int) bool { return items[i].name < items[j].name })
+	return items
+}
+
+// Allocate solves the knapsack with the branch & bound ILP solver,
+// mirroring the paper's CPLEX formulation: maximise Σ benefit_i·y_i subject
+// to Σ size_i·y_i ≤ capacity, y_i ∈ {0, 1}.
+func Allocate(prog *obj.Program, prof *sim.Profile, capacity uint32, m energy.Model) (*Allocation, error) {
+	items := candidates(prog, prof, m, capacity)
+	if len(items) == 0 {
+		return &Allocation{InSPM: map[string]bool{}}, nil
+	}
+	n := len(items)
+	p := &ilp.Problem{LP: lp.Problem{NumVars: n, Objective: make([]float64, n)}}
+	weights := make([]float64, n)
+	for i, it := range items {
+		p.LP.Objective[i] = it.benefit
+		weights[i] = float64(it.size)
+	}
+	p.LP.AddConstraint(weights, lp.LE, float64(capacity))
+	for i := 0; i < n; i++ {
+		u := make([]float64, n)
+		u[i] = 1
+		p.LP.AddConstraint(u, lp.LE, 1)
+	}
+	s, err := ilp.Solve(p)
+	if err != nil {
+		return nil, fmt.Errorf("spm: knapsack: %w", err)
+	}
+	a := &Allocation{InSPM: map[string]bool{}}
+	for i, it := range items {
+		if s.X[i] > 0.5 {
+			a.InSPM[it.name] = true
+			a.Benefit += it.benefit
+			a.Used += it.size
+		}
+	}
+	return a, nil
+}
+
+// AllocateDP solves the same knapsack exactly by dynamic programming over
+// capacities (sizes are small integers). It exists to cross-check the ILP
+// path and as a faster solver for sweeps.
+func AllocateDP(prog *obj.Program, prof *sim.Profile, capacity uint32, m energy.Model) (*Allocation, error) {
+	items := candidates(prog, prof, m, capacity)
+	a := &Allocation{InSPM: map[string]bool{}}
+	if len(items) == 0 {
+		return a, nil
+	}
+	c := int(capacity)
+	best := make([]float64, c+1)
+	take := make([][]bool, len(items))
+	for i, it := range items {
+		take[i] = make([]bool, c+1)
+		w := int(it.size)
+		for cap := c; cap >= w; cap-- {
+			if v := best[cap-w] + it.benefit; v > best[cap] {
+				best[cap] = v
+				take[i][cap] = true
+			}
+		}
+	}
+	// Reconstruct.
+	cap := c
+	for i := len(items) - 1; i >= 0; i-- {
+		if take[i][cap] {
+			a.InSPM[items[i].name] = true
+			a.Benefit += items[i].benefit
+			a.Used += items[i].size
+			cap -= int(items[i].size)
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,164 @@
+package wcet
+
+import "repro/internal/cache"
+
+// mustState is the abstract cache state of the MUST analysis (Ferdinand's
+// aging domain): for every cache set it tracks an ordered list of tags with
+// their maximal possible LRU age; a block with age < associativity is
+// *guaranteed* to be cached. Associativity 1 degenerates to the
+// direct-mapped domain matching the paper's configuration; higher
+// associativities implement the paper's §5 future-work analysis for
+// set-associative LRU caches.
+//
+// The paper's experimental ARM7 cache analysis is MUST-only (no
+// persistence, no MAY), which this reproduces.
+type mustState struct {
+	assoc int
+	// sets[s][age] is the tag guaranteed to be cached in set s with at
+	// most that age, or tagUnknown.
+	sets [][]int64
+}
+
+// tagUnknown marks a way with no guaranteed content.
+const tagUnknown int64 = -1
+
+// newMustTop returns the analysis entry state: a cold cache guarantees
+// nothing.
+func newMustTop(cfg cache.Config) *mustState {
+	cfg = cfg.WithDefaults()
+	n := int(cfg.NumSets())
+	s := &mustState{assoc: cfg.Assoc, sets: make([][]int64, n)}
+	backing := make([]int64, n*cfg.Assoc)
+	for i := range backing {
+		backing[i] = tagUnknown
+	}
+	for i := range s.sets {
+		s.sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	return s
+}
+
+func (s *mustState) clone() *mustState {
+	t := &mustState{assoc: s.assoc, sets: make([][]int64, len(s.sets))}
+	backing := make([]int64, len(s.sets)*s.assoc)
+	for i := range s.sets {
+		t.sets[i], backing = backing[:s.assoc], backing[s.assoc:]
+		copy(t.sets[i], s.sets[i])
+	}
+	return t
+}
+
+// setAndTag splits an address per the cache geometry.
+func setAndTag(cfg cache.Config, addr uint32) (int, int64) {
+	block := addr / cfg.LineSize
+	return int(block % cfg.NumSets()), int64(block / cfg.NumSets())
+}
+
+// classifyRead reports whether a read of addr is guaranteed to hit, and
+// applies the LRU MUST update: the accessed block moves to age 0; blocks
+// younger than its previous age grow older by one.
+func (s *mustState) classifyRead(cfg cache.Config, addr uint32) bool {
+	set, tag := setAndTag(cfg, addr)
+	ways := s.sets[set]
+	hit := false
+	pos := len(ways) - 1 // miss: everything ages, the oldest guarantee dies
+	for i, t := range ways {
+		if t == tag {
+			pos, hit = i, true
+			break
+		}
+	}
+	copy(ways[1:pos+1], ways[:pos])
+	ways[0] = tag
+	return hit
+}
+
+// clobberSet ages every guarantee in one set by a single unknown access.
+func (s *mustState) clobberSet(set int) {
+	ways := s.sets[set]
+	copy(ways[1:], ways[:len(ways)-1])
+	ways[0] = tagUnknown
+}
+
+// clobberRange applies one read at an unknown address within [lo, hi):
+// every set the range can touch ages by one access.
+func (s *mustState) clobberRange(cfg cache.Config, lo, hi uint32) {
+	if hi <= lo {
+		return
+	}
+	nSets := uint32(len(s.sets))
+	firstBlock := lo / cfg.LineSize
+	lastBlock := (hi - 1) / cfg.LineSize
+	if lastBlock-firstBlock+1 >= nSets {
+		for i := range s.sets {
+			s.clobberSet(i)
+		}
+		return
+	}
+	for b := firstBlock; b <= lastBlock; b++ {
+		s.clobberSet(int(b % nSets))
+	}
+}
+
+// join computes the pointwise MUST meet with o in place and reports whether
+// s changed: a block survives only if guaranteed in both states, with its
+// maximal age; colliding ages resolve pessimistically (toward older).
+func (s *mustState) join(o *mustState) bool {
+	changed := false
+	for si := range s.sets {
+		a, b := s.sets[si], o.sets[si]
+		merged := make([]int64, len(a))
+		for i := range merged {
+			merged[i] = tagUnknown
+		}
+		// Collect survivors with max age, in a-age order (younger first),
+		// placing each at the first free slot at or after its max age.
+		for ai, tag := range a {
+			if tag == tagUnknown {
+				continue
+			}
+			bi := -1
+			for j, bt := range b {
+				if bt == tag {
+					bi = j
+					break
+				}
+			}
+			if bi < 0 {
+				continue // not guaranteed in both
+			}
+			age := ai
+			if bi > age {
+				age = bi
+			}
+			placed := false
+			for j := age; j < len(merged); j++ {
+				if merged[j] == tagUnknown {
+					merged[j] = tag
+					placed = true
+					break
+				}
+			}
+			_ = placed // a block pushed past the last way loses its guarantee
+		}
+		for i := range a {
+			if a[i] != merged[i] {
+				changed = true
+			}
+			a[i] = merged[i]
+		}
+	}
+	return changed
+}
+
+// equal reports deep equality (used in tests).
+func (s *mustState) equal(o *mustState) bool {
+	for i := range s.sets {
+		for j := range s.sets[i] {
+			if s.sets[i][j] != o.sets[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,119 @@
+package wcet
+
+import (
+	"fmt"
+
+	"repro/internal/arm"
+	"repro/internal/cache"
+	"repro/internal/cfg"
+	"repro/internal/link"
+	"repro/internal/mem"
+)
+
+// costModel computes per-block worst-case cycle costs with the same timing
+// rules the simulator uses (fetch + internal cycles + data-access cycles).
+// Classification statistics are accumulated for reporting.
+type costModel struct {
+	exe     *link.Executable
+	cc      *cache.Config // nil: region timing only (no cache)
+	in      map[*cfg.Block]*mustState
+	stackLo uint32
+
+	// Static classification counters (cache analysis quality metrics).
+	FetchHit    int
+	FetchMiss   int
+	DataHit     int
+	DataMiss    int
+	DataWrites  int
+	SPMAccesses int
+}
+
+// fetchCost prices one halfword instruction fetch; with a cache it
+// classifies against (and updates) the walking MUST state.
+func (m *costModel) fetchCost(inSPM bool, addr uint32, s *mustState) int64 {
+	if inSPM {
+		m.SPMAccesses++
+		return mem.SPMCycles
+	}
+	if m.cc == nil {
+		return mem.MainHalfCycles
+	}
+	if s.classifyRead(*m.cc, addr) {
+		m.FetchHit++
+		return cache.HitCycles
+	}
+	m.FetchMiss++
+	return cache.MissCycles
+}
+
+func (m *costModel) dataCost(da dataAccess, s *mustState) int64 {
+	if da.inSPM {
+		m.SPMAccesses++
+		return mem.SPMCycles
+	}
+	if m.cc == nil || m.cc.InstructionOnly {
+		return int64(mem.MainCost(da.width))
+	}
+	if da.write {
+		m.DataWrites++
+		return int64(mem.MainCost(da.width))
+	}
+	if da.kind == accExact {
+		if s.classifyRead(*m.cc, da.addr) {
+			m.DataHit++
+			return cache.HitCycles
+		}
+		m.DataMiss++
+		return cache.MissCycles
+	}
+	s.clobberRange(*m.cc, da.lo, da.hi)
+	m.DataMiss++
+	return cache.MissCycles
+}
+
+// blockCost walks a block and sums worst-case cycles. Conditional-branch
+// penalties are charged on taken edges by the IPET objective, not here.
+func (m *costModel) blockCost(f *cfg.Function, b *cfg.Block) (int64, error) {
+	fnInSPM := m.exe.Placement(f.Name).InSPM
+	var s *mustState
+	if m.cc != nil {
+		if st := m.in[b]; st != nil {
+			s = st.clone()
+		} else {
+			// Block never reached by the cache analysis (unreachable code):
+			// analyse from the cold state, which is sound.
+			s = newMustTop(*m.cc)
+		}
+	}
+	var total int64
+	for _, ci := range b.Instrs {
+		total += m.fetchCost(fnInSPM, ci.Addr, s)
+		if ci.Size == 4 {
+			total += m.fetchCost(fnInSPM, ci.Addr+2, s)
+		}
+		switch {
+		case ci.In.IsLoad():
+			total += arm.CyclesLoadInternal
+		case ci.In.Op == arm.OpMul:
+			total += arm.CyclesMul
+		case ci.In.Op == arm.OpSwi:
+			total += arm.CyclesSwi
+		}
+		// Unconditionally taken control transfers are charged here; the
+		// conditional branch penalty lives on the taken edge.
+		switch {
+		case ci.In.Op == arm.OpB, ci.In.Op == arm.OpBlLo, ci.CallTarget != "":
+			total += arm.CyclesBranchTaken
+		case ci.In.IsReturn():
+			total += arm.CyclesBranchTaken
+		}
+		das, err := instrAccesses(m.exe, ci, m.stackLo)
+		if err != nil {
+			return 0, fmt.Errorf("wcet: %s: %w", f.Name, err)
+		}
+		for _, da := range das {
+			total += m.dataCost(da, s)
+		}
+	}
+	return total, nil
+}

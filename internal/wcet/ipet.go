@@ -1,0 +1,111 @@
+package wcet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arm"
+	"repro/internal/cfg"
+	"repro/internal/ilp"
+	"repro/internal/lp"
+)
+
+// ipet computes a function's WCET by implicit path enumeration: maximise
+// Σ cost(b)·x(b) + Σ penalty(e)·x(e) over the flow polytope
+//
+//	x(entry source) = 1
+//	x(b) = Σ in-edges(b) (+1 for the entry block)
+//	x(b) = Σ out-edges(b)            for blocks with successors
+//	Σ back-edges(L) ≤ bound(L) · Σ entry-edges(L)
+//
+// solved as an ILP (the relaxation of these network-flow programs is
+// integral in practice; branch & bound guards the corner cases).
+func ipet(f *cfg.Function, blockCost map[*cfg.Block]int64, callExtra map[*cfg.Block]int64) (uint64, error) {
+	nb := len(f.Blocks)
+	// Edge indexing.
+	type edgeVar struct {
+		e   *cfg.Edge
+		idx int
+	}
+	var edges []edgeVar
+	edgeIdx := map[*cfg.Edge]int{}
+	for _, b := range f.Blocks {
+		for _, e := range b.Succs {
+			idx := nb + len(edges)
+			edgeIdx[e] = idx
+			edges = append(edges, edgeVar{e: e, idx: idx})
+		}
+	}
+	n := nb + len(edges)
+	p := &ilp.Problem{LP: lp.Problem{NumVars: n, Objective: make([]float64, n)}}
+
+	for _, b := range f.Blocks {
+		c := float64(blockCost[b] + callExtra[b])
+		p.LP.Objective[b.Index] = c
+	}
+	for _, ev := range edges {
+		// Conditional-branch taken penalty.
+		from := ev.e.From
+		last := from.Instrs[len(from.Instrs)-1]
+		if ev.e.Taken && last.In.Op == arm.OpBCond {
+			p.LP.Objective[ev.idx] = float64(arm.CyclesBranchTaken)
+		}
+	}
+
+	// Flow conservation.
+	for _, b := range f.Blocks {
+		inRow := make([]float64, n)
+		inRow[b.Index] = 1
+		for _, e := range b.Preds {
+			inRow[edgeIdx[e]] -= 1
+		}
+		rhs := 0.0
+		if b == f.Entry {
+			rhs = 1
+		}
+		p.LP.AddConstraint(inRow, lp.EQ, rhs)
+
+		if len(b.Succs) > 0 {
+			outRow := make([]float64, n)
+			outRow[b.Index] = 1
+			for _, e := range b.Succs {
+				outRow[edgeIdx[e]] -= 1
+			}
+			p.LP.AddConstraint(outRow, lp.EQ, 0)
+		}
+	}
+
+	// Loop bounds.
+	for _, l := range f.Loops {
+		if l.Bound < 0 {
+			return 0, fmt.Errorf("wcet: %s: loop at %#x has no bound (annotate with __loopbound)", f.Name, l.Head.Start)
+		}
+		row := make([]float64, n)
+		for _, e := range l.BackEdges {
+			row[edgeIdx[e]] = 1
+		}
+		for _, e := range l.EntryEdges() {
+			row[edgeIdx[e]] -= float64(l.Bound)
+		}
+		p.LP.AddConstraint(row, lp.LE, 0)
+		if l.BoundTotal > 0 {
+			// Global flow fact: total back-edge executions per invocation
+			// of this function (the function body executes exactly once in
+			// this program).
+			trow := make([]float64, n)
+			for _, e := range l.BackEdges {
+				trow[edgeIdx[e]] = 1
+			}
+			p.LP.AddConstraint(trow, lp.LE, float64(l.BoundTotal))
+		}
+	}
+
+	s, err := ilp.Solve(p)
+	if err != nil {
+		return 0, fmt.Errorf("wcet: %s: path analysis: %w", f.Name, err)
+	}
+	if s.Obj < -1e-6 {
+		return 0, fmt.Errorf("wcet: %s: negative WCET %f", f.Name, s.Obj)
+	}
+	return uint64(math.Round(s.Obj)), nil
+}
