@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check fmt vet build test bench
+
+# Tier-1 verification plus formatting/lint gates (CI entry point).
+check: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

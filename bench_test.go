@@ -276,3 +276,36 @@ func BenchmarkAblationKnapsackILPvsDP(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkWCETDirectedAllocation runs the WCET-directed allocator
+// (internal/wcetalloc) against the energy-directed one on every benchmark
+// across the paper's capacities: the fixpoint loop of link → analyse →
+// witness-knapsack dominates the cost; the reported metric is the largest
+// relative WCET tightening the witness-driven placement achieves.
+func BenchmarkWCETDirectedAllocation(b *testing.B) {
+	var bestGain float64
+	for _, name := range []string{"G.721", "ADPCM", "MultiSort"} {
+		l := labFor(b, name)
+		var cs []core.AllocComparison
+		for i := 0; i < b.N; i++ {
+			var err error
+			cs, err = l.SweepWCETAllocation()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, c := range cs {
+			if c.WCET.WCET > c.Energy.WCET {
+				b.Fatalf("%s spm %d: WCET-directed bound %d above energy-directed %d",
+					name, c.SPMSize, c.WCET.WCET, c.Energy.WCET)
+			}
+			gain := 100 * (float64(c.Energy.WCET) - float64(c.WCET.WCET)) / float64(c.Energy.WCET)
+			if gain > bestGain {
+				bestGain = gain
+			}
+			b.Logf("WCETAlloc: %-9s spm=%5dB energy-wcet=%9d wcet-wcet=%9d gain=%.2f%% iters=%d",
+				name, c.SPMSize, c.Energy.WCET, c.WCET.WCET, gain, c.Iterations)
+		}
+	}
+	b.ReportMetric(bestGain, "max-wcet-gain-%")
+}

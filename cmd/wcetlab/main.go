@@ -8,7 +8,8 @@
 //	wcetlab fig6                Figure 6: ADPCM sim & WCET, SPM vs cache
 //	wcetlab precision           §4 worst-case-input precision experiment
 //	wcetlab sweep <benchmark>   full sweep table for any Table 2 benchmark
-//	wcetlab all                 everything above
+//	wcetlab wcetsweep <bench>   WCET-directed vs energy-directed allocation
+//	wcetlab all                 everything above except the per-benchmark sweeps
 package main
 
 import (
@@ -39,9 +40,9 @@ func main() {
 	case "fig3":
 		err = fig3()
 	case "fig4":
-		err = figRatio("G.721", "Figure 4: G.721 ratio of WCET and simulated cycles")
+		err = fig4()
 	case "fig5":
-		err = figRatio("MultiSort", "Figure 5: MultiSort ratio of WCET and simulated cycles")
+		err = fig5()
 	case "fig6":
 		err = fig6()
 	case "precision":
@@ -53,17 +54,21 @@ func main() {
 		}
 		err = sweep(os.Args[2])
 	case "all":
-		table1()
-		table2()
-		if err = fig3(); err == nil {
-			if err = figRatio("G.721", "Figure 4: G.721 ratio of WCET and simulated cycles"); err == nil {
-				if err = figRatio("MultiSort", "Figure 5: MultiSort ratio of WCET and simulated cycles"); err == nil {
-					if err = fig6(); err == nil {
-						err = precision()
-					}
-				}
+		for _, step := range []func() error{
+			func() error { table1(); return nil },
+			func() error { table2(); return nil },
+			fig3, fig4, fig5, fig6, precision,
+		} {
+			if err = step(); err != nil {
+				break
 			}
 		}
+	case "wcetsweep":
+		if len(os.Args) < 3 {
+			usage()
+			os.Exit(2)
+		}
+		err = wcetsweep(os.Args[2])
 	default:
 		usage()
 		os.Exit(2)
@@ -75,7 +80,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wcetlab {table1|table2|fig3|fig4|fig5|fig6|precision|sweep <bench>|all}")
+	fmt.Fprintln(os.Stderr, "usage: wcetlab {table1|table2|fig3|fig4|fig5|fig6|precision|sweep <bench>|wcetsweep <bench>|all}")
 }
 
 func header(title string) {
@@ -105,6 +110,14 @@ func table2() {
 		}
 		fmt.Printf("%-12s %-70s %8d %8d\n", b.Name, b.Description, len(prog.Objects), total)
 	}
+}
+
+func fig4() error {
+	return figRatio("G.721", "Figure 4: G.721 ratio of WCET and simulated cycles")
+}
+
+func fig5() error {
+	return figRatio("MultiSort", "Figure 5: MultiSort ratio of WCET and simulated cycles")
 }
 
 func sweepData(name string) (*core.Lab, []core.Measurement, []core.Measurement, error) {
@@ -208,5 +221,35 @@ func sweep(name string) error {
 	}
 	header(fmt.Sprintf("Sweep: %s (scratchpad vs cache)", name))
 	printSweep(spms, caches)
+	return nil
+}
+
+// wcetsweep compares the energy-directed (Steinke knapsack on the simulated
+// profile) and WCET-directed (IPET-witness knapsack, iterated to a
+// fixpoint) scratchpad allocations side by side for every paper capacity.
+func wcetsweep(name string) error {
+	lab, err := core.NewLabByName(name)
+	if err != nil {
+		return err
+	}
+	cs, err := lab.SweepWCETAllocation()
+	if err != nil {
+		return err
+	}
+	header(fmt.Sprintf("WCET-directed sweep: %s (energy-directed vs WCET-directed allocation)", name))
+	fmt.Printf("%8s | %12s %12s %12s | %12s %12s %12s | %7s %5s\n",
+		"size [B]", "energy sim", "energy WCET", "energy [nJ]",
+		"wcet sim", "wcet WCET", "energy [nJ]", "Δ WCET", "iters")
+	for _, c := range cs {
+		delta := 100 * (float64(c.Energy.WCET) - float64(c.WCET.WCET)) / float64(c.Energy.WCET)
+		fmt.Printf("%8d | %12d %12d %12.0f | %12d %12d %12.0f | %6.2f%% %5d\n",
+			c.SPMSize,
+			c.Energy.SimCycles, c.Energy.WCET, c.Energy.Energy,
+			c.WCET.SimCycles, c.WCET.WCET, c.WCET.Energy,
+			delta, c.Iterations)
+	}
+	fmt.Println("\nThe WCET-directed allocation's bound is never above the energy-directed")
+	fmt.Println("one's; where the worst-case path diverges from the typical input, it is")
+	fmt.Println("strictly tighter at the cost of a slightly higher average-case energy.")
 	return nil
 }

@@ -1,0 +1,57 @@
+// wcetalloc demonstrates WCET-directed scratchpad allocation: instead of
+// weighing memory objects by their simulated typical-input access counts
+// (the energy knapsack of internal/spm), internal/wcetalloc weighs them by
+// their access counts on the worst-case path — the IPET witness — re-links,
+// re-analyses and iterates to a fixpoint. The sweep below shows the bound
+// it certifies is never worse than the energy-directed allocation's, and
+// the iteration trace shows the monotone descent at one capacity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/spm"
+	"repro/internal/wcetalloc"
+)
+
+func main() {
+	lab, err := core.NewLabByName("MultiSort")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("MultiSort: energy-directed vs WCET-directed scratchpad allocation")
+	fmt.Printf("%8s | %12s %12s | %8s %5s\n",
+		"SPM [B]", "energy WCET", "wcet WCET", "Δ WCET", "iters")
+	cs, err := lab.SweepWCETAllocation()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range cs {
+		delta := 100 * (float64(c.Energy.WCET) - float64(c.WCET.WCET)) / float64(c.Energy.WCET)
+		fmt.Printf("%8d | %12d %12d | %7.2f%% %5d\n",
+			c.SPMSize, c.Energy.WCET, c.WCET.WCET, delta, c.Iterations)
+	}
+
+	// The fixpoint trace at one capacity: each accepted iteration re-links,
+	// re-analyses, and the bound never rises.
+	const size = 2048
+	ealloc, err := spm.Allocate(lab.Prog, lab.Profile, size, lab.Model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := wcetalloc.Allocate(lab.Prog, size, wcetalloc.Options{
+		Seeds: []map[string]bool{ealloc.InSPM},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFixpoint trace at %d bytes (baseline first, converged=%v):\n", size, res.Converged)
+	for i, it := range res.Iterations {
+		fmt.Printf("  iter %d: WCET %9d  (%2d objects, %4d bytes)\n", i, it.WCET, len(it.InSPM), it.Used)
+	}
+	fmt.Printf("\nFinal bound %d vs empty-scratchpad baseline %d (-%.1f%%).\n",
+		res.WCET, res.Baseline, 100*(1-float64(res.WCET)/float64(res.Baseline)))
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/spm"
 	"repro/internal/wcet"
+	"repro/internal/wcetalloc"
 )
 
 // PaperSizes are the capacities evaluated in the paper: 64 bytes to 8 KB.
@@ -110,7 +111,7 @@ func (l *Lab) Baseline() (Measurement, error) {
 	if err != nil {
 		return Measurement{}, err
 	}
-	return l.measure(exe, nil, nil)
+	return l.measure(exe, nil, nil, 0)
 }
 
 // WithScratchpad runs the scratchpad branch for one capacity.
@@ -119,11 +120,18 @@ func (l *Lab) WithScratchpad(size uint32) (Measurement, error) {
 	if err != nil {
 		return Measurement{}, err
 	}
+	return l.measureAllocation(size, alloc, 0)
+}
+
+// measureAllocation links one scratchpad allocation and measures it.
+// knownWCET, when non-zero, is a bound already analysed for exactly this
+// placement (e.g. by the wcetalloc fixpoint) and skips the re-analysis.
+func (l *Lab) measureAllocation(size uint32, alloc *spm.Allocation, knownWCET uint64) (Measurement, error) {
 	exe, err := link.Link(l.Prog, size, alloc.InSPM)
 	if err != nil {
 		return Measurement{}, err
 	}
-	m, err := l.measure(exe, nil, alloc)
+	m, err := l.measure(exe, nil, alloc, knownWCET)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -151,7 +159,7 @@ func (l *Lab) withCacheConfig(ccfg cache.Config) (Measurement, error) {
 	if err != nil {
 		return Measurement{}, err
 	}
-	m, err := l.measure(exe, &ccfg, nil)
+	m, err := l.measure(exe, &ccfg, nil, 0)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -159,8 +167,10 @@ func (l *Lab) withCacheConfig(ccfg cache.Config) (Measurement, error) {
 	return m, nil
 }
 
-// measure simulates and analyses one configuration.
-func (l *Lab) measure(exe *link.Executable, ccfg *cache.Config, alloc *spm.Allocation) (Measurement, error) {
+// measure simulates and analyses one configuration. knownWCET, when
+// non-zero, is a bound already analysed for this exact executable and
+// replaces the wcet.Analyze run.
+func (l *Lab) measure(exe *link.Executable, ccfg *cache.Config, alloc *spm.Allocation, knownWCET uint64) (Measurement, error) {
 	res, err := sim.Run(exe, sim.Options{Cache: ccfg})
 	if err != nil {
 		return Measurement{}, err
@@ -168,23 +178,27 @@ func (l *Lab) measure(exe *link.Executable, ccfg *cache.Config, alloc *spm.Alloc
 	if err := l.validateExit(int32(res.ExitCode)); err != nil {
 		return Measurement{}, err
 	}
-	var wopts wcet.Options
-	if ccfg != nil {
-		wopts.Cache = ccfg
-		wopts.StackBound = l.StackBound
+	bound := knownWCET
+	if bound == 0 {
+		var wopts wcet.Options
+		if ccfg != nil {
+			wopts.Cache = ccfg
+			wopts.StackBound = l.StackBound
+		}
+		wres, err := wcet.Analyze(exe, wopts)
+		if err != nil {
+			return Measurement{}, err
+		}
+		bound = wres.WCET
 	}
-	wres, err := wcet.Analyze(exe, wopts)
-	if err != nil {
-		return Measurement{}, err
-	}
-	if wres.WCET < res.Cycles {
+	if bound < res.Cycles {
 		return Measurement{}, fmt.Errorf("core: %s: unsound bound %d < simulation %d",
-			l.Bench.Name, wres.WCET, res.Cycles)
+			l.Bench.Name, bound, res.Cycles)
 	}
 	m := Measurement{
 		Benchmark:   l.Bench.Name,
 		SimCycles:   res.Cycles,
-		WCET:        wres.WCET,
+		WCET:        bound,
 		CacheHits:   res.CacheHits,
 		CacheMisses: res.CacheMisses,
 	}
@@ -204,6 +218,66 @@ func (l *Lab) validateExit(exit int32) error {
 			l.Bench.Name, exit, l.Bench.MaxExit)
 	}
 	return nil
+}
+
+// AllocComparison pairs the energy-directed (internal/spm) and the
+// WCET-directed (internal/wcetalloc) allocation at one capacity.
+type AllocComparison struct {
+	SPMSize uint32
+	// Energy is the measurement under the energy-knapsack allocation
+	// (identical to WithScratchpad).
+	Energy Measurement
+	// WCET is the measurement under the WCET-directed allocation.
+	WCET Measurement
+	// Iterations is the number of accepted steps of the fixpoint loop
+	// (including the baseline evaluation).
+	Iterations int
+	// Converged reports the loop reached a fixpoint before its cap.
+	Converged bool
+}
+
+// WithWCETAllocation runs both allocators at one capacity and measures the
+// resulting systems side by side. The WCET-directed run is seeded with the
+// energy allocation, so its bound is never worse.
+func (l *Lab) WithWCETAllocation(size uint32) (AllocComparison, error) {
+	ealloc, err := spm.Allocate(l.Prog, l.Profile, size, l.Model)
+	if err != nil {
+		return AllocComparison{}, err
+	}
+	em, err := l.measureAllocation(size, ealloc, 0)
+	if err != nil {
+		return AllocComparison{}, err
+	}
+	res, err := wcetalloc.Allocate(l.Prog, size, wcetalloc.Options{
+		Seeds: []map[string]bool{ealloc.InSPM},
+	})
+	if err != nil {
+		return AllocComparison{}, err
+	}
+	wm, err := l.measureAllocation(size, &spm.Allocation{InSPM: res.InSPM, Used: res.Used}, res.WCET)
+	if err != nil {
+		return AllocComparison{}, err
+	}
+	return AllocComparison{
+		SPMSize:    size,
+		Energy:     em,
+		WCET:       wm,
+		Iterations: len(res.Iterations),
+		Converged:  res.Converged,
+	}, nil
+}
+
+// SweepWCETAllocation compares the two allocators at every paper capacity.
+func (l *Lab) SweepWCETAllocation() ([]AllocComparison, error) {
+	var out []AllocComparison
+	for _, size := range PaperSizes {
+		c, err := l.WithWCETAllocation(size)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s wcetalloc %d: %w", l.Bench.Name, size, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
 }
 
 // SweepScratchpad measures every paper scratchpad capacity.

@@ -7,6 +7,10 @@
 // commercial solver; this package does the same against internal/ilp, and
 // additionally provides an exact dynamic-programming solver used to
 // cross-check the ILP result in tests.
+//
+// The knapsack machinery (Item, Knapsack, KnapsackDP) is shared with the
+// WCET-directed allocator in internal/wcetalloc, which swaps the energy
+// benefit function for worst-case-path cycle savings.
 package spm
 
 import (
@@ -24,56 +28,66 @@ import (
 type Allocation struct {
 	// InSPM names the objects placed in the scratchpad.
 	InSPM map[string]bool
-	// Benefit is the total energy benefit (nJ per program run).
+	// Benefit is the total benefit in the allocator's objective (nJ per
+	// program run for the energy knapsack).
 	Benefit float64
 	// Used is the number of scratchpad bytes occupied (ignoring alignment
 	// padding, which the linker re-checks).
 	Used uint32
 }
 
-// item is one knapsack candidate.
-type item struct {
-	name    string
-	size    uint32
-	benefit float64
+// Item is one knapsack candidate: a memory object with its occupancy and
+// the objective value of moving it to the scratchpad.
+type Item struct {
+	Name    string
+	Size    uint32
+	Benefit float64
+}
+
+// AlignedSize over-approximates the scratchpad bytes an object occupies by
+// rounding its size up to its alignment. With the uniform word alignment
+// the toolchain emits, any chosen set whose AlignedSizes sum within the
+// capacity is guaranteed to link; under mixed alignments the sum can miss
+// inter-object padding, in which case the linker still rejects an
+// overflowing set loudly ("scratchpad overflow") rather than mislinking.
+func AlignedSize(o *obj.Object) uint32 {
+	return (o.Size() + o.Align - 1) &^ (o.Align - 1)
 }
 
 // candidates builds the knapsack items: every object with a positive
-// benefit that individually fits the capacity. Alignment padding is
-// over-approximated by rounding sizes up to the object alignment, so any
-// chosen set is guaranteed to link.
-func candidates(prog *obj.Program, prof *sim.Profile, m energy.Model, capacity uint32) []item {
-	var items []item
+// benefit that individually fits the capacity.
+func candidates(prog *obj.Program, prof *sim.Profile, m energy.Model, capacity uint32) []Item {
+	var items []Item
 	for _, o := range prog.Objects {
 		b := m.ObjectBenefit(o, prof.ByObject[o.Name])
 		if b <= 0 {
 			continue
 		}
-		sz := (o.Size() + o.Align - 1) &^ (o.Align - 1)
+		sz := AlignedSize(o)
 		if sz == 0 || sz > capacity {
 			continue
 		}
-		items = append(items, item{name: o.Name, size: sz, benefit: b})
+		items = append(items, Item{Name: o.Name, Size: sz, Benefit: b})
 	}
 	// Deterministic order for reproducible allocations.
-	sort.Slice(items, func(i, j int) bool { return items[i].name < items[j].name })
+	sort.Slice(items, func(i, j int) bool { return items[i].Name < items[j].Name })
 	return items
 }
 
-// Allocate solves the knapsack with the branch & bound ILP solver,
-// mirroring the paper's CPLEX formulation: maximise Σ benefit_i·y_i subject
-// to Σ size_i·y_i ≤ capacity, y_i ∈ {0, 1}.
-func Allocate(prog *obj.Program, prof *sim.Profile, capacity uint32, m energy.Model) (*Allocation, error) {
-	items := candidates(prog, prof, m, capacity)
+// Knapsack solves the 0/1 knapsack over the items with the branch & bound
+// ILP solver, mirroring the paper's CPLEX formulation: maximise
+// Σ benefit_i·y_i subject to Σ size_i·y_i ≤ capacity, y_i ∈ {0, 1}.
+func Knapsack(items []Item, capacity uint32) (*Allocation, error) {
+	a := &Allocation{InSPM: map[string]bool{}}
 	if len(items) == 0 {
-		return &Allocation{InSPM: map[string]bool{}}, nil
+		return a, nil
 	}
 	n := len(items)
 	p := &ilp.Problem{LP: lp.Problem{NumVars: n, Objective: make([]float64, n)}}
 	weights := make([]float64, n)
 	for i, it := range items {
-		p.LP.Objective[i] = it.benefit
-		weights[i] = float64(it.size)
+		p.LP.Objective[i] = it.Benefit
+		weights[i] = float64(it.Size)
 	}
 	p.LP.AddConstraint(weights, lp.LE, float64(capacity))
 	for i := 0; i < n; i++ {
@@ -85,22 +99,20 @@ func Allocate(prog *obj.Program, prof *sim.Profile, capacity uint32, m energy.Mo
 	if err != nil {
 		return nil, fmt.Errorf("spm: knapsack: %w", err)
 	}
-	a := &Allocation{InSPM: map[string]bool{}}
 	for i, it := range items {
 		if s.X[i] > 0.5 {
-			a.InSPM[it.name] = true
-			a.Benefit += it.benefit
-			a.Used += it.size
+			a.InSPM[it.Name] = true
+			a.Benefit += it.Benefit
+			a.Used += it.Size
 		}
 	}
 	return a, nil
 }
 
-// AllocateDP solves the same knapsack exactly by dynamic programming over
+// KnapsackDP solves the same knapsack exactly by dynamic programming over
 // capacities (sizes are small integers). It exists to cross-check the ILP
 // path and as a faster solver for sweeps.
-func AllocateDP(prog *obj.Program, prof *sim.Profile, capacity uint32, m energy.Model) (*Allocation, error) {
-	items := candidates(prog, prof, m, capacity)
+func KnapsackDP(items []Item, capacity uint32) (*Allocation, error) {
 	a := &Allocation{InSPM: map[string]bool{}}
 	if len(items) == 0 {
 		return a, nil
@@ -110,9 +122,9 @@ func AllocateDP(prog *obj.Program, prof *sim.Profile, capacity uint32, m energy.
 	take := make([][]bool, len(items))
 	for i, it := range items {
 		take[i] = make([]bool, c+1)
-		w := int(it.size)
+		w := int(it.Size)
 		for cap := c; cap >= w; cap-- {
-			if v := best[cap-w] + it.benefit; v > best[cap] {
+			if v := best[cap-w] + it.Benefit; v > best[cap] {
 				best[cap] = v
 				take[i][cap] = true
 			}
@@ -122,11 +134,21 @@ func AllocateDP(prog *obj.Program, prof *sim.Profile, capacity uint32, m energy.
 	cap := c
 	for i := len(items) - 1; i >= 0; i-- {
 		if take[i][cap] {
-			a.InSPM[items[i].name] = true
-			a.Benefit += items[i].benefit
-			a.Used += items[i].size
-			cap -= int(items[i].size)
+			a.InSPM[items[i].Name] = true
+			a.Benefit += items[i].Benefit
+			a.Used += items[i].Size
+			cap -= int(items[i].Size)
 		}
 	}
 	return a, nil
+}
+
+// Allocate solves the energy knapsack with the branch & bound ILP solver.
+func Allocate(prog *obj.Program, prof *sim.Profile, capacity uint32, m energy.Model) (*Allocation, error) {
+	return Knapsack(candidates(prog, prof, m, capacity), capacity)
+}
+
+// AllocateDP solves the energy knapsack exactly by dynamic programming.
+func AllocateDP(prog *obj.Program, prof *sim.Profile, capacity uint32, m energy.Model) (*Allocation, error) {
+	return KnapsackDP(candidates(prog, prof, m, capacity), capacity)
 }

@@ -10,6 +10,17 @@ import (
 	"repro/internal/lp"
 )
 
+// ipetSolution is the witness the ILP certifies: the per-invocation
+// execution counts of every block and edge on a worst-case path, alongside
+// the resulting bound.
+type ipetSolution struct {
+	wcet uint64
+	// blocks[i] is the execution count of the block with Index i.
+	blocks []uint64
+	// edges holds the traversal count of every CFG edge.
+	edges map[*cfg.Edge]uint64
+}
+
 // ipet computes a function's WCET by implicit path enumeration: maximise
 // Σ cost(b)·x(b) + Σ penalty(e)·x(e) over the flow polytope
 //
@@ -19,8 +30,11 @@ import (
 //	Σ back-edges(L) ≤ bound(L) · Σ entry-edges(L)
 //
 // solved as an ILP (the relaxation of these network-flow programs is
-// integral in practice; branch & bound guards the corner cases).
-func ipet(f *cfg.Function, blockCost map[*cfg.Block]int64, callExtra map[*cfg.Block]int64) (uint64, error) {
+// integral in practice; branch & bound guards the corner cases). The
+// solution vector is returned rather than discarded: its x(b) values are
+// the block execution counts on the worst-case path, which the
+// WCET-directed scratchpad allocator weighs objects by.
+func ipet(f *cfg.Function, blockCost map[*cfg.Block]int64, callExtra map[*cfg.Block]int64) (*ipetSolution, error) {
 	nb := len(f.Blocks)
 	// Edge indexing.
 	type edgeVar struct {
@@ -78,7 +92,7 @@ func ipet(f *cfg.Function, blockCost map[*cfg.Block]int64, callExtra map[*cfg.Bl
 	// Loop bounds.
 	for _, l := range f.Loops {
 		if l.Bound < 0 {
-			return 0, fmt.Errorf("wcet: %s: loop at %#x has no bound (annotate with __loopbound)", f.Name, l.Head.Start)
+			return nil, fmt.Errorf("wcet: %s: loop at %#x has no bound (annotate with __loopbound)", f.Name, l.Head.Start)
 		}
 		row := make([]float64, n)
 		for _, e := range l.BackEdges {
@@ -102,10 +116,21 @@ func ipet(f *cfg.Function, blockCost map[*cfg.Block]int64, callExtra map[*cfg.Bl
 
 	s, err := ilp.Solve(p)
 	if err != nil {
-		return 0, fmt.Errorf("wcet: %s: path analysis: %w", f.Name, err)
+		return nil, fmt.Errorf("wcet: %s: path analysis: %w", f.Name, err)
 	}
 	if s.Obj < -1e-6 {
-		return 0, fmt.Errorf("wcet: %s: negative WCET %f", f.Name, s.Obj)
+		return nil, fmt.Errorf("wcet: %s: negative WCET %f", f.Name, s.Obj)
 	}
-	return uint64(math.Round(s.Obj)), nil
+	sol := &ipetSolution{
+		wcet:   uint64(math.Round(s.Obj)),
+		blocks: make([]uint64, nb),
+		edges:  make(map[*cfg.Edge]uint64, len(edges)),
+	}
+	for _, b := range f.Blocks {
+		sol.blocks[b.Index] = uint64(math.Round(s.X[b.Index]))
+	}
+	for _, ev := range edges {
+		sol.edges[ev.e] = uint64(math.Round(s.X[ev.idx]))
+	}
+	return sol, nil
 }

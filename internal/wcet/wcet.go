@@ -22,6 +22,10 @@ type Options struct {
 	// Root overrides the analysis root; default is the program entry, so
 	// the bound is directly comparable to simulated whole-program cycles.
 	Root string
+	// Witness requests the worst-case-path witness in Result.Witness. Off
+	// by default: only the WCET-directed allocator consumes it, and
+	// building it walks every instruction's accesses a second time.
+	Witness bool
 }
 
 // Result is the outcome of a WCET analysis.
@@ -31,6 +35,11 @@ type Result struct {
 	// PerFunction maps each analysed function to its WCET contribution
 	// (including its callees).
 	PerFunction map[string]uint64
+	// Witness holds the IPET solution's worst-case path counts (block and
+	// edge execution counts, per-object access counts); nil unless
+	// Options.Witness was set. The WCET-directed scratchpad allocator
+	// consumes it.
+	Witness *Witness
 	// Static cache-classification statistics (zero without a cache).
 	FetchAlwaysHit    int
 	FetchUnclassified int
@@ -85,6 +94,7 @@ func Analyze(exe *link.Executable, opts Options) (*Result, error) {
 	}
 
 	res := &Result{PerFunction: make(map[string]uint64, len(order))}
+	sols := make(map[string]*ipetSolution, len(order))
 	for _, name := range order {
 		f := g.Funcs[name]
 		blockCost := make(map[*cfg.Block]int64, len(f.Blocks))
@@ -103,13 +113,20 @@ func Analyze(exe *link.Executable, opts Options) (*Result, error) {
 			}
 			callExtra[cs.Block] += int64(callee)
 		}
-		w, err := ipet(f, blockCost, callExtra)
+		sol, err := ipet(f, blockCost, callExtra)
 		if err != nil {
 			return nil, err
 		}
-		res.PerFunction[name] = w
+		sols[name] = sol
+		res.PerFunction[name] = sol.wcet
 	}
 	res.WCET = res.PerFunction[root]
+	if opts.Witness {
+		res.Witness, err = buildWitness(g, order, root, sols, stackLo)
+		if err != nil {
+			return nil, err
+		}
+	}
 	res.FetchAlwaysHit = m.FetchHit
 	res.FetchUnclassified = m.FetchMiss
 	res.DataAlwaysHit = m.DataHit

@@ -1,0 +1,164 @@
+package wcet
+
+import (
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/link"
+	"repro/internal/mem"
+)
+
+// Witness is the worst-case path certified by the IPET solution, composed
+// over the call graph: per-function invocation counts, whole-program block
+// and edge execution counts, and the per-object access counts those imply.
+//
+// The per-function IPET programs are maximised independently, so the
+// witness is the path family the compositional bound charges for — exactly
+// the weights a WCET-directed optimisation must use: Σ count·cost over the
+// witness reproduces Result.WCET.
+type Witness struct {
+	// FuncRuns is the number of invocations of each function on the
+	// worst-case path (the root runs once).
+	FuncRuns map[string]uint64
+	// BlockCounts maps a function to its whole-program block execution
+	// counts, indexed by cfg block Index (per-invocation count × FuncRuns).
+	BlockCounts map[string][]uint64
+	// EdgeCounts maps a function to its whole-program edge traversal
+	// counts, sorted by (From, To, Taken).
+	EdgeCounts map[string][]EdgeCount
+	// ObjectAccesses maps a memory object to the worst-case number of
+	// accesses it serves (instruction fetches and data accesses by width).
+	// Stack accesses belong to no object and are not counted.
+	ObjectAccesses map[string]*AccessCounts
+}
+
+// EdgeCount is the worst-case traversal count of one CFG edge.
+type EdgeCount struct {
+	From, To int
+	Taken    bool
+	Count    uint64
+}
+
+// AccessCounts aggregates the worst-case accesses one memory object serves.
+type AccessCounts struct {
+	// Fetches is the number of halfword instruction fetches (code objects;
+	// a folded BL pair fetches twice).
+	Fetches uint64
+	// Data counts data accesses by width in bytes (1, 2 or 4). Literal-pool
+	// reads count here (width 4) against their function's object, since the
+	// pool moves with the function.
+	Data map[uint8]uint64
+}
+
+func (a *AccessCounts) add(width uint8, n uint64) {
+	if a.Data == nil {
+		a.Data = make(map[uint8]uint64, 3)
+	}
+	a.Data[width] += n
+}
+
+// SPMCycleBenefit returns the worst-case cycles saved per program run by
+// serving all of these accesses from the scratchpad instead of main memory.
+// It mirrors costModel exactly: each fetch drops from the halfword cost to
+// the single scratchpad cycle, each data access from its width cost.
+func (a *AccessCounts) SPMCycleBenefit() int64 {
+	total := int64(a.Fetches) * int64(mem.MainHalfCycles-mem.SPMCycles)
+	for width, n := range a.Data {
+		total += int64(n) * int64(mem.MainCost(width)-mem.SPMCycles)
+	}
+	return total
+}
+
+// buildWitness composes the per-function IPET solutions into whole-program
+// counts. order lists functions callees-first (the analysis order), so the
+// reverse walk sees every caller before its callees.
+func buildWitness(g *cfg.Graph, order []string, root string, sols map[string]*ipetSolution, stackLo uint32) (*Witness, error) {
+	w := &Witness{
+		FuncRuns:       make(map[string]uint64, len(order)),
+		BlockCounts:    make(map[string][]uint64, len(order)),
+		EdgeCounts:     make(map[string][]EdgeCount, len(order)),
+		ObjectAccesses: make(map[string]*AccessCounts),
+	}
+	w.FuncRuns[root] = 1
+	for i := len(order) - 1; i >= 0; i-- {
+		name := order[i]
+		f := g.Funcs[name]
+		runs := w.FuncRuns[name]
+		for _, cs := range f.Calls {
+			w.FuncRuns[cs.Callee] += runs * sols[name].blocks[cs.Block.Index]
+		}
+	}
+	for _, name := range order {
+		f := g.Funcs[name]
+		sol := sols[name]
+		runs := w.FuncRuns[name]
+		counts := make([]uint64, len(f.Blocks))
+		for i, x := range sol.blocks {
+			counts[i] = x * runs
+		}
+		w.BlockCounts[name] = counts
+		var ecs []EdgeCount
+		for e, x := range sol.edges {
+			ecs = append(ecs, EdgeCount{From: e.From.Index, To: e.To.Index, Taken: e.Taken, Count: x * runs})
+		}
+		sort.Slice(ecs, func(i, j int) bool {
+			if ecs[i].From != ecs[j].From {
+				return ecs[i].From < ecs[j].From
+			}
+			if ecs[i].To != ecs[j].To {
+				return ecs[i].To < ecs[j].To
+			}
+			// Parallel edges (a conditional branch whose target is its
+			// fall-through) differ only in Taken.
+			return !ecs[i].Taken && ecs[j].Taken
+		})
+		w.EdgeCounts[name] = ecs
+		if err := w.addAccesses(g.Exe, f, counts, stackLo); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// addAccesses attributes one function's witness counts to memory objects:
+// instruction fetches to the function itself, data accesses to the object
+// the toolchain's access metadata names. Address attribution reuses the
+// cost model's view (instrAccesses), so the counts price exactly the
+// accesses the analysis charges for.
+func (w *Witness) addAccesses(exe *link.Executable, f *cfg.Function, counts []uint64, stackLo uint32) error {
+	ac := w.ObjectAccesses[f.Name]
+	if ac == nil {
+		ac = &AccessCounts{}
+		w.ObjectAccesses[f.Name] = ac
+	}
+	for _, b := range f.Blocks {
+		n := counts[b.Index]
+		if n == 0 {
+			continue
+		}
+		for _, ci := range b.Instrs {
+			ac.Fetches += n * uint64(ci.Size/2)
+			das, err := instrAccesses(exe, ci, stackLo)
+			if err != nil {
+				return err
+			}
+			for _, da := range das {
+				addr := da.addr
+				if da.kind == accRange {
+					addr = da.lo
+				}
+				pl := exe.FindAddr(addr)
+				if pl == nil {
+					continue // stack region: not an allocatable object
+				}
+				tac := w.ObjectAccesses[pl.Obj.Name]
+				if tac == nil {
+					tac = &AccessCounts{}
+					w.ObjectAccesses[pl.Obj.Name] = tac
+				}
+				tac.add(da.width, n)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+// Package wcetalloc implements WCET-directed scratchpad allocation: the
+// optimisation the paper points at but leaves to future work. Where
+// internal/spm weighs memory objects by their access counts on a simulated
+// typical input (minimising average-case energy), this allocator weighs
+// them by their access counts on the *worst-case path* — the IPET witness
+// internal/wcet exports — and so minimises the WCET bound itself.
+//
+// Moving an object into the scratchpad changes block costs and can shift
+// which path is worst, so a single knapsack is not enough: the allocator
+// re-links with each chosen allocation, re-runs the analysis, re-extracts
+// the witness and repeats until the allocation reaches a fixpoint, the
+// bound stops improving, or an iteration cap is hit. Because every
+// scratchpad access is at least as cheap as its main-memory counterpart
+// and the analysis is cache-less (region timings only), the accepted
+// bound is monotonically non-increasing across iterations.
+package wcetalloc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/link"
+	"repro/internal/obj"
+	"repro/internal/spm"
+	"repro/internal/wcet"
+)
+
+// DefaultMaxIter caps the re-link/re-analyse loop; the benchmarks converge
+// in one or two iterations.
+const DefaultMaxIter = 8
+
+// Options configures an allocation run.
+type Options struct {
+	// WCET configures the analysis; Cache must be nil (the paper's
+	// combined scratchpad+cache system is not modelled).
+	WCET wcet.Options
+	// Seeds are allocations to evaluate before iterating — e.g. the
+	// energy-directed allocation — so the result is never worse than the
+	// best seed. Seeds that do not fit the capacity are rejected.
+	Seeds []map[string]bool
+	// MaxIter bounds the number of knapsack/re-analysis rounds
+	// (DefaultMaxIter when zero).
+	MaxIter int
+}
+
+// Iteration is one accepted step of the fixpoint loop.
+type Iteration struct {
+	// InSPM is the allocation evaluated this step.
+	InSPM map[string]bool
+	// Used is the scratchpad occupancy in bytes (alignment-rounded).
+	Used uint32
+	// WCET is the analysed bound under this allocation.
+	WCET uint64
+}
+
+// Result is the outcome of a WCET-directed allocation.
+type Result struct {
+	// InSPM names the objects placed in the scratchpad.
+	InSPM map[string]bool
+	// Used is the scratchpad occupancy in bytes (alignment-rounded).
+	Used uint32
+	// WCET is the analysed bound under InSPM.
+	WCET uint64
+	// Baseline is the bound with an empty scratchpad of the same capacity.
+	Baseline uint64
+	// Iterations traces the accepted allocations, baseline first; WCET is
+	// non-increasing along it.
+	Iterations []Iteration
+	// Converged reports that the loop stopped because the allocation
+	// repeated or stopped improving (false: MaxIter hit).
+	Converged bool
+}
+
+// Allocate runs the WCET-directed fixpoint with the branch & bound ILP
+// knapsack (the paper's solver architecture).
+func Allocate(prog *obj.Program, capacity uint32, opts Options) (*Result, error) {
+	return run(prog, capacity, opts, spm.Knapsack)
+}
+
+// AllocateDP runs the same fixpoint with the exact dynamic-programming
+// knapsack; it exists to cross-check the ILP path.
+func AllocateDP(prog *obj.Program, capacity uint32, opts Options) (*Result, error) {
+	return run(prog, capacity, opts, spm.KnapsackDP)
+}
+
+// evaluation is one linked+analysed allocation.
+type evaluation struct {
+	inSPM   map[string]bool
+	used    uint32
+	wcet    uint64
+	witness *wcet.Witness
+}
+
+func run(prog *obj.Program, capacity uint32, opts Options, solve func([]spm.Item, uint32) (*spm.Allocation, error)) (*Result, error) {
+	if opts.WCET.Cache != nil {
+		return nil, fmt.Errorf("wcetalloc: combined scratchpad+cache analysis is not modelled")
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIter
+	}
+	wopts := opts.WCET
+	wopts.Witness = true
+
+	evaluate := func(inSPM map[string]bool) (*evaluation, error) {
+		exe, err := link.Link(prog, capacity, inSPM)
+		if err != nil {
+			return nil, fmt.Errorf("wcetalloc: %w", err)
+		}
+		res, err := wcet.Analyze(exe, wopts)
+		if err != nil {
+			return nil, fmt.Errorf("wcetalloc: %w", err)
+		}
+		var used uint32
+		for name, in := range inSPM {
+			if in {
+				used += spm.AlignedSize(prog.Object(name))
+			}
+		}
+		return &evaluation{inSPM: inSPM, used: used, wcet: res.WCET, witness: res.Witness}, nil
+	}
+
+	base, err := evaluate(map[string]bool{})
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		Baseline:   base.wcet,
+		Iterations: []Iteration{{InSPM: base.inSPM, Used: 0, WCET: base.wcet}},
+	}
+	best := base
+	seen := map[string]bool{allocKey(base.inSPM): true}
+
+	// Seeds (e.g. the energy-directed allocation): the result can only be
+	// at least as good as the best of them. Seeds naming unknown objects
+	// or exceeding the capacity are rejected, not errors.
+	for _, seed := range opts.Seeds {
+		seed = fittingSeed(prog, seed, capacity)
+		if len(seed) == 0 || seen[allocKey(seed)] {
+			continue
+		}
+		seen[allocKey(seed)] = true
+		ev, err := evaluate(seed)
+		if err != nil {
+			return nil, err
+		}
+		if ev.wcet <= best.wcet {
+			best = ev
+			r.Iterations = append(r.Iterations, Iteration{InSPM: ev.inSPM, Used: ev.used, WCET: ev.wcet})
+		}
+	}
+
+	for i := 0; i < maxIter; i++ {
+		items := candidates(prog, best.witness, capacity)
+		alloc, err := solve(items, capacity)
+		if err != nil {
+			return nil, fmt.Errorf("wcetalloc: %w", err)
+		}
+		key := allocKey(alloc.InSPM)
+		if seen[key] {
+			// The allocation repeated: fixpoint.
+			r.Converged = true
+			break
+		}
+		seen[key] = true
+		ev, err := evaluate(alloc.InSPM)
+		if err != nil {
+			return nil, err
+		}
+		if ev.wcet > best.wcet {
+			// The first-order benefit model over-promised (the worst path
+			// moved): keep the incumbent. The accepted trace stays
+			// monotone.
+			r.Converged = true
+			break
+		}
+		stalled := ev.wcet == best.wcet
+		best = ev
+		r.Iterations = append(r.Iterations, Iteration{InSPM: ev.inSPM, Used: ev.used, WCET: ev.wcet})
+		if stalled {
+			// Equal bound under a new allocation: further rounds can only
+			// oscillate between equally worst paths.
+			r.Converged = true
+			break
+		}
+	}
+
+	r.InSPM = best.inSPM
+	r.Used = best.used
+	r.WCET = best.wcet
+	return r, nil
+}
+
+// candidates converts the witness's per-object worst-case access counts
+// into knapsack items: the benefit is the worst-case cycles saved by
+// serving the object from the scratchpad, the weight its aligned size.
+func candidates(prog *obj.Program, w *wcet.Witness, capacity uint32) []spm.Item {
+	var items []spm.Item
+	for _, o := range prog.Objects {
+		ac := w.ObjectAccesses[o.Name]
+		if ac == nil {
+			continue
+		}
+		benefit := ac.SPMCycleBenefit()
+		if benefit <= 0 {
+			continue
+		}
+		sz := spm.AlignedSize(o)
+		if sz == 0 || sz > capacity {
+			continue
+		}
+		items = append(items, spm.Item{Name: o.Name, Size: sz, Benefit: float64(benefit)})
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].Name < items[j].Name })
+	return items
+}
+
+// fittingSeed normalises a seed allocation to its true entries, dropping
+// the whole seed (nil) if it names an unknown object or if its
+// alignment-rounded sizes exceed the capacity. Under the toolchain's
+// uniform word alignment the accepted seed is guaranteed to link (at the
+// price of rejecting a rare seed that would only fit unpadded); see
+// spm.AlignedSize for the mixed-alignment caveat.
+func fittingSeed(prog *obj.Program, seed map[string]bool, capacity uint32) map[string]bool {
+	out := make(map[string]bool, len(seed))
+	var used uint32
+	for name, in := range seed {
+		if !in {
+			continue
+		}
+		o := prog.Object(name)
+		if o == nil {
+			return nil
+		}
+		used += spm.AlignedSize(o)
+		if used > capacity {
+			return nil
+		}
+		out[name] = true
+	}
+	return out
+}
+
+// allocKey canonicalises an allocation set for fixpoint detection.
+func allocKey(inSPM map[string]bool) string {
+	names := make([]string, 0, len(inSPM))
+	for n, ok := range inSPM {
+		if ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, "\x00")
+}

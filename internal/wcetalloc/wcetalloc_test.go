@@ -1,0 +1,254 @@
+package wcetalloc_test
+
+import (
+	"math/bits"
+	"testing"
+
+	"repro/internal/benchprog"
+	"repro/internal/cache"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/spm"
+	"repro/internal/wcet"
+	"repro/internal/wcetalloc"
+)
+
+// testProgram is a small program with several functions and globals of
+// different sizes and access weights, so the knapsack has real choices.
+const testProgram = `
+int a[64];
+int b[16];
+int c = 5;
+
+int suma() {
+    int s = 0;
+    for (int i = 0; i < 64; i += 1) s = s + a[i];
+    return s;
+}
+
+int sumb() {
+    int s = 0;
+    for (int i = 0; i < 16; i += 1) s = s + b[i];
+    return s;
+}
+
+int main() {
+    int s = 0;
+    for (int k = 0; k < 4; k += 1) s = s + suma() + sumb() + c;
+    return s & 7;
+}
+`
+
+// bruteForceKnapsack enumerates every subset (≤ 2^20) and returns the
+// maximal total benefit over the feasible ones.
+func bruteForceKnapsack(items []spm.Item, capacity uint32) float64 {
+	best := 0.0
+	for mask := 0; mask < 1<<len(items); mask++ {
+		var size uint32
+		benefit := 0.0
+		for m := mask; m != 0; m &= m - 1 {
+			it := items[bits.TrailingZeros(uint(m))]
+			size += it.Size
+			benefit += it.Benefit
+		}
+		if size <= capacity && benefit > best {
+			best = benefit
+		}
+	}
+	return best
+}
+
+// TestKnapsackILPvsDPvsBruteForce: the shared ILP and DP solvers must both
+// find a benefit-optimal set on small object sets, including ties and
+// exact-fit capacities.
+func TestKnapsackILPvsDPvsBruteForce(t *testing.T) {
+	cases := []struct {
+		name     string
+		items    []spm.Item
+		capacity uint32
+	}{
+		{"empty", nil, 128},
+		{"one-fits", []spm.Item{{Name: "a", Size: 64, Benefit: 10}}, 64},
+		{"classic", []spm.Item{
+			{Name: "a", Size: 24, Benefit: 24},
+			{Name: "b", Size: 10, Benefit: 18},
+			{Name: "c", Size: 10, Benefit: 18},
+			{Name: "d", Size: 7, Benefit: 10},
+		}, 25},
+		{"ties", []spm.Item{
+			{Name: "a", Size: 8, Benefit: 5},
+			{Name: "b", Size: 8, Benefit: 5},
+			{Name: "c", Size: 8, Benefit: 5},
+		}, 16},
+		{"dense", []spm.Item{
+			{Name: "a", Size: 12, Benefit: 4},
+			{Name: "b", Size: 1, Benefit: 2},
+			{Name: "c", Size: 2, Benefit: 2},
+			{Name: "d", Size: 1, Benefit: 1},
+			{Name: "e", Size: 4, Benefit: 10},
+			{Name: "f", Size: 3, Benefit: 2},
+			{Name: "g", Size: 2, Benefit: 1},
+		}, 15},
+	}
+	for _, tc := range cases {
+		want := bruteForceKnapsack(tc.items, tc.capacity)
+		ilpA, err := spm.Knapsack(tc.items, tc.capacity)
+		if err != nil {
+			t.Fatalf("%s: ILP: %v", tc.name, err)
+		}
+		dpA, err := spm.KnapsackDP(tc.items, tc.capacity)
+		if err != nil {
+			t.Fatalf("%s: DP: %v", tc.name, err)
+		}
+		if ilpA.Benefit != want {
+			t.Errorf("%s: ILP benefit %v, brute force %v", tc.name, ilpA.Benefit, want)
+		}
+		if dpA.Benefit != want {
+			t.Errorf("%s: DP benefit %v, brute force %v", tc.name, dpA.Benefit, want)
+		}
+		if ilpA.Used > tc.capacity || dpA.Used > tc.capacity {
+			t.Errorf("%s: capacity exceeded: ILP %d, DP %d > %d", tc.name, ilpA.Used, dpA.Used, tc.capacity)
+		}
+	}
+}
+
+// TestAllocateILPvsDP: both fixpoint variants must certify the same bound
+// on a real program across capacities.
+func TestAllocateILPvsDP(t *testing.T) {
+	prog, err := cc.Compile(testProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []uint32{64, 128, 512} {
+		ilpR, err := wcetalloc.Allocate(prog, size, wcetalloc.Options{})
+		if err != nil {
+			t.Fatalf("size %d: ILP: %v", size, err)
+		}
+		dpR, err := wcetalloc.AllocateDP(prog, size, wcetalloc.Options{})
+		if err != nil {
+			t.Fatalf("size %d: DP: %v", size, err)
+		}
+		if ilpR.WCET != dpR.WCET {
+			t.Errorf("size %d: ILP WCET %d != DP WCET %d", size, ilpR.WCET, dpR.WCET)
+		}
+		if ilpR.Baseline != dpR.Baseline {
+			t.Errorf("size %d: baselines differ: %d vs %d", size, ilpR.Baseline, dpR.Baseline)
+		}
+	}
+}
+
+// TestFixpointTermination: the loop must converge, its accepted trace must
+// be monotone non-increasing, and the final allocation must respect the
+// capacity and beat the empty-scratchpad baseline.
+func TestFixpointTermination(t *testing.T) {
+	prog, err := cc.Compile(testProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []uint32{64, 256, 1024} {
+		r, err := wcetalloc.Allocate(prog, size, wcetalloc.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Converged {
+			t.Errorf("size %d: did not converge within %d iterations", size, wcetalloc.DefaultMaxIter)
+		}
+		if len(r.Iterations) == 0 || r.Iterations[0].WCET != r.Baseline {
+			t.Errorf("size %d: trace must start at the baseline", size)
+		}
+		prev := r.Iterations[0].WCET
+		for i, it := range r.Iterations[1:] {
+			if it.WCET > prev {
+				t.Errorf("size %d: bound rose at iteration %d: %d > %d", size, i+1, it.WCET, prev)
+			}
+			prev = it.WCET
+		}
+		if r.WCET != prev {
+			t.Errorf("size %d: result WCET %d != last accepted %d", size, r.WCET, prev)
+		}
+		if r.WCET > r.Baseline {
+			t.Errorf("size %d: bound %d worse than baseline %d", size, r.WCET, r.Baseline)
+		}
+		if r.Used > size {
+			t.Errorf("size %d: allocation uses %d bytes", size, r.Used)
+		}
+		// Determinism: a second run must reproduce the result.
+		r2, err := wcetalloc.Allocate(prog, size, wcetalloc.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.WCET != r.WCET || len(r2.Iterations) != len(r.Iterations) {
+			t.Errorf("size %d: not deterministic: %d/%d vs %d/%d iterations",
+				size, r.WCET, len(r.Iterations), r2.WCET, len(r2.Iterations))
+		}
+	}
+}
+
+// TestRejectsCacheConfig: the combined scratchpad+cache system is not
+// modelled and must be rejected up front.
+func TestRejectsCacheConfig(t *testing.T) {
+	prog, err := cc.Compile(testProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = wcetalloc.Allocate(prog, 256, wcetalloc.Options{
+		WCET: wcet.Options{Cache: &cache.Config{Size: 256}},
+	})
+	if err == nil {
+		t.Fatal("cache config accepted")
+	}
+}
+
+// TestSeedRejection: seeds naming unknown objects or exceeding the
+// capacity are rejected (the run proceeds from the baseline), not errors.
+func TestSeedRejection(t *testing.T) {
+	prog, err := cc.Compile(testProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := wcetalloc.Allocate(prog, 128, wcetalloc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := wcetalloc.Allocate(prog, 128, wcetalloc.Options{
+		Seeds: []map[string]bool{
+			{"no_such_object": true},
+			{"a": true, "suma": true, "sumb": true}, // far beyond 128 bytes
+			{"c": false},                            // effectively empty
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.WCET != plain.WCET {
+		t.Errorf("rejected seeds changed the result: %d vs %d", seeded.WCET, plain.WCET)
+	}
+}
+
+// TestWCETDirectedNotWorseThanEnergy is the headline property: on every
+// Table 2 benchmark and every swept capacity, the WCET-directed
+// allocation's bound is at most the energy-directed allocation's bound,
+// and the loop converges.
+func TestWCETDirectedNotWorseThanEnergy(t *testing.T) {
+	for _, b := range benchprog.All() {
+		lab, err := core.NewLabByName(b.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := lab.SweepWCETAllocation()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cs {
+			if c.WCET.WCET > c.Energy.WCET {
+				t.Errorf("%s spm %d: WCET-directed bound %d above energy-directed %d",
+					b.Name, c.SPMSize, c.WCET.WCET, c.Energy.WCET)
+			}
+			if !c.Converged {
+				t.Errorf("%s spm %d: fixpoint loop did not converge", b.Name, c.SPMSize)
+			}
+			t.Logf("%s spm %5d: energy-alloc WCET %9d | wcet-alloc WCET %9d (%d iters)",
+				b.Name, c.SPMSize, c.Energy.WCET, c.WCET.WCET, c.Iterations)
+		}
+	}
+}
