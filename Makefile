@@ -1,9 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench
+.PHONY: check ci fmt vet build test test-race bench
 
-# Tier-1 verification plus formatting/lint gates (CI entry point).
+# Tier-1 verification plus formatting/lint gates.
 check: fmt vet build test
+
+# What .github/workflows/ci.yml runs: check, with the race detector on.
+ci: fmt vet build test-race
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -17,6 +20,9 @@ build:
 
 test:
 	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -309,3 +309,58 @@ func BenchmarkWCETDirectedAllocation(b *testing.B) {
 	}
 	b.ReportMetric(bestGain, "max-wcet-gain-%")
 }
+
+// benchColdSweep runs both paper sweeps with cold artifact caches on a
+// bounded worker pool, so the pool (not memoization) is what's measured.
+func benchColdSweep(b *testing.B, name string, workers int) {
+	l, err := core.NewLabByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.ResetArtifacts()
+		if _, err := l.SweepScratchpad(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.SweepCache(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSequential is the pre-pipeline experiment shape: every
+// capacity measured one after another (Workers=1).
+func BenchmarkSweepSequential(b *testing.B) { benchColdSweep(b, "G.721", 1) }
+
+// BenchmarkSweepParallel runs the same cold sweeps on the full worker pool;
+// compare ns/op against BenchmarkSweepSequential for the wall-clock
+// improvement of the staged pipeline's bounded parallelism.
+func BenchmarkSweepParallel(b *testing.B) { benchColdSweep(b, "G.721", 0) }
+
+// BenchmarkSweepMemoized re-runs the full sweep against warm artifact
+// caches: after the first iteration every link/simulate/analyse is served
+// from the pipeline, so this measures the pure memoization win.
+func BenchmarkSweepMemoized(b *testing.B) {
+	l := labFor(b, "G.721")
+	for i := 0; i < b.N; i++ {
+		if _, err := l.SweepScratchpad(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.SweepCache(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepAllBenchmarks measures the new all-benchmarks sweep behind
+// `wcetlab all`: every Table 2 benchmark swept over both branches,
+// benchmarks in parallel, each with its own artifact pipeline.
+func BenchmarkSweepAllBenchmarks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SweepAllBenchmarks(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

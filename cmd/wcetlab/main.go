@@ -9,12 +9,18 @@
 //	wcetlab precision           §4 worst-case-input precision experiment
 //	wcetlab sweep <benchmark>   full sweep table for any Table 2 benchmark
 //	wcetlab wcetsweep <bench>   WCET-directed vs energy-directed allocation
-//	wcetlab all                 everything above except the per-benchmark sweeps
+//	wcetlab witness <bench> [N] top-N worst-case blocks/objects (IPET witness)
+//	wcetlab all                 everything above except the per-benchmark reports
+//
+// "all" sweeps every benchmark once through the shared artifact pipeline
+// (benchmarks in parallel) and prints every figure from that one data set.
 package main
 
 import (
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/benchprog"
@@ -54,21 +60,27 @@ func main() {
 		}
 		err = sweep(os.Args[2])
 	case "all":
-		for _, step := range []func() error{
-			func() error { table1(); return nil },
-			func() error { table2(); return nil },
-			fig3, fig4, fig5, fig6, precision,
-		} {
-			if err = step(); err != nil {
-				break
-			}
-		}
+		err = all()
 	case "wcetsweep":
 		if len(os.Args) < 3 {
 			usage()
 			os.Exit(2)
 		}
 		err = wcetsweep(os.Args[2])
+	case "witness":
+		if len(os.Args) < 3 {
+			usage()
+			os.Exit(2)
+		}
+		topN := 10
+		if len(os.Args) > 3 {
+			topN, err = strconv.Atoi(os.Args[3])
+			if err != nil || topN <= 0 {
+				usage()
+				os.Exit(2)
+			}
+		}
+		err = witness(os.Args[2], topN)
 	default:
 		usage()
 		os.Exit(2)
@@ -80,7 +92,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wcetlab {table1|table2|fig3|fig4|fig5|fig6|precision|sweep <bench>|wcetsweep <bench>|all}")
+	fmt.Fprintln(os.Stderr, "usage: wcetlab {table1|table2|fig3|fig4|fig5|fig6|precision|sweep <bench>|wcetsweep <bench>|witness <bench> [topN]|all}")
 }
 
 func header(title string) {
@@ -120,20 +132,20 @@ func fig5() error {
 	return figRatio("MultiSort", "Figure 5: MultiSort ratio of WCET and simulated cycles")
 }
 
-func sweepData(name string) (*core.Lab, []core.Measurement, []core.Measurement, error) {
+func sweepData(name string) ([]core.Measurement, []core.Measurement, error) {
 	lab, err := core.NewLabByName(name)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
 	spms, err := lab.SweepScratchpad()
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
 	caches, err := lab.SweepCache()
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
-	return lab, spms, caches, nil
+	return spms, caches, nil
 }
 
 func printSweep(spms, caches []core.Measurement) {
@@ -147,11 +159,43 @@ func printSweep(spms, caches []core.Measurement) {
 	}
 }
 
-func fig3() error {
-	_, spms, caches, err := sweepData("G.721")
+// all regenerates every table and figure from one shared data set: each
+// benchmark is swept once (benchmarks in parallel, artifacts memoized per
+// pipeline) and the figures are projections of those measurements.
+func all() error {
+	table1()
+	table2()
+	sweeps, err := core.SweepAllBenchmarks(0)
 	if err != nil {
 		return err
 	}
+	byName := make(map[string]core.BenchmarkSweep, len(sweeps))
+	for _, s := range sweeps {
+		byName[s.Lab.Bench.Name] = s
+	}
+	for _, name := range []string{"G.721", "MultiSort", "ADPCM"} {
+		if _, ok := byName[name]; !ok {
+			return fmt.Errorf("all: benchmark %s missing from the registry sweep", name)
+		}
+	}
+	g721, multisort, adpcm := byName["G.721"], byName["MultiSort"], byName["ADPCM"]
+	printFig3(g721.SPM, g721.Cache)
+	printFigRatio("Figure 4: G.721 ratio of WCET and simulated cycles", g721.SPM, g721.Cache)
+	printFigRatio("Figure 5: MultiSort ratio of WCET and simulated cycles", multisort.SPM, multisort.Cache)
+	printFig6(adpcm.SPM, adpcm.Cache)
+	return precision()
+}
+
+func fig3() error {
+	spms, caches, err := sweepData("G.721")
+	if err != nil {
+		return err
+	}
+	printFig3(spms, caches)
+	return nil
+}
+
+func printFig3(spms, caches []core.Measurement) {
 	header("Figure 3a: G.721 using a scratchpad (simulated cycles and WCET)")
 	fmt.Printf("%8s %12s %12s\n", "SPM [B]", "sim cycles", "WCET")
 	for _, m := range spms {
@@ -162,30 +206,37 @@ func fig3() error {
 	for _, m := range caches {
 		fmt.Printf("%8d %12d %12d\n", m.CacheSize, m.SimCycles, m.WCET)
 	}
-	return nil
 }
 
 func figRatio(bench, title string) error {
-	_, spms, caches, err := sweepData(bench)
+	spms, caches, err := sweepData(bench)
 	if err != nil {
 		return err
 	}
+	printFigRatio(title, spms, caches)
+	return nil
+}
+
+func printFigRatio(title string, spms, caches []core.Measurement) {
 	header(title + " (simulated cycles normalised to 1)")
 	fmt.Printf("%8s %14s %14s\n", "size [B]", "SPM WCET/sim", "cache WCET/sim")
 	for i := range spms {
 		fmt.Printf("%8d %14.3f %14.3f\n", spms[i].SPMSize, spms[i].Ratio(), caches[i].Ratio())
 	}
-	return nil
 }
 
 func fig6() error {
-	_, spms, caches, err := sweepData("ADPCM")
+	spms, caches, err := sweepData("ADPCM")
 	if err != nil {
 		return err
 	}
+	printFig6(spms, caches)
+	return nil
+}
+
+func printFig6(spms, caches []core.Measurement) {
 	header("Figure 6: ADPCM benchmark (simulated cycles and WCET, SPM vs cache)")
 	printSweep(spms, caches)
-	return nil
 }
 
 func precision() error {
@@ -215,7 +266,7 @@ func precision() error {
 }
 
 func sweep(name string) error {
-	_, spms, caches, err := sweepData(name)
+	spms, caches, err := sweepData(name)
 	if err != nil {
 		return err
 	}
@@ -251,5 +302,86 @@ func wcetsweep(name string) error {
 	fmt.Println("\nThe WCET-directed allocation's bound is never above the energy-directed")
 	fmt.Println("one's; where the worst-case path diverges from the typical input, it is")
 	fmt.Println("strictly tighter at the cost of a slightly higher average-case energy.")
+	return nil
+}
+
+// witness prints the top-N worst-case basic blocks and memory objects from
+// the exported IPET witness of the baseline (empty scratchpad) analysis —
+// the first step toward worst-case path visualisation: it names exactly
+// the code and data the compositional bound charges for.
+func witness(name string, topN int) error {
+	lab, err := core.NewLabByName(name)
+	if err != nil {
+		return err
+	}
+	res, err := lab.Pipe.Analyze(0, nil, wcet.Options{Witness: true})
+	if err != nil {
+		return err
+	}
+	w := res.Witness
+	header(fmt.Sprintf("Worst-case witness: %s (WCET %d cycles, empty scratchpad)", name, res.WCET))
+
+	type objRow struct {
+		name          string
+		fetches, data uint64
+		benefit       int64
+	}
+	var objs []objRow
+	for oname, ac := range w.ObjectAccesses {
+		var data uint64
+		for _, n := range ac.Data {
+			data += n
+		}
+		objs = append(objs, objRow{oname, ac.Fetches, data, ac.SPMCycleBenefit()})
+	}
+	sort.Slice(objs, func(i, j int) bool {
+		if objs[i].benefit != objs[j].benefit {
+			return objs[i].benefit > objs[j].benefit
+		}
+		return objs[i].name < objs[j].name
+	})
+	fmt.Printf("\nTop %d memory objects by worst-case cycles recoverable via scratchpad:\n", topN)
+	fmt.Printf("%4s %-20s %12s %12s %14s %8s\n", "rank", "object", "fetches", "data accs", "benefit [cyc]", "of WCET")
+	for i, o := range objs {
+		if i >= topN {
+			break
+		}
+		fmt.Printf("%4d %-20s %12d %12d %14d %7.2f%%\n",
+			i+1, o.name, o.fetches, o.data, o.benefit, 100*float64(o.benefit)/float64(res.WCET))
+	}
+
+	type blockRow struct {
+		fn    string
+		block int
+		count uint64
+	}
+	var blocks []blockRow
+	for fn, counts := range w.BlockCounts {
+		for i, c := range counts {
+			if c > 0 {
+				blocks = append(blocks, blockRow{fn, i, c})
+			}
+		}
+	}
+	sort.Slice(blocks, func(i, j int) bool {
+		if blocks[i].count != blocks[j].count {
+			return blocks[i].count > blocks[j].count
+		}
+		if blocks[i].fn != blocks[j].fn {
+			return blocks[i].fn < blocks[j].fn
+		}
+		return blocks[i].block < blocks[j].block
+	})
+	fmt.Printf("\nTop %d basic blocks by worst-case execution count:\n", topN)
+	fmt.Printf("%4s %-26s %12s %12s\n", "rank", "block", "count", "func runs")
+	for i, b := range blocks {
+		if i >= topN {
+			break
+		}
+		fmt.Printf("%4d %-26s %12d %12d\n",
+			i+1, fmt.Sprintf("%s#%d", b.fn, b.block), b.count, w.FuncRuns[b.fn])
+	}
+	fmt.Println("\nCounts are whole-program worst-case executions the IPET bound charges")
+	fmt.Println("for (per-invocation solution × worst-case invocations of the function).")
 	return nil
 }

@@ -10,18 +10,24 @@
 //     the abstract-interpretation cache module.
 //
 // Every figure and table of the paper is a projection of the Measurement
-// values this package produces.
+// values this package produces. All linking, simulation and analysis goes
+// through the benchmark's pipeline.Pipeline, so no identical artifact is
+// ever produced twice within one Lab, and sweeps run their capacities on a
+// bounded worker pool (Lab.Workers) with deterministic, order-stable
+// output.
 package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/benchprog"
 	"repro/internal/cache"
 	"repro/internal/cc"
 	"repro/internal/energy"
-	"repro/internal/link"
 	"repro/internal/obj"
+	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/spm"
 	"repro/internal/wcet"
@@ -61,8 +67,8 @@ func (m Measurement) Ratio() float64 {
 	return float64(m.WCET) / float64(m.SimCycles)
 }
 
-// Lab is a compiled benchmark with its typical-input profile, ready for
-// configuration sweeps.
+// Lab is a compiled benchmark with its typical-input profile and artifact
+// pipeline, ready for configuration sweeps.
 type Lab struct {
 	Bench   benchprog.Benchmark
 	Prog    *obj.Program
@@ -71,6 +77,12 @@ type Lab struct {
 	// StackBound is the stack-usage annotation handed to the cache
 	// analysis: twice the observed depth plus slack.
 	StackBound uint32
+	// Pipe memoizes every link/simulate/analyse artifact of this
+	// benchmark; all measurements are served through it.
+	Pipe *pipeline.Pipeline
+	// Workers bounds the sweep worker pool: 0 means GOMAXPROCS, 1 runs
+	// sequentially. Output order is independent of Workers.
+	Workers int
 }
 
 // NewLab compiles the benchmark and collects its baseline profile.
@@ -79,11 +91,8 @@ func NewLab(b benchprog.Benchmark) (*Lab, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", b.Name, err)
 	}
-	exe, err := link.Link(prog, 0, nil)
-	if err != nil {
-		return nil, fmt.Errorf("core: %s: %w", b.Name, err)
-	}
-	prof, err := sim.CollectProfile(exe, sim.Options{})
+	pipe := pipeline.New(prog)
+	prof, err := pipe.Profile()
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: profiling: %w", b.Name, err)
 	}
@@ -93,6 +102,7 @@ func NewLab(b benchprog.Benchmark) (*Lab, error) {
 		Profile:    prof,
 		Model:      energy.Default(),
 		StackBound: prof.ObservedStackDepth()*2 + 64,
+		Pipe:       pipe,
 	}, nil
 }
 
@@ -105,33 +115,62 @@ func NewLabByName(name string) (*Lab, error) {
 	return NewLab(b)
 }
 
+// ResetArtifacts discards every cached link/simulate/analyse artifact
+// (keeping the compiled program and its profile), e.g. to benchmark cold
+// sweeps.
+func (l *Lab) ResetArtifacts() {
+	l.Pipe = pipeline.New(l.Prog)
+	l.Pipe.PrimeProfile(l.Profile)
+}
+
+// EnergyAllocator returns the energy-directed allocation policy under the
+// lab's energy model.
+func (l *Lab) EnergyAllocator() pipeline.Allocator {
+	return spm.Energy{Model: l.Model}
+}
+
+// WCETAllocator returns the WCET-directed allocation policy, seeded with
+// the energy allocation (so its bound is never worse than the energy
+// policy's) and with the lab's energy model as the equal-bound tie-break.
+func (l *Lab) WCETAllocator() pipeline.Allocator {
+	return wcetalloc.Directed{
+		Opts: wcetalloc.Options{Energy: l.placementEnergy},
+		Seed: l.EnergyAllocator(),
+	}
+}
+
+// placementEnergy models the average-case energy of one placement; the
+// WCET-directed fixpoint uses it to break ties among equal-WCET
+// allocations.
+func (l *Lab) placementEnergy(inSPM map[string]bool) float64 {
+	return l.Model.ProgramEnergy(l.Prog, l.Profile, inSPM)
+}
+
 // Baseline measures the system with neither scratchpad nor cache.
 func (l *Lab) Baseline() (Measurement, error) {
-	exe, err := link.Link(l.Prog, 0, nil)
-	if err != nil {
-		return Measurement{}, err
-	}
-	return l.measure(exe, nil, nil, 0)
+	return l.measure(0, nil, nil, nil)
 }
 
 // WithScratchpad runs the scratchpad branch for one capacity.
 func (l *Lab) WithScratchpad(size uint32) (Measurement, error) {
-	alloc, err := spm.Allocate(l.Prog, l.Profile, size, l.Model)
-	if err != nil {
-		return Measurement{}, err
-	}
-	return l.measureAllocation(size, alloc, 0)
+	return l.WithAllocator(l.EnergyAllocator(), size)
 }
 
-// measureAllocation links one scratchpad allocation and measures it.
-// knownWCET, when non-zero, is a bound already analysed for exactly this
-// placement (e.g. by the wcetalloc fixpoint) and skips the re-analysis.
-func (l *Lab) measureAllocation(size uint32, alloc *spm.Allocation, knownWCET uint64) (Measurement, error) {
-	exe, err := link.Link(l.Prog, size, alloc.InSPM)
+// WithAllocator runs the scratchpad branch for one capacity under any
+// allocation policy.
+func (l *Lab) WithAllocator(a pipeline.Allocator, size uint32) (Measurement, error) {
+	alloc, err := a.Allocate(l.Pipe, size)
 	if err != nil {
 		return Measurement{}, err
 	}
-	m, err := l.measure(exe, nil, alloc, knownWCET)
+	return l.measureAllocation(size, alloc)
+}
+
+// measureAllocation links one scratchpad allocation and measures it. Both
+// the link and the analysis are pipeline artifacts: if the placement was
+// already analysed (e.g. by the wcetalloc fixpoint), the bound is reused.
+func (l *Lab) measureAllocation(size uint32, alloc *spm.Allocation) (Measurement, error) {
+	m, err := l.measure(size, alloc.InSPM, nil, alloc)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -155,11 +194,7 @@ func (l *Lab) WithInstructionCache(size uint32) (Measurement, error) {
 }
 
 func (l *Lab) withCacheConfig(ccfg cache.Config) (Measurement, error) {
-	exe, err := link.Link(l.Prog, 0, nil)
-	if err != nil {
-		return Measurement{}, err
-	}
-	m, err := l.measure(exe, &ccfg, nil, 0)
+	m, err := l.measure(0, nil, &ccfg, nil)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -167,38 +202,32 @@ func (l *Lab) withCacheConfig(ccfg cache.Config) (Measurement, error) {
 	return m, nil
 }
 
-// measure simulates and analyses one configuration. knownWCET, when
-// non-zero, is a bound already analysed for this exact executable and
-// replaces the wcet.Analyze run.
-func (l *Lab) measure(exe *link.Executable, ccfg *cache.Config, alloc *spm.Allocation, knownWCET uint64) (Measurement, error) {
-	res, err := sim.Run(exe, sim.Options{Cache: ccfg})
+// measure simulates and analyses one configuration through the pipeline.
+func (l *Lab) measure(spmSize uint32, inSPM map[string]bool, ccfg *cache.Config, alloc *spm.Allocation) (Measurement, error) {
+	res, err := l.Pipe.Simulate(spmSize, inSPM, ccfg)
 	if err != nil {
 		return Measurement{}, err
 	}
 	if err := l.validateExit(int32(res.ExitCode)); err != nil {
 		return Measurement{}, err
 	}
-	bound := knownWCET
-	if bound == 0 {
-		var wopts wcet.Options
-		if ccfg != nil {
-			wopts.Cache = ccfg
-			wopts.StackBound = l.StackBound
-		}
-		wres, err := wcet.Analyze(exe, wopts)
-		if err != nil {
-			return Measurement{}, err
-		}
-		bound = wres.WCET
+	var wopts wcet.Options
+	if ccfg != nil {
+		wopts.Cache = ccfg
+		wopts.StackBound = l.StackBound
 	}
-	if bound < res.Cycles {
+	wres, err := l.Pipe.Analyze(spmSize, inSPM, wopts)
+	if err != nil {
+		return Measurement{}, err
+	}
+	if wres.WCET < res.Cycles {
 		return Measurement{}, fmt.Errorf("core: %s: unsound bound %d < simulation %d",
-			l.Bench.Name, bound, res.Cycles)
+			l.Bench.Name, wres.WCET, res.Cycles)
 	}
 	m := Measurement{
 		Benchmark:   l.Bench.Name,
 		SimCycles:   res.Cycles,
-		WCET:        bound,
+		WCET:        wres.WCET,
 		CacheHits:   res.CacheHits,
 		CacheMisses: res.CacheMisses,
 	}
@@ -237,24 +266,34 @@ type AllocComparison struct {
 }
 
 // WithWCETAllocation runs both allocators at one capacity and measures the
-// resulting systems side by side. The WCET-directed run is seeded with the
-// energy allocation, so its bound is never worse.
+// resulting systems side by side. The energy allocation is analysed once
+// (with its witness) and handed to the fixpoint as a pre-evaluated seed,
+// so its bound is never worse and the seed analysis is never repeated; the
+// empty-scratchpad baseline inside the fixpoint is a shared,
+// capacity-independent pipeline artifact.
 func (l *Lab) WithWCETAllocation(size uint32) (AllocComparison, error) {
-	ealloc, err := spm.Allocate(l.Prog, l.Profile, size, l.Model)
+	ealloc, err := l.EnergyAllocator().Allocate(l.Pipe, size)
 	if err != nil {
 		return AllocComparison{}, err
 	}
-	em, err := l.measureAllocation(size, ealloc, 0)
+	// Analyse the energy placement with its witness first: the same
+	// artifact serves the Measurement below and seeds the fixpoint.
+	eres, err := l.Pipe.Analyze(size, ealloc.InSPM, wcet.Options{Witness: true})
 	if err != nil {
 		return AllocComparison{}, err
 	}
-	res, err := wcetalloc.Allocate(l.Prog, size, wcetalloc.Options{
-		Seeds: []map[string]bool{ealloc.InSPM},
+	em, err := l.measureAllocation(size, ealloc)
+	if err != nil {
+		return AllocComparison{}, err
+	}
+	res, err := wcetalloc.AllocateIn(l.Pipe, size, wcetalloc.Options{
+		PreEvaluated: []wcetalloc.Evaluation{{InSPM: ealloc.InSPM, WCET: eres.WCET, Witness: eres.Witness}},
+		Energy:       l.placementEnergy,
 	})
 	if err != nil {
 		return AllocComparison{}, err
 	}
-	wm, err := l.measureAllocation(size, &spm.Allocation{InSPM: res.InSPM, Used: res.Used}, res.WCET)
+	wm, err := l.measureAllocation(size, &spm.Allocation{InSPM: res.InSPM, Used: res.Used})
 	if err != nil {
 		return AllocComparison{}, err
 	}
@@ -267,41 +306,108 @@ func (l *Lab) WithWCETAllocation(size uint32) (AllocComparison, error) {
 	}, nil
 }
 
-// SweepWCETAllocation compares the two allocators at every paper capacity.
-func (l *Lab) SweepWCETAllocation() ([]AllocComparison, error) {
-	var out []AllocComparison
-	for _, size := range PaperSizes {
-		c, err := l.WithWCETAllocation(size)
+// forEach runs f(i) for every index on a worker pool of the given size
+// and returns the per-index errors. Results written by f are order-stable
+// (indexed by position, not completion).
+func forEach(n, workers int, f func(int) error) []error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = f(i)
+		}()
+	}
+	wg.Wait()
+	return errs
+}
+
+// sweep runs f over the sizes on the lab's worker pool. The reported
+// error is the one of the lowest-indexed failing size, so parallel and
+// sequential runs are indistinguishable to callers; branch names the
+// sweep in error messages ("spm", "cache", "wcetalloc").
+func sweep[T any](l *Lab, branch string, sizes []uint32, f func(uint32) (T, error)) ([]T, error) {
+	out := make([]T, len(sizes))
+	errs := forEach(len(sizes), l.Workers, func(i int) error {
+		var err error
+		out[i], err = f(sizes[i])
+		return err
+	})
+	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("core: %s wcetalloc %d: %w", l.Bench.Name, size, err)
+			return nil, fmt.Errorf("core: %s %s %d: %w", l.Bench.Name, branch, sizes[i], err)
 		}
-		out = append(out, c)
 	}
 	return out, nil
+}
+
+// SweepWCETAllocation compares the two allocators at every paper capacity.
+func (l *Lab) SweepWCETAllocation() ([]AllocComparison, error) {
+	return sweep(l, "wcetalloc", PaperSizes, l.WithWCETAllocation)
 }
 
 // SweepScratchpad measures every paper scratchpad capacity.
 func (l *Lab) SweepScratchpad() ([]Measurement, error) {
-	var out []Measurement
-	for _, size := range PaperSizes {
-		m, err := l.WithScratchpad(size)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s spm %d: %w", l.Bench.Name, size, err)
-		}
-		out = append(out, m)
-	}
-	return out, nil
+	return sweep(l, "spm", PaperSizes, l.WithScratchpad)
 }
 
 // SweepCache measures every paper cache capacity (direct mapped).
 func (l *Lab) SweepCache() ([]Measurement, error) {
-	var out []Measurement
-	for _, size := range PaperSizes {
-		m, err := l.WithCache(size, 1)
+	return sweep(l, "cache", PaperSizes, func(size uint32) (Measurement, error) {
+		return l.WithCache(size, 1)
+	})
+}
+
+// BenchmarkSweep is one benchmark's full scratchpad and cache sweep.
+type BenchmarkSweep struct {
+	Lab *Lab
+	// SPM and Cache are the PaperSizes sweeps of the two branches.
+	SPM   []Measurement
+	Cache []Measurement
+}
+
+// SweepAllBenchmarks builds a lab for every Table 2 benchmark and runs
+// both sweeps, benchmarks in parallel (each with its own pipeline and
+// worker pool). The slice follows the registry order regardless of
+// completion order; workers ≤ 0 means GOMAXPROCS.
+func SweepAllBenchmarks(workers int) ([]BenchmarkSweep, error) {
+	benches := benchprog.All()
+	out := make([]BenchmarkSweep, len(benches))
+	errs := forEach(len(benches), workers, func(i int) error {
+		var err error
+		out[i], err = sweepOneBenchmark(benches[i])
+		return err
+	})
+	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("core: %s cache %d: %w", l.Bench.Name, size, err)
+			return nil, fmt.Errorf("core: %s: %w", benches[i].Name, err)
 		}
-		out = append(out, m)
 	}
 	return out, nil
+}
+
+func sweepOneBenchmark(b benchprog.Benchmark) (BenchmarkSweep, error) {
+	lab, err := NewLab(b)
+	if err != nil {
+		return BenchmarkSweep{}, err
+	}
+	spms, err := lab.SweepScratchpad()
+	if err != nil {
+		return BenchmarkSweep{}, err
+	}
+	caches, err := lab.SweepCache()
+	if err != nil {
+		return BenchmarkSweep{}, err
+	}
+	return BenchmarkSweep{Lab: lab, SPM: spms, Cache: caches}, nil
 }

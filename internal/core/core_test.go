@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/benchprog"
@@ -196,6 +197,173 @@ func TestInstructionCacheAblation(t *testing.T) {
 	t.Logf("1KB: unified sim %d wcet %d (ratio %.2f); icache sim %d wcet %d (ratio %.2f)",
 		unified.SimCycles, unified.WCET, unified.Ratio(),
 		icache.SimCycles, icache.WCET, icache.Ratio())
+}
+
+// TestSweepWCETAllocationNoDuplicateAnalyses: the ROADMAP's ~16 redundant
+// link+analyse runs per WCET-allocation sweep are gone. The pipeline's
+// counters prove it three ways: no analysis is ever re-run to attach a
+// witness (upgrades), the redundancy the old implementation recomputed
+// (seed analyses, per-size empty baselines, measurement re-analyses) is
+// served from the cache, and a full second sweep adds zero cold runs.
+func TestSweepWCETAllocationNoDuplicateAnalyses(t *testing.T) {
+	l, err := NewLabByName("MultiSort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := l.SweepWCETAllocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := l.Pipe.Stats()
+	if s.AnalyzeUpgrades != 0 {
+		t.Errorf("%d witness upgrades: some placement was analysed twice", s.AnalyzeUpgrades)
+	}
+	// Old flow per size: 1 energy-seed analysis inside wcetalloc (the
+	// measurement layer analysed it again) + 1 capacity-dependent empty
+	// baseline; over 8 sizes that is ≥ 16 redundant runs, now cache hits.
+	if s.AnalyzeHits < 16 {
+		t.Errorf("only %d analysis cache hits; the old redundancy was not deduplicated", s.AnalyzeHits)
+	}
+	t.Logf("sweep artifacts: %d analyses (%d hits), %d links (%d hits), %d sims (%d hits)",
+		s.Analyses, s.AnalyzeHits, s.Links, s.LinkHits, s.Sims, s.SimHits)
+
+	// Re-sweeping may not produce a single new artifact, and the results
+	// must be identical.
+	second, err := l.SweepWCETAllocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := l.Pipe.Stats()
+	if s2.Analyses != s.Analyses || s2.Links != s.Links || s2.Sims != s.Sims {
+		t.Errorf("second sweep ran cold stages: analyses %d→%d links %d→%d sims %d→%d",
+			s.Analyses, s2.Analyses, s.Links, s2.Links, s.Sims, s2.Sims)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("repeated sweep changed results")
+	}
+}
+
+// TestParallelSweepMatchesSequential: every sweep must produce identical,
+// order-stable results regardless of the worker pool size.
+func TestParallelSweepMatchesSequential(t *testing.T) {
+	seq, err := NewLabByName("ADPCM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.Workers = 1
+	par, err := NewLabByName("ADPCM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.Workers = 8
+
+	spmSeq, err := seq.SweepScratchpad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spmPar, err := par.SweepScratchpad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spmSeq, spmPar) {
+		t.Errorf("scratchpad sweep differs: sequential %+v parallel %+v", spmSeq, spmPar)
+	}
+
+	cacheSeq, err := seq.SweepCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachePar, err := par.SweepCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cacheSeq, cachePar) {
+		t.Errorf("cache sweep differs: sequential %+v parallel %+v", cacheSeq, cachePar)
+	}
+
+	wSeq, err := seq.SweepWCETAllocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wPar, err := par.SweepWCETAllocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wSeq, wPar) {
+		t.Errorf("WCET-allocation sweep differs between worker counts")
+	}
+}
+
+// TestSweepAllBenchmarksMatchesPerLab: the all-benchmarks parallel sweep
+// must equal per-benchmark sequential sweeps, in registry order.
+func TestSweepAllBenchmarksMatchesPerLab(t *testing.T) {
+	sweeps, err := SweepAllBenchmarks(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	benches := benchprog.All()
+	if len(sweeps) != len(benches) {
+		t.Fatalf("got %d sweeps for %d benchmarks", len(sweeps), len(benches))
+	}
+	for i, b := range benches {
+		if sweeps[i].Lab.Bench.Name != b.Name {
+			t.Fatalf("sweep %d is %s, want registry order %s", i, sweeps[i].Lab.Bench.Name, b.Name)
+		}
+		l := labFor(t, b.Name)
+		l.Workers = 1
+		spms, err := l.SweepScratchpad()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(spms, sweeps[i].SPM) {
+			t.Errorf("%s: parallel all-benchmarks SPM sweep differs from sequential", b.Name)
+		}
+	}
+}
+
+// TestWithAllocatorWCETNotWorse: the Allocator-interface path must
+// preserve the guarantee of the specialised one — the WCET policy is
+// seeded with the energy allocation, so its measured bound is never above
+// the energy policy's at the same capacity.
+func TestWithAllocatorWCETNotWorse(t *testing.T) {
+	l := labFor(t, "MultiSort")
+	for _, size := range []uint32{128, 512, 2048} {
+		em, err := l.WithAllocator(l.EnergyAllocator(), size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wm, err := l.WithAllocator(l.WCETAllocator(), size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wm.WCET > em.WCET {
+			t.Errorf("spm %d: WCET policy bound %d above energy policy's %d", size, wm.WCET, em.WCET)
+		}
+	}
+}
+
+// TestWCETAllocationDeterministic: the tie-broken fixpoint must report a
+// canonical placement — byte-identical across repeated runs on fresh labs.
+func TestWCETAllocationDeterministic(t *testing.T) {
+	a, err := NewLabByName("G.721")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewLabByName("G.721")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := a.WithWCETAllocation(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.WithWCETAllocation(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ca, cb) {
+		t.Errorf("WCET allocation not deterministic:\n%+v\nvs\n%+v", ca, cb)
+	}
 }
 
 func TestAllBenchmarksBaseline(t *testing.T) {

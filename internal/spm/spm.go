@@ -21,19 +21,32 @@ import (
 	"repro/internal/ilp"
 	"repro/internal/lp"
 	"repro/internal/obj"
+	"repro/internal/pipeline"
 	"repro/internal/sim"
 )
 
-// Allocation is the result of a scratchpad allocation.
-type Allocation struct {
-	// InSPM names the objects placed in the scratchpad.
-	InSPM map[string]bool
-	// Benefit is the total benefit in the allocator's objective (nJ per
-	// program run for the energy knapsack).
-	Benefit float64
-	// Used is the number of scratchpad bytes occupied (ignoring alignment
-	// padding, which the linker re-checks).
-	Used uint32
+// Allocation is the result of a scratchpad allocation. It is the shared
+// allocation type of every allocator in the repository (an alias of
+// pipeline.Allocation, which internal/wcetalloc converts to as well).
+type Allocation = pipeline.Allocation
+
+// Energy is the energy-directed allocation policy as a pipeline.Allocator:
+// the Steinke knapsack over the pipeline's memoized typical-input profile.
+type Energy struct {
+	Model energy.Model
+}
+
+// Name identifies the policy.
+func (Energy) Name() string { return "energy" }
+
+// Allocate solves the energy knapsack at one capacity using the pipeline's
+// profile artifact.
+func (a Energy) Allocate(p *pipeline.Pipeline, capacity uint32) (*Allocation, error) {
+	prof, err := p.Profile()
+	if err != nil {
+		return nil, err
+	}
+	return Allocate(p.Prog, prof, capacity, a.Model)
 }
 
 // Item is one knapsack candidate: a memory object with its occupancy and

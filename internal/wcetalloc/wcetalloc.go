@@ -13,15 +13,24 @@
 // scratchpad access is at least as cheap as its main-memory counterpart
 // and the analysis is cache-less (region timings only), the accepted
 // bound is monotonically non-increasing across iterations.
+//
+// Every link+analyse the fixpoint performs goes through a
+// pipeline.Pipeline, so evaluations are memoized: the capacity-independent
+// empty-scratchpad baseline is analysed once per program (not once per
+// swept capacity), already-evaluated allocations are never re-analysed,
+// and pre-evaluated seeds (Options.PreEvaluated — e.g. the energy
+// allocation internal/core has already analysed) enter the loop without
+// any analysis at all.
 package wcetalloc
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
-	"repro/internal/link"
 	"repro/internal/obj"
+	"repro/internal/pipeline"
 	"repro/internal/spm"
 	"repro/internal/wcet"
 )
@@ -29,6 +38,20 @@ import (
 // DefaultMaxIter caps the re-link/re-analyse loop; the benchmarks converge
 // in one or two iterations.
 const DefaultMaxIter = 8
+
+// Evaluation is a pre-evaluated allocation: a placement together with the
+// bound and witness an earlier analysis certified for it. Passing one in
+// Options.PreEvaluated seeds the fixpoint without re-running the analysis.
+type Evaluation struct {
+	// InSPM names the objects placed in the scratchpad.
+	InSPM map[string]bool
+	// WCET is the analysed bound under InSPM.
+	WCET uint64
+	// Witness is the worst-case-path witness of the same analysis; it must
+	// come from a witness-enabled run (Evaluations without a witness are
+	// treated as plain Seeds and re-analysed).
+	Witness *wcet.Witness
+}
 
 // Options configures an allocation run.
 type Options struct {
@@ -39,6 +62,15 @@ type Options struct {
 	// energy-directed allocation — so the result is never worse than the
 	// best seed. Seeds that do not fit the capacity are rejected.
 	Seeds []map[string]bool
+	// PreEvaluated are seeds whose bound and witness are already known
+	// (e.g. analysed by the measurement pipeline); they enter the loop
+	// without a link+analyse run. Capacity and object checks still apply.
+	PreEvaluated []Evaluation
+	// Energy, when non-nil, models the average-case energy of a placement
+	// and breaks ties among equal-WCET allocations: the lower-energy one
+	// is kept, making the reported placement canonical. When nil, the
+	// most recently evaluated equal-WCET allocation wins (legacy order).
+	Energy func(inSPM map[string]bool) float64
 	// MaxIter bounds the number of knapsack/re-analysis rounds
 	// (DefaultMaxIter when zero).
 	MaxIter int
@@ -72,30 +104,75 @@ type Result struct {
 	Converged bool
 }
 
+// Directed is the WCET-directed allocation policy as a pipeline.Allocator.
+type Directed struct {
+	Opts Options
+	// Seed, when non-nil, supplies an additional seed allocation per
+	// capacity (typically the energy policy), so the interface preserves
+	// the never-worse-than-seed guarantee the fixpoint gives its seeds.
+	Seed pipeline.Allocator
+}
+
+// Name identifies the policy.
+func (Directed) Name() string { return "wcet" }
+
+// Allocate runs the fixpoint against the pipeline and converts the result
+// to the shared allocation type; Benefit is the worst-case cycles saved
+// over the empty-scratchpad baseline.
+func (d Directed) Allocate(p *pipeline.Pipeline, capacity uint32) (*pipeline.Allocation, error) {
+	opts := d.Opts
+	if d.Seed != nil {
+		sa, err := d.Seed.Allocate(p, capacity)
+		if err != nil {
+			return nil, err
+		}
+		opts.Seeds = append(append([]map[string]bool{}, opts.Seeds...), sa.InSPM)
+	}
+	r, err := AllocateIn(p, capacity, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &pipeline.Allocation{
+		InSPM:   r.InSPM,
+		Benefit: float64(r.Baseline - r.WCET),
+		Used:    r.Used,
+	}, nil
+}
+
 // Allocate runs the WCET-directed fixpoint with the branch & bound ILP
-// knapsack (the paper's solver architecture).
+// knapsack (the paper's solver architecture) on a private pipeline.
 func Allocate(prog *obj.Program, capacity uint32, opts Options) (*Result, error) {
-	return run(prog, capacity, opts, spm.Knapsack)
+	return run(pipeline.New(prog), capacity, opts, spm.Knapsack)
 }
 
 // AllocateDP runs the same fixpoint with the exact dynamic-programming
 // knapsack; it exists to cross-check the ILP path.
 func AllocateDP(prog *obj.Program, capacity uint32, opts Options) (*Result, error) {
-	return run(prog, capacity, opts, spm.KnapsackDP)
+	return run(pipeline.New(prog), capacity, opts, spm.KnapsackDP)
 }
 
-// evaluation is one linked+analysed allocation.
+// AllocateIn runs the ILP fixpoint against a shared pipeline, so its
+// link+analyse artifacts are shared with every other measurement made
+// through the same pipeline (and across capacities of a sweep).
+func AllocateIn(p *pipeline.Pipeline, capacity uint32, opts Options) (*Result, error) {
+	return run(p, capacity, opts, spm.Knapsack)
+}
+
+// evaluation is one linked+analysed allocation. energy memoizes the
+// Options.Energy value (NaN until computed).
 type evaluation struct {
 	inSPM   map[string]bool
 	used    uint32
 	wcet    uint64
 	witness *wcet.Witness
+	energy  float64
 }
 
-func run(prog *obj.Program, capacity uint32, opts Options, solve func([]spm.Item, uint32) (*spm.Allocation, error)) (*Result, error) {
+func run(p *pipeline.Pipeline, capacity uint32, opts Options, solve func([]spm.Item, uint32) (*spm.Allocation, error)) (*Result, error) {
 	if opts.WCET.Cache != nil {
 		return nil, fmt.Errorf("wcetalloc: combined scratchpad+cache analysis is not modelled")
 	}
+	prog := p.Prog
 	maxIter := opts.MaxIter
 	if maxIter <= 0 {
 		maxIter = DefaultMaxIter
@@ -103,22 +180,41 @@ func run(prog *obj.Program, capacity uint32, opts Options, solve func([]spm.Item
 	wopts := opts.WCET
 	wopts.Witness = true
 
-	evaluate := func(inSPM map[string]bool) (*evaluation, error) {
-		exe, err := link.Link(prog, capacity, inSPM)
-		if err != nil {
-			return nil, fmt.Errorf("wcetalloc: %w", err)
-		}
-		res, err := wcet.Analyze(exe, wopts)
-		if err != nil {
-			return nil, fmt.Errorf("wcetalloc: %w", err)
-		}
+	usedBytes := func(inSPM map[string]bool) uint32 {
 		var used uint32
 		for name, in := range inSPM {
 			if in {
 				used += spm.AlignedSize(prog.Object(name))
 			}
 		}
-		return &evaluation{inSPM: inSPM, used: used, wcet: res.WCET, witness: res.Witness}, nil
+		return used
+	}
+	evaluate := func(inSPM map[string]bool) (*evaluation, error) {
+		res, err := p.Analyze(capacity, inSPM, wopts)
+		if err != nil {
+			return nil, fmt.Errorf("wcetalloc: %w", err)
+		}
+		return &evaluation{inSPM: inSPM, used: usedBytes(inSPM), wcet: res.WCET, witness: res.Witness, energy: math.NaN()}, nil
+	}
+	// modelledEnergy memoizes Options.Energy per evaluation.
+	modelledEnergy := func(ev *evaluation) float64 {
+		if math.IsNaN(ev.energy) {
+			ev.energy = opts.Energy(ev.inSPM)
+		}
+		return ev.energy
+	}
+	// better reports whether ev beats the incumbent: a strictly lower
+	// bound always wins; on an equal bound the tie-break (lower modelled
+	// energy) decides, or, without an energy model, the newcomer wins
+	// (legacy behaviour).
+	better := func(ev, incumbent *evaluation) bool {
+		if ev.wcet != incumbent.wcet {
+			return ev.wcet < incumbent.wcet
+		}
+		if opts.Energy == nil {
+			return true
+		}
+		return modelledEnergy(ev) < modelledEnergy(incumbent)
 	}
 
 	base, err := evaluate(map[string]bool{})
@@ -134,7 +230,26 @@ func run(prog *obj.Program, capacity uint32, opts Options, solve func([]spm.Item
 
 	// Seeds (e.g. the energy-directed allocation): the result can only be
 	// at least as good as the best of them. Seeds naming unknown objects
-	// or exceeding the capacity are rejected, not errors.
+	// or exceeding the capacity are rejected, not errors. Pre-evaluated
+	// seeds carry their bound and witness and skip the analysis.
+	accept := func(ev *evaluation) {
+		if ev.wcet <= best.wcet && better(ev, best) {
+			best = ev
+			r.Iterations = append(r.Iterations, Iteration{InSPM: ev.inSPM, Used: ev.used, WCET: ev.wcet})
+		}
+	}
+	for _, pre := range opts.PreEvaluated {
+		if pre.Witness == nil {
+			opts.Seeds = append(opts.Seeds, pre.InSPM)
+			continue
+		}
+		seed := fittingSeed(prog, pre.InSPM, capacity)
+		if len(seed) == 0 || seen[allocKey(seed)] {
+			continue
+		}
+		seen[allocKey(seed)] = true
+		accept(&evaluation{inSPM: seed, used: usedBytes(seed), wcet: pre.WCET, witness: pre.Witness, energy: math.NaN()})
+	}
 	for _, seed := range opts.Seeds {
 		seed = fittingSeed(prog, seed, capacity)
 		if len(seed) == 0 || seen[allocKey(seed)] {
@@ -145,10 +260,7 @@ func run(prog *obj.Program, capacity uint32, opts Options, solve func([]spm.Item
 		if err != nil {
 			return nil, err
 		}
-		if ev.wcet <= best.wcet {
-			best = ev
-			r.Iterations = append(r.Iterations, Iteration{InSPM: ev.inSPM, Used: ev.used, WCET: ev.wcet})
-		}
+		accept(ev)
 	}
 
 	for i := 0; i < maxIter; i++ {
@@ -176,11 +288,14 @@ func run(prog *obj.Program, capacity uint32, opts Options, solve func([]spm.Item
 			break
 		}
 		stalled := ev.wcet == best.wcet
-		best = ev
-		r.Iterations = append(r.Iterations, Iteration{InSPM: ev.inSPM, Used: ev.used, WCET: ev.wcet})
+		if better(ev, best) {
+			best = ev
+			r.Iterations = append(r.Iterations, Iteration{InSPM: ev.inSPM, Used: ev.used, WCET: ev.wcet})
+		}
 		if stalled {
 			// Equal bound under a new allocation: further rounds can only
-			// oscillate between equally worst paths.
+			// oscillate between equally worst paths. The tie-break above
+			// decided which of the two equal-WCET placements is canonical.
 			r.Converged = true
 			break
 		}

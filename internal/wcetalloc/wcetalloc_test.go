@@ -2,12 +2,15 @@ package wcetalloc_test
 
 import (
 	"math/bits"
+	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/benchprog"
 	"repro/internal/cache"
 	"repro/internal/cc"
 	"repro/internal/core"
+	"repro/internal/pipeline"
 	"repro/internal/spm"
 	"repro/internal/wcet"
 	"repro/internal/wcetalloc"
@@ -250,5 +253,204 @@ func TestWCETDirectedNotWorseThanEnergy(t *testing.T) {
 			t.Logf("%s spm %5d: energy-alloc WCET %9d | wcet-alloc WCET %9d (%d iters)",
 				b.Name, c.SPMSize, c.Energy.WCET, c.WCET.WCET, c.Iterations)
 		}
+	}
+}
+
+// symmetricProgram has two arrays with byte-identical access patterns, so
+// placing either one yields exactly the same WCET bound — a genuine tie
+// for the fixpoint's secondary objective to break.
+const symmetricProgram = `
+int b1[16];
+int b2[16];
+
+int sum1() {
+    int s = 0;
+    for (int i = 0; i < 16; i += 1) s = s + b1[i];
+    return s;
+}
+
+int sum2() {
+    int s = 0;
+    for (int i = 0; i < 16; i += 1) s = s + b2[i];
+    return s;
+}
+
+int main() {
+    int s = 0;
+    for (int k = 0; k < 4; k += 1) s = s + sum1() + sum2();
+    return s & 7;
+}
+`
+
+// placementNames canonicalises an allocation set for comparison.
+func placementNames(inSPM map[string]bool) []string {
+	var names []string
+	for n, in := range inSPM {
+		if in {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TestTieBreakPrefersLowerEnergy: among equal-WCET allocations the
+// fixpoint must keep the one the energy model prices lower, whichever
+// order the candidates arrive in — the reported placement is canonical.
+func TestTieBreakPrefersLowerEnergy(t *testing.T) {
+	prog, err := cc.Compile(symmetricProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify the tie is real: each array alone certifies the same bound.
+	only1, err := wcetalloc.Allocate(prog, 64, wcetalloc.Options{
+		Seeds: []map[string]bool{{"b1": true}}, MaxIter: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	only2, err := wcetalloc.Allocate(prog, 64, wcetalloc.Options{
+		Seeds: []map[string]bool{{"b2": true}}, MaxIter: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(only1.Iterations) < 2 || len(only2.Iterations) < 2 {
+		t.Fatal("seeds were not accepted")
+	}
+	if w1, w2 := only1.Iterations[1].WCET, only2.Iterations[1].WCET; w1 != w2 {
+		t.Skipf("program not symmetric after all: %d vs %d", w1, w2)
+	}
+
+	// An energy model that prices b2 cheaper must canonicalise on b2, in
+	// either seed order; pricing b1 cheaper must canonicalise on b1.
+	price := func(cheap string) func(map[string]bool) float64 {
+		return func(inSPM map[string]bool) float64 {
+			e := 100.0
+			for n, in := range inSPM {
+				if !in {
+					continue
+				}
+				if n == cheap {
+					e -= 10
+				} else {
+					e -= 5
+				}
+			}
+			return e
+		}
+	}
+	for _, tc := range []struct {
+		cheap string
+		seeds []map[string]bool
+	}{
+		{"b2", []map[string]bool{{"b1": true}, {"b2": true}}},
+		{"b2", []map[string]bool{{"b2": true}, {"b1": true}}},
+		{"b1", []map[string]bool{{"b1": true}, {"b2": true}}},
+		{"b1", []map[string]bool{{"b2": true}, {"b1": true}}},
+	} {
+		r, err := wcetalloc.Allocate(prog, 64, wcetalloc.Options{
+			Seeds:   tc.seeds,
+			Energy:  price(tc.cheap),
+			MaxIter: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := r.Iterations[len(r.Iterations)-1]
+		if last.WCET == only1.Iterations[1].WCET && !last.InSPM[tc.cheap] {
+			t.Errorf("cheap=%s seeds=%v: accepted %v, want the lower-energy placement",
+				tc.cheap, tc.seeds, placementNames(last.InSPM))
+		}
+	}
+}
+
+// TestTieBreakDeterministic: with the tie-break in place, repeated runs
+// must report byte-identical placements and traces.
+func TestTieBreakDeterministic(t *testing.T) {
+	prog, err := cc.Compile(symmetricProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	energy := func(inSPM map[string]bool) float64 {
+		e := 0.0
+		for n, in := range inSPM {
+			if in {
+				e -= float64(len(n))
+			}
+		}
+		return e
+	}
+	var first *wcetalloc.Result
+	for i := 0; i < 5; i++ {
+		r, err := wcetalloc.Allocate(prog, 128, wcetalloc.Options{Energy: energy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = r
+			continue
+		}
+		if !reflect.DeepEqual(placementNames(r.InSPM), placementNames(first.InSPM)) ||
+			r.WCET != first.WCET || len(r.Iterations) != len(first.Iterations) {
+			t.Fatalf("run %d diverged: %v (%d) vs %v (%d)", i,
+				placementNames(r.InSPM), r.WCET, placementNames(first.InSPM), first.WCET)
+		}
+	}
+}
+
+// TestPreEvaluatedSeedSkipsAnalysis: a pre-evaluated seed (bound + witness
+// from an earlier pipeline analysis) must enter the fixpoint without a
+// fresh link+analyse run and produce the same result as a plain seed.
+func TestPreEvaluatedSeedSkipsAnalysis(t *testing.T) {
+	prog, err := cc.Compile(testProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := map[string]bool{"b": true}
+
+	plain, err := wcetalloc.Allocate(prog, 128, wcetalloc.Options{
+		Seeds: []map[string]bool{seed},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := pipeline.New(prog)
+	seedRes, err := p.Analyze(128, seed, wcet.Options{Witness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.Stats()
+	pre, err := wcetalloc.AllocateIn(p, 128, wcetalloc.Options{
+		PreEvaluated: []wcetalloc.Evaluation{{InSPM: seed, WCET: seedRes.WCET, Witness: seedRes.Witness}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := p.Stats()
+
+	if pre.WCET != plain.WCET || pre.Baseline != plain.Baseline {
+		t.Errorf("pre-evaluated run diverged: WCET %d vs %d, baseline %d vs %d",
+			pre.WCET, plain.WCET, pre.Baseline, plain.Baseline)
+	}
+	if !reflect.DeepEqual(placementNames(pre.InSPM), placementNames(plain.InSPM)) {
+		t.Errorf("placements differ: %v vs %v", placementNames(pre.InSPM), placementNames(plain.InSPM))
+	}
+	// The seed itself must not have been re-analysed: the only new cold
+	// analyses are the empty baseline and post-knapsack placements, and
+	// re-requesting the seed's analysis is a hit.
+	if hits := after.AnalyzeHits - before.AnalyzeHits; hits != 0 {
+		t.Logf("seed artifacts reused: %d hits", hits)
+	}
+	if after.AnalyzeUpgrades != 0 {
+		t.Errorf("%d witness upgrades during pre-evaluated run", after.AnalyzeUpgrades)
+	}
+	reRes, err := p.Analyze(128, seed, wcet.Options{Witness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reRes != seedRes {
+		t.Error("seed analysis was re-run despite pre-evaluation")
 	}
 }
