@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check ci fmt vet build test test-race bench
+.PHONY: check ci fmt vet build test test-race bench wcetlab warmstore smoke
 
 # Tier-1 verification plus formatting/lint gates.
 check: fmt vet build test
 
-# What .github/workflows/ci.yml runs: check, with the race detector on.
-ci: fmt vet build test-race
+# What .github/workflows/ci.yml runs: check with the race detector on,
+# plus the warm-store determinism check and the serve smoke test.
+ci: fmt vet build test-race warmstore smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -26,3 +27,39 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+wcetlab:
+	$(GO) build -o bin/wcetlab ./cmd/wcetlab
+
+# Warm-store determinism: run the full regeneration twice against one
+# shared artifact store; the second pass must report zero disk misses
+# (nothing recomputed) and print byte-identical tables and figures.
+warmstore: wcetlab
+	@set -e; dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	./bin/wcetlab -store "$$dir/store" all > "$$dir/cold.txt"; \
+	./bin/wcetlab -store "$$dir/store" all > "$$dir/warm.txt"; \
+	grep -Eq 'artifact store: [0-9]+ disk hits, 0 disk misses' "$$dir/warm.txt" || { \
+		echo "warmstore: warm run had disk misses:"; \
+		grep 'artifact store' "$$dir/warm.txt"; exit 1; }; \
+	awk '/Pipeline statistics/{exit} {print}' "$$dir/cold.txt" > "$$dir/cold.head"; \
+	awk '/Pipeline statistics/{exit} {print}' "$$dir/warm.txt" > "$$dir/warm.head"; \
+	cmp -s "$$dir/cold.head" "$$dir/warm.head" || { \
+		echo "warmstore: warm output differs from cold:"; \
+		diff "$$dir/cold.head" "$$dir/warm.head" | head -20; exit 1; }; \
+	echo "warmstore: ok (zero disk misses, identical figures)"
+
+# HTTP smoke: start `wcetlab serve` on an ephemeral port, make one
+# /v1/wcet request and one /v1/stats request against it.
+smoke: wcetlab
+	@set -e; dir=$$(mktemp -d); pid=""; \
+	trap 'test -n "$$pid" && kill "$$pid" 2>/dev/null; rm -rf "$$dir"' EXIT; \
+	./bin/wcetlab -store "$$dir/store" -addr 127.0.0.1:0 serve 2> "$$dir/serve.log" & pid=$$!; \
+	url=""; i=0; while [ $$i -lt 100 ]; do \
+		url=$$(sed -n 's#.*serving on \(http://[^ ]*\).*#\1#p' "$$dir/serve.log"); \
+		[ -n "$$url" ] && break; i=$$((i+1)); sleep 0.1; done; \
+	[ -n "$$url" ] || { echo "smoke: server did not start"; cat "$$dir/serve.log"; exit 1; }; \
+	curl -fsS "$$url/v1/wcet?bench=WorstCaseSort&spm=512" | grep -q '"wcet"' || { \
+		echo "smoke: /v1/wcet failed"; exit 1; }; \
+	curl -fsS "$$url/v1/stats" | grep -q '"workers"' || { \
+		echo "smoke: /v1/stats failed"; exit 1; }; \
+	echo "smoke: ok ($$url)"

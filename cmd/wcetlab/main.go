@@ -1,4 +1,5 @@
-// Command wcetlab regenerates every table and figure of the paper as text:
+// Command wcetlab regenerates every table and figure of the paper as text
+// and serves the same measurements over HTTP:
 //
 //	wcetlab table1              Table 1: cycles per memory access
 //	wcetlab table2              Table 2: benchmark list
@@ -10,35 +11,71 @@
 //	wcetlab sweep <benchmark>   full sweep table for any Table 2 benchmark
 //	wcetlab wcetsweep <bench>   WCET-directed vs energy-directed allocation
 //	wcetlab witness <bench> [N] top-N worst-case blocks/objects (IPET witness)
+//	wcetlab serve               HTTP API over the same measurements
 //	wcetlab all                 everything above except the per-benchmark reports
 //
 // "all" sweeps every benchmark once through the shared artifact pipeline
-// (benchmarks in parallel) and prints every figure from that one data set.
+// (benchmarks in parallel) and prints every figure from that one data set,
+// followed by the pipeline's stage statistics.
+//
+// Flags (before the subcommand):
+//
+//	-store DIR   content-addressed artifact store shared across runs
+//	             (default $WCETLAB_STORE, else ~/.cache/wcetlab; "off"
+//	             disables). With a warm store a second `wcetlab all`
+//	             performs zero simulations and zero WCET analyses.
+//	-workers N   sweep worker pool size (0 = GOMAXPROCS)
+//	-addr ADDR   serve listen address (default localhost:8177; :0 picks
+//	             a free port and prints it)
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/benchprog"
 	"repro/internal/cc"
 	"repro/internal/core"
-	"repro/internal/link"
 	"repro/internal/mem"
-	"repro/internal/sim"
+	"repro/internal/pipeline"
+	"repro/internal/service"
+	"repro/internal/store"
 	"repro/internal/wcet"
 )
 
+var (
+	// artifactStore is the shared on-disk cache tier (nil when disabled).
+	artifactStore *store.Store
+	labWorkers    int
+)
+
 func main() {
-	if len(os.Args) < 2 {
+	storeDir := flag.String("store", "", `artifact store directory (default $WCETLAB_STORE or ~/.cache/wcetlab; "off" disables)`)
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	addr := flag.String("addr", "localhost:8177", "serve listen address")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
+	labWorkers = *workers
 	var err error
-	switch os.Args[1] {
+	artifactStore, err = openStore(*storeDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wcetlab: artifact store disabled: %v\n", err)
+		artifactStore, err = nil, nil
+	}
+	switch args[0] {
 	case "table1":
 		table1()
 	case "table2":
@@ -54,33 +91,35 @@ func main() {
 	case "precision":
 		err = precision()
 	case "sweep":
-		if len(os.Args) < 3 {
+		if len(args) < 2 {
 			usage()
 			os.Exit(2)
 		}
-		err = sweep(os.Args[2])
+		err = sweep(args[1])
 	case "all":
 		err = all()
 	case "wcetsweep":
-		if len(os.Args) < 3 {
+		if len(args) < 2 {
 			usage()
 			os.Exit(2)
 		}
-		err = wcetsweep(os.Args[2])
+		err = wcetsweep(args[1])
 	case "witness":
-		if len(os.Args) < 3 {
+		if len(args) < 2 {
 			usage()
 			os.Exit(2)
 		}
 		topN := 10
-		if len(os.Args) > 3 {
-			topN, err = strconv.Atoi(os.Args[3])
+		if len(args) > 2 {
+			topN, err = strconv.Atoi(args[2])
 			if err != nil || topN <= 0 {
 				usage()
 				os.Exit(2)
 			}
 		}
-		err = witness(os.Args[2], topN)
+		err = witness(args[1], topN)
+	case "serve":
+		err = serve(*addr)
 	default:
 		usage()
 		os.Exit(2)
@@ -92,7 +131,56 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wcetlab {table1|table2|fig3|fig4|fig5|fig6|precision|sweep <bench>|wcetsweep <bench>|witness <bench> [topN]|all}")
+	fmt.Fprintln(os.Stderr, `usage: wcetlab [flags] {table1|table2|fig3|fig4|fig5|fig6|precision|sweep <bench>|wcetsweep <bench>|witness <bench> [topN]|serve|all}
+
+flags:
+  -store DIR   artifact store directory (default $WCETLAB_STORE or
+               ~/.cache/wcetlab; "off" disables)
+  -workers N   sweep worker pool size (0 = GOMAXPROCS)
+  -addr ADDR   serve listen address (default localhost:8177)`)
+}
+
+// openStore resolves the store directory — flag, then $WCETLAB_STORE, then
+// ~/.cache/wcetlab — and opens it. "off" (or an unresolvable home with no
+// override) disables the disk tier.
+func openStore(dir string) (*store.Store, error) {
+	if dir == "" {
+		dir = os.Getenv("WCETLAB_STORE")
+	}
+	if dir == "" {
+		home, err := os.UserHomeDir()
+		if err != nil {
+			return nil, nil
+		}
+		dir = filepath.Join(home, ".cache", "wcetlab")
+	}
+	if dir == "off" {
+		return nil, nil
+	}
+	return store.Open(dir)
+}
+
+// newLab builds a registry lab wired to the artifact store and worker pool.
+func newLab(name string) (*core.Lab, error) {
+	lab, err := core.NewLabByNameWithStore(name, artifactStore)
+	if err != nil {
+		return nil, err
+	}
+	lab.Workers = labWorkers
+	return lab, nil
+}
+
+func serve(addr string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := service.New(service.Config{Store: artifactStore, Workers: labWorkers, LabWorkers: labWorkers})
+	return srv.Run(ctx, addr, func(bound string) {
+		storeDesc := "off"
+		if artifactStore != nil {
+			storeDesc = artifactStore.Dir()
+		}
+		fmt.Fprintf(os.Stderr, "wcetlab: serving on http://%s (store %s)\n", bound, storeDesc)
+	})
 }
 
 func header(title string) {
@@ -133,7 +221,7 @@ func fig5() error {
 }
 
 func sweepData(name string) ([]core.Measurement, []core.Measurement, error) {
-	lab, err := core.NewLabByName(name)
+	lab, err := newLab(name)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -161,11 +249,13 @@ func printSweep(spms, caches []core.Measurement) {
 
 // all regenerates every table and figure from one shared data set: each
 // benchmark is swept once (benchmarks in parallel, artifacts memoized per
-// pipeline) and the figures are projections of those measurements.
+// pipeline and persisted to the store) and the figures are projections of
+// those measurements. It closes with the pipelines' stage statistics —
+// against a warm store the disk-miss total is zero.
 func all() error {
 	table1()
 	table2()
-	sweeps, err := core.SweepAllBenchmarks(0)
+	sweeps, err := core.SweepAllBenchmarksWithStore(labWorkers, artifactStore)
 	if err != nil {
 		return err
 	}
@@ -183,7 +273,49 @@ func all() error {
 	printFigRatio("Figure 4: G.721 ratio of WCET and simulated cycles", g721.SPM, g721.Cache)
 	printFigRatio("Figure 5: MultiSort ratio of WCET and simulated cycles", multisort.SPM, multisort.Cache)
 	printFig6(adpcm.SPM, adpcm.Cache)
-	return precision()
+	plab, err := core.NewLabWithStore(benchprog.WorstCaseSort, artifactStore)
+	if err != nil {
+		return err
+	}
+	if err := printPrecision(plab); err != nil {
+		return err
+	}
+	labs := make([]*core.Lab, 0, len(sweeps)+1)
+	for _, s := range sweeps {
+		labs = append(labs, s.Lab)
+	}
+	labs = append(labs, plab)
+	printPipelineStats(labs)
+	return nil
+}
+
+// printPipelineStats renders per-benchmark stage counters and wall-clock,
+// and the store tier's hit/miss totals (what CI asserts stays at zero
+// misses on a warm second run).
+func printPipelineStats(labs []*core.Lab) {
+	header("Pipeline statistics")
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	fmt.Printf("%-14s %6s %5s %9s %9s %7s | %9s %9s | %9s %9s %11s %11s %10s\n",
+		"benchmark", "links", "sims", "analyses", "profiles", "allocs",
+		"disk hit", "disk miss",
+		"link[ms]", "sim[ms]", "analyse[ms]", "profile[ms]", "alloc[ms]")
+	var total pipeline.Stats
+	for _, l := range labs {
+		s := l.Pipe.Stats()
+		total.Add(s)
+		fmt.Printf("%-14s %6d %5d %9d %9d %7d | %9d %9d | %9.1f %9.1f %11.1f %11.1f %10.1f\n",
+			l.Bench.Name, s.Links, s.Sims, s.Analyses, s.Profiles, s.Allocs,
+			s.DiskHits(), s.DiskMisses(),
+			ms(s.LinkTime), ms(s.SimTime), ms(s.AnalyzeTime), ms(s.ProfileTime), ms(s.AllocTime))
+	}
+	fmt.Printf("\nstage wall-clock: link %.1fms, simulate %.1fms, analyse %.1fms, profile %.1fms, allocate %.1fms\n",
+		ms(total.LinkTime), ms(total.SimTime), ms(total.AnalyzeTime), ms(total.ProfileTime), ms(total.AllocTime))
+	if artifactStore != nil {
+		fmt.Printf("artifact store: %d disk hits, %d disk misses (%s)\n",
+			total.DiskHits(), total.DiskMisses(), artifactStore.Dir())
+	} else {
+		fmt.Println("artifact store: disabled")
+	}
 }
 
 func fig3() error {
@@ -240,27 +372,24 @@ func printFig6(spms, caches []core.Measurement) {
 }
 
 func precision() error {
-	b := benchprog.WorstCaseSort
-	prog, err := cc.Compile(b.Source)
+	lab, err := core.NewLabWithStore(benchprog.WorstCaseSort, artifactStore)
 	if err != nil {
 		return err
 	}
-	exe, err := link.Link(prog, 0, nil)
+	return printPrecision(lab)
+}
+
+// printPrecision runs the §4 experiment through the lab's pipeline, so a
+// warm store serves both the simulation and the analysis.
+func printPrecision(lab *core.Lab) error {
+	m, err := lab.Baseline()
 	if err != nil {
 		return err
 	}
-	res, err := sim.Run(exe, sim.Options{})
-	if err != nil {
-		return err
-	}
-	wres, err := wcet.Analyze(exe, wcet.Options{})
-	if err != nil {
-		return err
-	}
-	over := float64(wres.WCET-res.Cycles) / float64(res.Cycles) * 100
+	over := float64(m.WCET-m.SimCycles) / float64(m.SimCycles) * 100
 	header("Precision experiment (§4): sort with known worst-case input")
-	fmt.Printf("simulated cycles: %d\n", res.Cycles)
-	fmt.Printf("estimated WCET:   %d\n", wres.WCET)
+	fmt.Printf("simulated cycles: %d\n", m.SimCycles)
+	fmt.Printf("estimated WCET:   %d\n", m.WCET)
 	fmt.Printf("overestimation:   %.2f%% (paper reports ~1%%)\n", over)
 	return nil
 }
@@ -279,7 +408,7 @@ func sweep(name string) error {
 // profile) and WCET-directed (IPET-witness knapsack, iterated to a
 // fixpoint) scratchpad allocations side by side for every paper capacity.
 func wcetsweep(name string) error {
-	lab, err := core.NewLabByName(name)
+	lab, err := newLab(name)
 	if err != nil {
 		return err
 	}
@@ -310,7 +439,7 @@ func wcetsweep(name string) error {
 // the first step toward worst-case path visualisation: it names exactly
 // the code and data the compositional bound charges for.
 func witness(name string, topN int) error {
-	lab, err := core.NewLabByName(name)
+	lab, err := newLab(name)
 	if err != nil {
 		return err
 	}
@@ -321,65 +450,18 @@ func witness(name string, topN int) error {
 	w := res.Witness
 	header(fmt.Sprintf("Worst-case witness: %s (WCET %d cycles, empty scratchpad)", name, res.WCET))
 
-	type objRow struct {
-		name          string
-		fetches, data uint64
-		benefit       int64
-	}
-	var objs []objRow
-	for oname, ac := range w.ObjectAccesses {
-		var data uint64
-		for _, n := range ac.Data {
-			data += n
-		}
-		objs = append(objs, objRow{oname, ac.Fetches, data, ac.SPMCycleBenefit()})
-	}
-	sort.Slice(objs, func(i, j int) bool {
-		if objs[i].benefit != objs[j].benefit {
-			return objs[i].benefit > objs[j].benefit
-		}
-		return objs[i].name < objs[j].name
-	})
 	fmt.Printf("\nTop %d memory objects by worst-case cycles recoverable via scratchpad:\n", topN)
 	fmt.Printf("%4s %-20s %12s %12s %14s %8s\n", "rank", "object", "fetches", "data accs", "benefit [cyc]", "of WCET")
-	for i, o := range objs {
-		if i >= topN {
-			break
-		}
+	for i, o := range w.TopObjects(topN) {
 		fmt.Printf("%4d %-20s %12d %12d %14d %7.2f%%\n",
-			i+1, o.name, o.fetches, o.data, o.benefit, 100*float64(o.benefit)/float64(res.WCET))
+			i+1, o.Name, o.Fetches, o.Data, o.Benefit, 100*float64(o.Benefit)/float64(res.WCET))
 	}
 
-	type blockRow struct {
-		fn    string
-		block int
-		count uint64
-	}
-	var blocks []blockRow
-	for fn, counts := range w.BlockCounts {
-		for i, c := range counts {
-			if c > 0 {
-				blocks = append(blocks, blockRow{fn, i, c})
-			}
-		}
-	}
-	sort.Slice(blocks, func(i, j int) bool {
-		if blocks[i].count != blocks[j].count {
-			return blocks[i].count > blocks[j].count
-		}
-		if blocks[i].fn != blocks[j].fn {
-			return blocks[i].fn < blocks[j].fn
-		}
-		return blocks[i].block < blocks[j].block
-	})
 	fmt.Printf("\nTop %d basic blocks by worst-case execution count:\n", topN)
 	fmt.Printf("%4s %-26s %12s %12s\n", "rank", "block", "count", "func runs")
-	for i, b := range blocks {
-		if i >= topN {
-			break
-		}
+	for i, b := range w.TopBlocks(topN) {
 		fmt.Printf("%4d %-26s %12d %12d\n",
-			i+1, fmt.Sprintf("%s#%d", b.fn, b.block), b.count, w.FuncRuns[b.fn])
+			i+1, fmt.Sprintf("%s#%d", b.Func, b.Block), b.Count, b.FuncRuns)
 	}
 	fmt.Println("\nCounts are whole-program worst-case executions the IPET bound charges")
 	fmt.Println("for (per-invocation solution × worst-case invocations of the function).")

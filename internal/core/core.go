@@ -30,6 +30,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/spm"
+	"repro/internal/store"
 	"repro/internal/wcet"
 	"repro/internal/wcetalloc"
 )
@@ -87,11 +88,23 @@ type Lab struct {
 
 // NewLab compiles the benchmark and collects its baseline profile.
 func NewLab(b benchprog.Benchmark) (*Lab, error) {
+	return NewLabWithStore(b, nil)
+}
+
+// NewLabWithStore compiles the benchmark with its pipeline backed by the
+// content-addressed artifact store (nil means memory-only): even the
+// baseline profile collected at construction is served from a warm store,
+// so a second process pays zero simulations and zero analyses for work a
+// first process already did.
+func NewLabWithStore(b benchprog.Benchmark, st *store.Store) (*Lab, error) {
 	prog, err := cc.Compile(b.Source)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", b.Name, err)
 	}
 	pipe := pipeline.New(prog)
+	if st != nil {
+		pipe.SetStore(st)
+	}
 	prof, err := pipe.Profile()
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: profiling: %w", b.Name, err)
@@ -108,19 +121,46 @@ func NewLab(b benchprog.Benchmark) (*Lab, error) {
 
 // NewLabByName looks the benchmark up in the Table 2 registry.
 func NewLabByName(name string) (*Lab, error) {
+	return NewLabByNameWithStore(name, nil)
+}
+
+// NewLabByNameWithStore looks the benchmark up in the Table 2 registry and
+// backs its pipeline with the artifact store (nil means memory-only).
+func NewLabByNameWithStore(name string, st *store.Store) (*Lab, error) {
 	b, err := benchprog.ByName(name)
 	if err != nil {
 		return nil, err
 	}
-	return NewLab(b)
+	return NewLabWithStore(b, st)
 }
 
-// ResetArtifacts discards every cached link/simulate/analyse artifact
-// (keeping the compiled program and its profile), e.g. to benchmark cold
-// sweeps.
+// WithStore opens (creating if needed) the artifact store at dir and
+// attaches it to the lab's pipeline as the disk cache tier; the profile
+// collected at construction is flushed to it so later processes skip
+// profiling. Prefer NewLabWithStore when the store is known up front —
+// it serves even this lab's profile from disk. Returns the lab for
+// chaining.
+func (l *Lab) WithStore(dir string) (*Lab, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	l.Pipe.SetStore(st)
+	return l, nil
+}
+
+// ResetArtifacts discards every cached in-memory link/simulate/analyse
+// artifact (keeping the compiled program and its profile), e.g. to
+// benchmark cold sweeps. An attached artifact store is kept: it is a
+// shared resource, not a per-lab cache (detach with Pipe.SetStore(nil)
+// for a fully cold pipeline).
 func (l *Lab) ResetArtifacts() {
+	st := l.Pipe.Store()
 	l.Pipe = pipeline.New(l.Prog)
 	l.Pipe.PrimeProfile(l.Profile)
+	if st != nil {
+		l.Pipe.SetStore(st)
+	}
 }
 
 // EnergyAllocator returns the energy-directed allocation policy under the
@@ -134,7 +174,7 @@ func (l *Lab) EnergyAllocator() pipeline.Allocator {
 // policy's) and with the lab's energy model as the equal-bound tie-break.
 func (l *Lab) WCETAllocator() pipeline.Allocator {
 	return wcetalloc.Directed{
-		Opts: wcetalloc.Options{Energy: l.placementEnergy},
+		Opts: wcetalloc.Options{Energy: l.placementEnergy, EnergyKey: l.Model.Key()},
 		Seed: l.EnergyAllocator(),
 	}
 }
@@ -157,9 +197,11 @@ func (l *Lab) WithScratchpad(size uint32) (Measurement, error) {
 }
 
 // WithAllocator runs the scratchpad branch for one capacity under any
-// allocation policy.
+// allocation policy. The solve goes through the pipeline's allocation
+// stage, so repeated sweeps under the same policy configuration reuse the
+// memoized allocation instead of re-running the knapsack/fixpoint.
 func (l *Lab) WithAllocator(a pipeline.Allocator, size uint32) (Measurement, error) {
-	alloc, err := a.Allocate(l.Pipe, size)
+	alloc, err := l.Pipe.Allocate(a, size)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -272,7 +314,7 @@ type AllocComparison struct {
 // empty-scratchpad baseline inside the fixpoint is a shared,
 // capacity-independent pipeline artifact.
 func (l *Lab) WithWCETAllocation(size uint32) (AllocComparison, error) {
-	ealloc, err := l.EnergyAllocator().Allocate(l.Pipe, size)
+	ealloc, err := l.Pipe.Allocate(l.EnergyAllocator(), size)
 	if err != nil {
 		return AllocComparison{}, err
 	}
@@ -381,11 +423,18 @@ type BenchmarkSweep struct {
 // worker pool). The slice follows the registry order regardless of
 // completion order; workers ≤ 0 means GOMAXPROCS.
 func SweepAllBenchmarks(workers int) ([]BenchmarkSweep, error) {
+	return SweepAllBenchmarksWithStore(workers, nil)
+}
+
+// SweepAllBenchmarksWithStore is SweepAllBenchmarks with every lab's
+// pipeline backed by the shared artifact store (nil means memory-only):
+// against a warm store the whole sweep recomputes nothing.
+func SweepAllBenchmarksWithStore(workers int, st *store.Store) ([]BenchmarkSweep, error) {
 	benches := benchprog.All()
 	out := make([]BenchmarkSweep, len(benches))
 	errs := forEach(len(benches), workers, func(i int) error {
 		var err error
-		out[i], err = sweepOneBenchmark(benches[i])
+		out[i], err = sweepOneBenchmark(benches[i], st)
 		return err
 	})
 	for i, err := range errs {
@@ -396,8 +445,8 @@ func SweepAllBenchmarks(workers int) ([]BenchmarkSweep, error) {
 	return out, nil
 }
 
-func sweepOneBenchmark(b benchprog.Benchmark) (BenchmarkSweep, error) {
-	lab, err := NewLab(b)
+func sweepOneBenchmark(b benchprog.Benchmark, st *store.Store) (BenchmarkSweep, error) {
+	lab, err := NewLabWithStore(b, st)
 	if err != nil {
 		return BenchmarkSweep{}, err
 	}

@@ -13,6 +13,8 @@
 package energy
 
 import (
+	"fmt"
+
 	"repro/internal/obj"
 	"repro/internal/sim"
 )
@@ -40,6 +42,14 @@ func Default() Model {
 		SPM:      1.2,
 		CPUInstr: 1.4,
 	}
+}
+
+// Key canonically identifies the model's parameters. Allocation policies
+// embed it in their pipeline.Allocator ConfigKey, so solves memoized under
+// one model are never served to another.
+func (m Model) Key() string {
+	return fmt.Sprintf("mainB=%g,mainH=%g,mainW=%g,spm=%g,cpu=%g",
+		m.MainByte, m.MainHalf, m.MainWord, m.SPM, m.CPUInstr)
 }
 
 // MainAccess returns the main-memory access energy for a width in bytes.

@@ -6,14 +6,29 @@
 //	Simulate(placement, cache) → simulation result
 //	Analyze(placement, opts)   → WCET bound (+ witness)
 //	Profile()                  → typical-input access profile
+//	Allocate(policy, capacity) → scratchpad allocation
 //
 // — each keyed by a canonical placement/configuration key, so within one
-// Pipeline no identical link, simulation or WCET analysis ever runs twice.
-// The sweeps in internal/core and the fixpoint loop in internal/wcetalloc
-// share one Pipeline per benchmark and therefore share artifacts: the
-// capacity-independent empty-scratchpad analysis is computed once per
-// program (not once per swept size), and the energy-seed analysis the
-// fixpoint starts from is the same artifact the measurement layer reports.
+// Pipeline no identical link, simulation, WCET analysis or allocation
+// solve ever runs twice. The sweeps in internal/core and the fixpoint loop
+// in internal/wcetalloc share one Pipeline per benchmark and therefore
+// share artifacts: the capacity-independent empty-scratchpad analysis is
+// computed once per program (not once per swept size), and the energy-seed
+// analysis the fixpoint starts from is the same artifact the measurement
+// layer reports.
+//
+// # Cache tiers
+//
+// Lookups go memory → disk → compute. The memory tier is this package's
+// per-pipeline maps. The disk tier is optional: SetStore attaches a
+// content-addressed store (internal/store) shared across processes, keyed
+// by hash(program content, stage key), and the simulate/analyse/profile
+// stages then consult it before computing and write back after — a warm
+// store serves a whole sweep with zero recomputation. Links are not
+// persisted: a link is only ever needed as the input of a cold simulation
+// or analysis, so with a warm store it never runs at all. Stats splits the
+// tiers: *Hits are memory hits, *DiskHits/*DiskMisses count store lookups,
+// and runs (Links, Sims, Analyses, Profiles, Allocs) are cold executions.
 //
 // # Keying scheme
 //
@@ -23,11 +38,12 @@
 // an empty scratchpad are independent of its capacity. Simulation keys
 // append the cache configuration ("|cache=<size>/<line>/<assoc>/<kind>"),
 // analysis keys append the cache configuration, stack bound and analysis
-// root. The witness flag is deliberately *not* part of the analysis key: a
-// witness-bearing result answers witness-less requests for the same
-// configuration (the bound is identical); a witness-less cached result is
-// upgraded in place when a witness is first requested, and Stats counts
-// the upgrade.
+// root, allocation keys are the policy's ConfigKey plus the capacity. The
+// witness flag is deliberately *not* part of the analysis key (in either
+// tier): a witness-bearing result answers witness-less requests for the
+// same configuration (the bound is identical); a witness-less cached
+// result is upgraded in place when a witness is first requested — and the
+// disk entry overwritten — with Stats counting the upgrade.
 //
 // # Concurrency
 //
@@ -35,7 +51,8 @@
 // exactly once under a per-entry lock (duplicate concurrent requests block
 // on the first computation instead of repeating it), so parallel sweeps
 // over capacities and benchmarks get the same hit rates as sequential
-// ones.
+// ones. The disk tier inherits the store's process-level guarantees:
+// atomic installs, last-write-wins on races, corruption read as a miss.
 package pipeline
 
 import (
@@ -43,11 +60,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/link"
 	"repro/internal/obj"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/wcet"
 )
 
@@ -73,34 +92,98 @@ type Allocation struct {
 type Allocator interface {
 	// Name identifies the allocation policy ("energy", "wcet").
 	Name() string
+	// ConfigKey canonically identifies the policy's *full* configuration
+	// (objective parameters, iteration caps, seed policies, ...), so
+	// Pipeline.Allocate can memoize solves across repeated sweeps. A
+	// policy whose configuration cannot be captured returns "" and runs
+	// unmemoized.
+	ConfigKey() string
 	Allocate(p *Pipeline, capacity uint32) (*Allocation, error)
 }
 
-// Stats counts stage executions and cache hits. Runs are cold executions;
-// hits are requests served from the cache. AnalyzeUpgrades counts re-runs
-// of an already-analysed configuration to attach a witness — the only way
-// a configuration is ever analysed twice.
+// Stats counts stage executions and cache hits per tier. Runs (Links,
+// Sims, Analyses, Profiles, Allocs) are cold executions; *Hits are
+// requests served from the memory tier; *DiskHits/*DiskMisses count disk
+// lookups by memory misses when a store is attached (a disk miss always
+// pairs with a run). AnalyzeUpgrades counts re-runs of an already-analysed
+// configuration to attach a witness — the only way a configuration is ever
+// analysed twice. The *Time fields accumulate wall clock spent in cold
+// stage executions; AllocTime is the allocators' wall clock and includes
+// the nested stage computations a solve triggers (e.g. the wcetalloc
+// fixpoint's analyses), so it is not disjoint from AnalyzeTime.
 type Stats struct {
 	Links, LinkHits       uint64
 	Sims, SimHits         uint64
 	Analyses, AnalyzeHits uint64
 	AnalyzeUpgrades       uint64
 	Profiles, ProfileHits uint64
+	Allocs, AllocHits     uint64
+
+	SimDiskHits, SimDiskMisses         uint64
+	AnalyzeDiskHits, AnalyzeDiskMisses uint64
+	ProfileDiskHits, ProfileDiskMisses uint64
+	// StoreErrors counts failed best-effort store writes; the computed
+	// artifact is still returned to the caller.
+	StoreErrors uint64
+
+	LinkTime, SimTime, AnalyzeTime, ProfileTime, AllocTime time.Duration
 }
 
-// Pipeline memoizes the link/simulate/analyze/profile stages for one
-// immutable compiled program.
+// DiskHits is the total of stage requests served from the disk tier.
+func (s Stats) DiskHits() uint64 {
+	return s.SimDiskHits + s.AnalyzeDiskHits + s.ProfileDiskHits
+}
+
+// DiskMisses is the total of disk lookups that fell through to compute.
+func (s Stats) DiskMisses() uint64 {
+	return s.SimDiskMisses + s.AnalyzeDiskMisses + s.ProfileDiskMisses
+}
+
+// Add accumulates another snapshot into s (aggregating across pipelines).
+func (s *Stats) Add(o Stats) {
+	s.Links += o.Links
+	s.LinkHits += o.LinkHits
+	s.Sims += o.Sims
+	s.SimHits += o.SimHits
+	s.Analyses += o.Analyses
+	s.AnalyzeHits += o.AnalyzeHits
+	s.AnalyzeUpgrades += o.AnalyzeUpgrades
+	s.Profiles += o.Profiles
+	s.ProfileHits += o.ProfileHits
+	s.Allocs += o.Allocs
+	s.AllocHits += o.AllocHits
+	s.SimDiskHits += o.SimDiskHits
+	s.SimDiskMisses += o.SimDiskMisses
+	s.AnalyzeDiskHits += o.AnalyzeDiskHits
+	s.AnalyzeDiskMisses += o.AnalyzeDiskMisses
+	s.ProfileDiskHits += o.ProfileDiskHits
+	s.ProfileDiskMisses += o.ProfileDiskMisses
+	s.StoreErrors += o.StoreErrors
+	s.LinkTime += o.LinkTime
+	s.SimTime += o.SimTime
+	s.AnalyzeTime += o.AnalyzeTime
+	s.ProfileTime += o.ProfileTime
+	s.AllocTime += o.AllocTime
+}
+
+// Pipeline memoizes the link/simulate/analyze/profile/allocate stages for
+// one immutable compiled program.
 type Pipeline struct {
 	// Prog is the compiled program; it must not be mutated once the
 	// pipeline is constructed.
 	Prog *obj.Program
 
 	mu       sync.Mutex
+	disk     *store.Store
 	links    map[string]*entry[*link.Executable]
 	sims     map[string]*entry[*sim.Result]
 	analyses map[string]*analysisEntry
+	allocs   map[string]*entry[*Allocation]
 	profile  *entry[*sim.Profile]
 	stats    Stats
+
+	progOnce sync.Once
+	progKey  string
 }
 
 // entry is a singleflight cache slot: the first getter computes under the
@@ -137,8 +220,47 @@ func New(prog *obj.Program) *Pipeline {
 		links:    make(map[string]*entry[*link.Executable]),
 		sims:     make(map[string]*entry[*sim.Result]),
 		analyses: make(map[string]*analysisEntry),
+		allocs:   make(map[string]*entry[*Allocation]),
 		profile:  &entry[*sim.Profile]{},
 	}
+}
+
+const profileStageKey = "profile"
+
+// SetStore attaches (or, with nil, detaches) the on-disk artifact store as
+// the second cache tier. Attach before first use so cold stages are served
+// from a warm store; attaching later is safe — an already-collected
+// profile is flushed to the store so other processes skip profiling, but
+// other artifacts already in memory are not backfilled.
+func (p *Pipeline) SetStore(s *store.Store) {
+	p.mu.Lock()
+	p.disk = s
+	prof := p.profile
+	p.mu.Unlock()
+	if s == nil {
+		return
+	}
+	prof.mu.Lock()
+	defer prof.mu.Unlock()
+	if prof.done && prof.err == nil && prof.val != nil {
+		if err := s.SaveProfile(p.programKey(), profileStageKey, prof.val); err != nil {
+			p.count(func(st *Stats) { st.StoreErrors++ })
+		}
+	}
+}
+
+// Store returns the attached artifact store, or nil.
+func (p *Pipeline) Store() *store.Store {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.disk
+}
+
+// programKey is the content hash of the compiled program — the program
+// half of every disk key — computed once on first use.
+func (p *Pipeline) programKey() string {
+	p.progOnce.Do(func() { p.progKey = store.ProgramKey(p.Prog) })
+	return p.progKey
 }
 
 // PlacementKey canonicalises one scratchpad placement: residents sorted by
@@ -191,6 +313,11 @@ func (p *Pipeline) Link(spmSize uint32, inSPM map[string]bool) (*link.Executable
 	}
 	return e.get(func() (*link.Executable, error) {
 		p.count(func(s *Stats) { s.Links++ })
+		t0 := time.Now()
+		defer func() {
+			d := time.Since(t0)
+			p.count(func(s *Stats) { s.LinkTime += d })
+		}()
 		if key == "spm=0|" {
 			// Normalised empty placement: capacity-independent.
 			return link.Link(p.Prog, 0, nil)
@@ -200,7 +327,10 @@ func (p *Pipeline) Link(spmSize uint32, inSPM map[string]bool) (*link.Executable
 }
 
 // Simulate runs (memoized) the typical input under one placement and cache
-// configuration. The returned result is shared; treat it as read-only.
+// configuration, consulting the disk tier before computing. The returned
+// result is shared and must be treated as read-only; a disk-served result
+// carries the run's counters but a nil Mem (the final memory image is not
+// persisted).
 func (p *Pipeline) Simulate(spmSize uint32, inSPM map[string]bool, ccfg *cache.Config) (*sim.Result, error) {
 	key := PlacementKey(spmSize, inSPM) + "|" + cacheKey(ccfg)
 	p.mu.Lock()
@@ -214,20 +344,37 @@ func (p *Pipeline) Simulate(spmSize uint32, inSPM map[string]bool, ccfg *cache.C
 		p.count(func(s *Stats) { s.SimHits++ })
 	}
 	return e.get(func() (*sim.Result, error) {
+		if disk := p.diskStore(); disk != nil {
+			if r, ok := disk.LoadSim(p.programKey(), key); ok {
+				p.count(func(s *Stats) { s.SimDiskHits++ })
+				return r, nil
+			}
+			p.count(func(s *Stats) { s.SimDiskMisses++ })
+		}
 		p.count(func(s *Stats) { s.Sims++ })
 		exe, err := p.Link(spmSize, inSPM)
 		if err != nil {
 			return nil, err
 		}
-		return sim.Run(exe, sim.Options{Cache: ccfg})
+		t0 := time.Now()
+		res, err := sim.Run(exe, sim.Options{Cache: ccfg})
+		d := time.Since(t0)
+		p.count(func(s *Stats) { s.SimTime += d })
+		if err == nil {
+			p.storeSave(func(disk *store.Store) error {
+				return disk.SaveSim(p.programKey(), key, res)
+			})
+		}
+		return res, err
 	})
 }
 
 // Analyze runs (memoized) the WCET analysis for one placement and analysis
-// configuration. A cached result lacking a witness is re-analysed in place
-// when opts.Witness is set (counted in Stats.AnalyzeUpgrades); a cached
-// result carrying a witness serves witness-less requests directly. The
-// returned result is shared; treat it as read-only.
+// configuration, consulting the disk tier before computing. A cached
+// result lacking a witness is re-analysed in place when opts.Witness is
+// set (counted in Stats.AnalyzeUpgrades, and the disk entry overwritten);
+// a cached result carrying a witness serves witness-less requests
+// directly. The returned result is shared; treat it as read-only.
 func (p *Pipeline) Analyze(spmSize uint32, inSPM map[string]bool, opts wcet.Options) (*wcet.Result, error) {
 	key := analysisKey(PlacementKey(spmSize, inSPM), opts)
 	p.mu.Lock()
@@ -240,29 +387,55 @@ func (p *Pipeline) Analyze(spmSize uint32, inSPM map[string]bool, opts wcet.Opti
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	upgrade := false
 	switch {
 	case !e.done:
-		p.count(func(s *Stats) { s.Analyses++ })
 	case e.err == nil && opts.Witness && e.res.Witness == nil:
-		p.count(func(s *Stats) { s.Analyses++; s.AnalyzeUpgrades++ })
+		upgrade = true
 		e.done = false
 	default:
 		p.count(func(s *Stats) { s.AnalyzeHits++ })
 	}
 	if !e.done {
+		// Disk tier. LoadWCET treats a witness-less entry as a miss when a
+		// witness is required, which covers both the cold path and the
+		// upgrade of a disk-served witness-less result.
+		if disk := p.diskStore(); disk != nil {
+			if r, ok := disk.LoadWCET(p.programKey(), key, opts.Witness); ok {
+				p.count(func(s *Stats) { s.AnalyzeDiskHits++ })
+				e.res, e.err, e.done = r, nil, true
+				return e.res, e.err
+			}
+			p.count(func(s *Stats) { s.AnalyzeDiskMisses++ })
+		}
+		p.count(func(s *Stats) {
+			s.Analyses++
+			if upgrade {
+				s.AnalyzeUpgrades++
+			}
+		})
 		exe, err := p.Link(spmSize, inSPM)
 		if err != nil {
 			e.res, e.err = nil, err
 		} else {
+			t0 := time.Now()
 			e.res, e.err = wcet.Analyze(exe, opts)
+			d := time.Since(t0)
+			p.count(func(s *Stats) { s.AnalyzeTime += d })
 		}
 		e.done = true
+		if e.err == nil {
+			p.storeSave(func(disk *store.Store) error {
+				return disk.SaveWCET(p.programKey(), key, e.res)
+			})
+		}
 	}
 	return e.res, e.err
 }
 
 // Profile collects (memoized) the typical-input access profile on the
-// baseline system (no scratchpad, no cache).
+// baseline system (no scratchpad, no cache), consulting the disk tier
+// before simulating.
 func (p *Pipeline) Profile() (*sim.Profile, error) {
 	p.mu.Lock()
 	e := p.profile
@@ -273,14 +446,30 @@ func (p *Pipeline) Profile() (*sim.Profile, error) {
 		p.count(func(s *Stats) { s.ProfileHits++ })
 		return e.val, e.err
 	}
+	if disk := p.diskStore(); disk != nil {
+		if prof, ok := disk.LoadProfile(p.programKey(), profileStageKey); ok {
+			p.count(func(s *Stats) { s.ProfileDiskHits++ })
+			e.val, e.err, e.done = prof, nil, true
+			return e.val, e.err
+		}
+		p.count(func(s *Stats) { s.ProfileDiskMisses++ })
+	}
 	p.count(func(s *Stats) { s.Profiles++ })
 	exe, err := p.Link(0, nil)
 	if err != nil {
 		e.val, e.err = nil, err
 	} else {
+		t0 := time.Now()
 		e.val, e.err = sim.CollectProfile(exe, sim.Options{})
+		d := time.Since(t0)
+		p.count(func(s *Stats) { s.ProfileTime += d })
 	}
 	e.done = true
+	if e.err == nil {
+		p.storeSave(func(disk *store.Store) error {
+			return disk.SaveProfile(p.programKey(), profileStageKey, e.val)
+		})
+	}
 	return e.val, e.err
 }
 
@@ -295,6 +484,41 @@ func (p *Pipeline) PrimeProfile(prof *sim.Profile) {
 	e.mu.Unlock()
 }
 
+// Allocate runs (memoized) the allocation policy at one capacity. The memo
+// key is the policy's ConfigKey plus the capacity, so repeated sweeps
+// serve the knapsack/fixpoint solves from cache instead of re-solving; a
+// policy whose configuration cannot be captured (ConfigKey() == "") runs
+// unmemoized every time. Solves live in the memory tier only — the heavy
+// artifacts behind them (profile, analyses, simulations) are what the disk
+// tier persists, so a warm-store solve recomputes only the cheap knapsack.
+func (p *Pipeline) Allocate(a Allocator, capacity uint32) (*Allocation, error) {
+	ck := a.ConfigKey()
+	if ck == "" {
+		return p.runAllocate(a, capacity)
+	}
+	key := fmt.Sprintf("%s|cap=%d", ck, capacity)
+	p.mu.Lock()
+	e, ok := p.allocs[key]
+	if !ok {
+		e = &entry[*Allocation]{}
+		p.allocs[key] = e
+	}
+	p.mu.Unlock()
+	if ok {
+		p.count(func(s *Stats) { s.AllocHits++ })
+	}
+	return e.get(func() (*Allocation, error) { return p.runAllocate(a, capacity) })
+}
+
+func (p *Pipeline) runAllocate(a Allocator, capacity uint32) (*Allocation, error) {
+	p.count(func(s *Stats) { s.Allocs++ })
+	t0 := time.Now()
+	alloc, err := a.Allocate(p, capacity)
+	d := time.Since(t0)
+	p.count(func(s *Stats) { s.AllocTime += d })
+	return alloc, err
+}
+
 // Stats returns a snapshot of the stage counters.
 func (p *Pipeline) Stats() Stats {
 	p.mu.Lock()
@@ -306,4 +530,22 @@ func (p *Pipeline) count(f func(*Stats)) {
 	p.mu.Lock()
 	f(&p.stats)
 	p.mu.Unlock()
+}
+
+func (p *Pipeline) diskStore() *store.Store {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.disk
+}
+
+// storeSave performs a best-effort disk write: a failure is counted, not
+// surfaced — the computed artifact is still valid and returned.
+func (p *Pipeline) storeSave(save func(*store.Store) error) {
+	disk := p.diskStore()
+	if disk == nil {
+		return
+	}
+	if err := save(disk); err != nil {
+		p.count(func(s *Stats) { s.StoreErrors++ })
+	}
 }

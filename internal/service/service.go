@@ -1,0 +1,519 @@
+// Package service is the sharded HTTP front-end over the measurement
+// pipeline: `wcetlab serve`. Every benchmark of the Table 2 registry (plus
+// the §4 precision program) is one shard — a lazily built core.Lab whose
+// pipeline is backed by the shared content-addressed artifact store — so a
+// request for one benchmark never contends on another's artifacts, and
+// identical concurrent requests against one shard coalesce in the
+// pipeline's per-entry singleflight (the second request blocks on the
+// first computation instead of repeating it).
+//
+// A bounded worker pool caps concurrently served measurement requests;
+// waiters honour request cancellation. With a store attached, everything a
+// request computes persists, so answers survive restarts and are shared
+// with CLI runs against the same store.
+//
+// # API
+//
+//	GET /v1/wcet?bench=<name>[&spm=<bytes>|&cache=<bytes>[&assoc=<n>]]
+//	    One measurement: simulated cycles, WCET bound, ratio. No memory
+//	    parameter measures the baseline (no scratchpad, no cache).
+//	GET /v1/sweep?bench=<name>[&branch=spm|cache|wcetalloc]
+//	    A full paper-capacity sweep of one branch (default spm).
+//	GET /v1/witness?bench=<name>[&top=<n>]
+//	    Top-n worst-case memory objects and basic blocks (IPET witness).
+//	GET /v1/stats
+//	    Server, store and per-shard pipeline statistics.
+//
+// All responses are JSON; errors are {"error": "..."} with 4xx/5xx codes.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/benchprog"
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/pipeline"
+	"repro/internal/store"
+	"repro/internal/wcet"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Store is the shared artifact store backing every shard's pipeline;
+	// nil serves from per-process memory only.
+	Store *store.Store
+	// Workers bounds concurrently served measurement requests (0 means
+	// GOMAXPROCS). Requests beyond the bound wait, honouring their
+	// context's cancellation.
+	Workers int
+	// LabWorkers bounds each shard's sweep worker pool (0 = GOMAXPROCS).
+	LabWorkers int
+}
+
+// Server shards requests across per-benchmark labs.
+type Server struct {
+	cfg Config
+	sem chan struct{}
+	mux *http.ServeMux
+
+	mu     sync.Mutex
+	shards map[string]*shard
+
+	benches map[string]benchprog.Benchmark
+	names   []string // registry order
+
+	requests, failures atomic.Uint64
+}
+
+// shard is one benchmark's lazily built lab. The sync.Once makes the
+// expensive compile+profile a singleflight of its own; lab is an atomic
+// pointer so /v1/stats can observe built shards without blocking on (or
+// racing with) one mid-construction.
+type shard struct {
+	once sync.Once
+	lab  atomic.Pointer[core.Lab]
+	err  error // read only after once.Do returns
+}
+
+// New builds a server; Handler serves its API.
+func New(cfg Config) *Server {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		cfg:     cfg,
+		sem:     make(chan struct{}, workers),
+		shards:  make(map[string]*shard),
+		benches: make(map[string]benchprog.Benchmark),
+	}
+	for _, b := range append(benchprog.All(), benchprog.WorstCaseSort) {
+		s.benches[b.Name] = b
+		s.names = append(s.names, b.Name)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/wcet", s.handleWCET)
+	mux.HandleFunc("GET /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/witness", s.handleWitness)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Run serves the API on addr until ctx is cancelled, then shuts down
+// gracefully (in-flight requests drain, new connections are refused).
+// ready, when non-nil, is called with the bound address once the listener
+// is open — with addr ":0" this is how the caller learns the port.
+func (s *Server) Run(ctx context.Context, addr string, ready func(boundAddr string)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	srv := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return fmt.Errorf("service: %w", err)
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	err = srv.Shutdown(shutCtx)
+	<-errc // Serve has returned http.ErrServerClosed
+	return err
+}
+
+// lab returns (building on first use) the shard for a benchmark name.
+func (s *Server) lab(name string) (*core.Lab, error) {
+	b, ok := s.benches[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown benchmark %q (available: %v)", name, s.names)
+	}
+	s.mu.Lock()
+	sh := s.shards[name]
+	if sh == nil {
+		sh = &shard{}
+		s.shards[name] = sh
+	}
+	s.mu.Unlock()
+	sh.once.Do(func() {
+		lab, err := core.NewLabWithStore(b, s.cfg.Store)
+		if err != nil {
+			sh.err = err
+			return
+		}
+		lab.Workers = s.cfg.LabWorkers
+		sh.lab.Store(lab)
+	})
+	if lab := sh.lab.Load(); lab != nil {
+		return lab, nil
+	}
+	return nil, sh.err
+}
+
+// acquire takes a worker slot, failing the request if it is cancelled
+// while waiting. Release the slot with release().
+func (s *Server) acquire(w http.ResponseWriter, r *http.Request) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-r.Context().Done():
+		s.writeError(w, http.StatusServiceUnavailable, "cancelled while waiting for a worker")
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// measurementDTO is the JSON projection of one core.Measurement.
+type measurementDTO struct {
+	Benchmark   string  `json:"benchmark"`
+	SPMSize     uint32  `json:"spm_size"`
+	CacheSize   uint32  `json:"cache_size"`
+	SimCycles   uint64  `json:"sim_cycles"`
+	WCET        uint64  `json:"wcet"`
+	Ratio       float64 `json:"ratio"`
+	CacheHits   uint64  `json:"cache_hits,omitempty"`
+	CacheMisses uint64  `json:"cache_misses,omitempty"`
+	SPMUsed     uint32  `json:"spm_used,omitempty"`
+	SPMObjects  int     `json:"spm_objects,omitempty"`
+	EnergyNJ    float64 `json:"energy_nj,omitempty"`
+}
+
+func toDTO(m core.Measurement) measurementDTO {
+	return measurementDTO{
+		Benchmark:   m.Benchmark,
+		SPMSize:     m.SPMSize,
+		CacheSize:   m.CacheSize,
+		SimCycles:   m.SimCycles,
+		WCET:        m.WCET,
+		Ratio:       m.Ratio(),
+		CacheHits:   m.CacheHits,
+		CacheMisses: m.CacheMisses,
+		SPMUsed:     m.SPMUsed,
+		SPMObjects:  m.SPMObjects,
+		EnergyNJ:    m.Energy,
+	}
+}
+
+func (s *Server) handleWCET(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	q := r.URL.Query()
+	lab, ok := s.shardFor(w, q.Get("bench"))
+	if !ok {
+		return
+	}
+	spmStr, cacheStr := q.Get("spm"), q.Get("cache")
+	if spmStr != "" && cacheStr != "" {
+		s.writeError(w, http.StatusBadRequest, "spm and cache are mutually exclusive")
+		return
+	}
+	if !s.acquire(w, r) {
+		return
+	}
+	defer s.release()
+	var m core.Measurement
+	var err error
+	switch {
+	case spmStr != "":
+		size, perr := parseSize(spmStr)
+		if perr != nil {
+			s.writeError(w, http.StatusBadRequest, "spm: "+perr.Error())
+			return
+		}
+		if size > link.SPMMax {
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("spm %d exceeds maximum %d", size, link.SPMMax))
+			return
+		}
+		m, err = lab.WithScratchpad(size)
+	case cacheStr != "":
+		size, perr := parseSize(cacheStr)
+		if perr != nil {
+			s.writeError(w, http.StatusBadRequest, "cache: "+perr.Error())
+			return
+		}
+		assoc := 1
+		if a := q.Get("assoc"); a != "" {
+			assoc, perr = strconv.Atoi(a)
+			if perr != nil || assoc < 1 {
+				s.writeError(w, http.StatusBadRequest, "assoc must be a positive integer")
+				return
+			}
+		}
+		m, err = lab.WithCache(size, assoc)
+	default:
+		m, err = lab.Baseline()
+	}
+	if err != nil {
+		s.serverError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, toDTO(m))
+}
+
+// allocComparisonDTO is the JSON projection of one core.AllocComparison.
+type allocComparisonDTO struct {
+	SPMSize    uint32         `json:"spm_size"`
+	Energy     measurementDTO `json:"energy_directed"`
+	WCET       measurementDTO `json:"wcet_directed"`
+	Iterations int            `json:"iterations"`
+	Converged  bool           `json:"converged"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	q := r.URL.Query()
+	lab, ok := s.shardFor(w, q.Get("bench"))
+	if !ok {
+		return
+	}
+	branch := q.Get("branch")
+	if branch == "" {
+		branch = "spm"
+	}
+	if !s.acquire(w, r) {
+		return
+	}
+	defer s.release()
+	switch branch {
+	case "spm", "cache":
+		var ms []core.Measurement
+		var err error
+		if branch == "spm" {
+			ms, err = lab.SweepScratchpad()
+		} else {
+			ms, err = lab.SweepCache()
+		}
+		if err != nil {
+			s.serverError(w, err)
+			return
+		}
+		out := make([]measurementDTO, len(ms))
+		for i, m := range ms {
+			out[i] = toDTO(m)
+		}
+		s.writeJSON(w, http.StatusOK, out)
+	case "wcetalloc":
+		cs, err := lab.SweepWCETAllocation()
+		if err != nil {
+			s.serverError(w, err)
+			return
+		}
+		out := make([]allocComparisonDTO, len(cs))
+		for i, c := range cs {
+			out[i] = allocComparisonDTO{
+				SPMSize:    c.SPMSize,
+				Energy:     toDTO(c.Energy),
+				WCET:       toDTO(c.WCET),
+				Iterations: c.Iterations,
+				Converged:  c.Converged,
+			}
+		}
+		s.writeJSON(w, http.StatusOK, out)
+	default:
+		s.writeError(w, http.StatusBadRequest, "branch must be spm, cache or wcetalloc")
+	}
+}
+
+// witnessDTO is the JSON projection of a baseline worst-case witness.
+type witnessDTO struct {
+	Benchmark string            `json:"benchmark"`
+	WCET      uint64            `json:"wcet"`
+	Objects   []wcet.ObjectRank `json:"objects"`
+	Blocks    []wcet.BlockRank  `json:"blocks"`
+}
+
+func (s *Server) handleWitness(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	q := r.URL.Query()
+	lab, ok := s.shardFor(w, q.Get("bench"))
+	if !ok {
+		return
+	}
+	top := 10
+	if t := q.Get("top"); t != "" {
+		var err error
+		top, err = strconv.Atoi(t)
+		if err != nil || top <= 0 {
+			s.writeError(w, http.StatusBadRequest, "top must be a positive integer")
+			return
+		}
+	}
+	if !s.acquire(w, r) {
+		return
+	}
+	defer s.release()
+	res, err := lab.Pipe.Analyze(0, nil, wcet.Options{Witness: true})
+	if err != nil {
+		s.serverError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, witnessDTO{
+		Benchmark: lab.Bench.Name,
+		WCET:      res.WCET,
+		Objects:   res.Witness.TopObjects(top),
+		Blocks:    res.Witness.TopBlocks(top),
+	})
+}
+
+// stageStatsDTO is the JSON projection of one pipeline.Stats snapshot.
+type stageStatsDTO struct {
+	Links           uint64  `json:"links"`
+	LinkHits        uint64  `json:"link_hits"`
+	Sims            uint64  `json:"sims"`
+	SimHits         uint64  `json:"sim_hits"`
+	Analyses        uint64  `json:"analyses"`
+	AnalyzeHits     uint64  `json:"analyze_hits"`
+	AnalyzeUpgrades uint64  `json:"analyze_upgrades"`
+	Profiles        uint64  `json:"profiles"`
+	ProfileHits     uint64  `json:"profile_hits"`
+	Allocs          uint64  `json:"allocs"`
+	AllocHits       uint64  `json:"alloc_hits"`
+	DiskHits        uint64  `json:"disk_hits"`
+	DiskMisses      uint64  `json:"disk_misses"`
+	StoreErrors     uint64  `json:"store_errors"`
+	LinkMS          float64 `json:"link_ms"`
+	SimMS           float64 `json:"sim_ms"`
+	AnalyzeMS       float64 `json:"analyze_ms"`
+	ProfileMS       float64 `json:"profile_ms"`
+	AllocMS         float64 `json:"alloc_ms"`
+}
+
+func toStatsDTO(st pipeline.Stats) stageStatsDTO {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return stageStatsDTO{
+		Links:           st.Links,
+		LinkHits:        st.LinkHits,
+		Sims:            st.Sims,
+		SimHits:         st.SimHits,
+		Analyses:        st.Analyses,
+		AnalyzeHits:     st.AnalyzeHits,
+		AnalyzeUpgrades: st.AnalyzeUpgrades,
+		Profiles:        st.Profiles,
+		ProfileHits:     st.ProfileHits,
+		Allocs:          st.Allocs,
+		AllocHits:       st.AllocHits,
+		DiskHits:        st.DiskHits(),
+		DiskMisses:      st.DiskMisses(),
+		StoreErrors:     st.StoreErrors,
+		LinkMS:          ms(st.LinkTime),
+		SimMS:           ms(st.SimTime),
+		AnalyzeMS:       ms(st.AnalyzeTime),
+		ProfileMS:       ms(st.ProfileTime),
+		AllocMS:         ms(st.AllocTime),
+	}
+}
+
+type storeStatsDTO struct {
+	Dir     string `json:"dir"`
+	Entries int    `json:"entries"`
+	Bytes   int64  `json:"bytes"`
+}
+
+type statsDTO struct {
+	Workers    int                      `json:"workers"`
+	InFlight   int                      `json:"in_flight"`
+	Requests   uint64                   `json:"requests"`
+	Failures   uint64                   `json:"failures"`
+	Store      *storeStatsDTO           `json:"store,omitempty"`
+	Benchmarks map[string]stageStatsDTO `json:"benchmarks"`
+	Total      stageStatsDTO            `json:"total"`
+}
+
+// handleStats responds without taking a worker slot, so the server stays
+// observable under full load.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	out := statsDTO{
+		Workers:    cap(s.sem),
+		InFlight:   len(s.sem),
+		Requests:   s.requests.Load(),
+		Failures:   s.failures.Load(),
+		Benchmarks: make(map[string]stageStatsDTO),
+	}
+	var total pipeline.Stats
+	s.mu.Lock()
+	labs := make(map[string]*core.Lab, len(s.shards))
+	for name, sh := range s.shards {
+		if lab := sh.lab.Load(); lab != nil {
+			labs[name] = lab
+		}
+	}
+	s.mu.Unlock()
+	for name, lab := range labs {
+		st := lab.Pipe.Stats()
+		total.Add(st)
+		out.Benchmarks[name] = toStatsDTO(st)
+	}
+	out.Total = toStatsDTO(total)
+	if s.cfg.Store != nil {
+		ss := &storeStatsDTO{Dir: s.cfg.Store.Dir()}
+		if entries, bytes, err := s.cfg.Store.Usage(); err == nil {
+			ss.Entries = entries
+			ss.Bytes = bytes
+		}
+		out.Store = ss
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// shardFor resolves the bench query parameter to a built shard, writing
+// the HTTP error itself when it cannot.
+func (s *Server) shardFor(w http.ResponseWriter, name string) (*core.Lab, bool) {
+	if name == "" {
+		s.writeError(w, http.StatusBadRequest, "missing bench parameter")
+		return nil, false
+	}
+	lab, err := s.lab(name)
+	if err != nil {
+		if _, known := s.benches[name]; !known {
+			s.writeError(w, http.StatusNotFound, err.Error())
+		} else {
+			s.serverError(w, err)
+		}
+		return nil, false
+	}
+	return lab, true
+}
+
+func parseSize(s string) (uint32, error) {
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("%q is not a valid size in bytes", s)
+	}
+	return uint32(v), nil
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	s.failures.Add(1)
+	s.writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Server) serverError(w http.ResponseWriter, err error) {
+	s.writeError(w, http.StatusInternalServerError, err.Error())
+}

@@ -1,0 +1,223 @@
+package service_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/benchprog"
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(service.New(service.Config{Store: st, Workers: 4}).Handler())
+	t.Cleanup(ts.Close)
+	return ts, st
+}
+
+func get(t *testing.T, url string, wantCode int, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s: status %d, want %d (body %s)", url, resp.StatusCode, wantCode, body)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v (body %s)", url, err, body)
+		}
+	}
+}
+
+type measurement struct {
+	Benchmark string  `json:"benchmark"`
+	SPMSize   uint32  `json:"spm_size"`
+	CacheSize uint32  `json:"cache_size"`
+	SimCycles uint64  `json:"sim_cycles"`
+	WCET      uint64  `json:"wcet"`
+	Ratio     float64 `json:"ratio"`
+}
+
+// TestServeMatchesCLI: the acceptance property of the service — for every
+// memory configuration, /v1/wcet reports exactly the bounds the CLI path
+// (a core.Lab over the same benchmark) computes.
+func TestServeMatchesCLI(t *testing.T) {
+	ts, _ := newTestServer(t)
+	lab, err := core.NewLab(benchprog.WorstCaseSort)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var base measurement
+	get(t, ts.URL+"/v1/wcet?bench=WorstCaseSort", http.StatusOK, &base)
+	wantBase, err := lab.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.WCET != wantBase.WCET || base.SimCycles != wantBase.SimCycles {
+		t.Errorf("baseline: served %d/%d, CLI %d/%d", base.SimCycles, base.WCET, wantBase.SimCycles, wantBase.WCET)
+	}
+
+	var spm measurement
+	get(t, ts.URL+"/v1/wcet?bench=WorstCaseSort&spm=512", http.StatusOK, &spm)
+	wantSPM, err := lab.WithScratchpad(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spm.WCET != wantSPM.WCET || spm.SimCycles != wantSPM.SimCycles || spm.SPMSize != 512 {
+		t.Errorf("spm: served %+v, CLI %+v", spm, wantSPM)
+	}
+
+	var cm measurement
+	get(t, ts.URL+"/v1/wcet?bench=WorstCaseSort&cache=256", http.StatusOK, &cm)
+	wantCache, err := lab.WithCache(256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.WCET != wantCache.WCET || cm.SimCycles != wantCache.SimCycles || cm.CacheSize != 256 {
+		t.Errorf("cache: served %+v, CLI %+v", cm, wantCache)
+	}
+}
+
+// TestServeSweepAndWitness: the sweep endpoint returns one measurement per
+// paper capacity and the witness endpoint honours its top bound.
+func TestServeSweepAndWitness(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	var sweep []measurement
+	get(t, ts.URL+"/v1/sweep?bench=WorstCaseSort&branch=spm", http.StatusOK, &sweep)
+	if len(sweep) != len(core.PaperSizes) {
+		t.Fatalf("sweep returned %d rows, want %d", len(sweep), len(core.PaperSizes))
+	}
+	for i, m := range sweep {
+		if m.SPMSize != core.PaperSizes[i] {
+			t.Errorf("sweep row %d: size %d, want %d", i, m.SPMSize, core.PaperSizes[i])
+		}
+		if m.WCET < m.SimCycles {
+			t.Errorf("sweep row %d: unsound bound %d < %d", i, m.WCET, m.SimCycles)
+		}
+	}
+
+	var wit struct {
+		Benchmark string `json:"benchmark"`
+		WCET      uint64 `json:"wcet"`
+		Objects   []struct {
+			Name    string `json:"name"`
+			Benefit int64  `json:"benefit_cycles"`
+		} `json:"objects"`
+		Blocks []struct {
+			Func  string `json:"func"`
+			Count uint64 `json:"count"`
+		} `json:"blocks"`
+	}
+	get(t, ts.URL+"/v1/witness?bench=WorstCaseSort&top=3", http.StatusOK, &wit)
+	if wit.WCET == 0 || len(wit.Objects) == 0 || len(wit.Objects) > 3 || len(wit.Blocks) > 3 {
+		t.Errorf("witness response malformed: %+v", wit)
+	}
+}
+
+// TestServeErrors: parameter validation and shard resolution produce the
+// right status codes, and none of them crash the worker pool.
+func TestServeErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		url  string
+		code int
+	}{
+		{"/v1/wcet", http.StatusBadRequest},                                     // missing bench
+		{"/v1/wcet?bench=Nope", http.StatusNotFound},                            // unknown benchmark
+		{"/v1/wcet?bench=WorstCaseSort&spm=64&cache=64", http.StatusBadRequest}, // exclusive params
+		{"/v1/wcet?bench=WorstCaseSort&spm=banana", http.StatusBadRequest},      // unparsable size
+		{"/v1/wcet?bench=WorstCaseSort&spm=65536", http.StatusBadRequest},       // above SPMMax
+		{"/v1/wcet?bench=WorstCaseSort&cache=64&assoc=0", http.StatusBadRequest},
+		{"/v1/sweep?bench=WorstCaseSort&branch=bogus", http.StatusBadRequest},
+		{"/v1/witness?bench=WorstCaseSort&top=-1", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		var e struct {
+			Error string `json:"error"`
+		}
+		get(t, ts.URL+c.url, c.code, &e)
+		if e.Error == "" {
+			t.Errorf("GET %s: no error message", c.url)
+		}
+	}
+	// The pool must still serve after the failures above.
+	var m measurement
+	get(t, ts.URL+"/v1/wcet?bench=WorstCaseSort&spm=128", http.StatusOK, &m)
+	if m.WCET == 0 {
+		t.Error("server wedged after error responses")
+	}
+}
+
+// TestServeCoalescing: concurrent identical requests coalesce in the
+// pipeline singleflight and all return the same body; /v1/stats then shows
+// the shard computed the artifact once.
+func TestServeCoalescing(t *testing.T) {
+	ts, _ := newTestServer(t)
+	const n = 8
+	bodies := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/wcet?bench=WorstCaseSort&spm=256")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			bodies[i] = string(b)
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if bodies[i] != bodies[0] {
+			t.Fatalf("concurrent responses differ:\n%s\nvs\n%s", bodies[i], bodies[0])
+		}
+	}
+
+	var stats struct {
+		Workers    int `json:"workers"`
+		Benchmarks map[string]struct {
+			Analyses uint64 `json:"analyses"`
+			Sims     uint64 `json:"sims"`
+		} `json:"benchmarks"`
+	}
+	get(t, ts.URL+"/v1/stats", http.StatusOK, &stats)
+	if stats.Workers != 4 {
+		t.Errorf("stats workers %d, want 4", stats.Workers)
+	}
+	sh, ok := stats.Benchmarks["WorstCaseSort"]
+	if !ok {
+		t.Fatal("stats missing the exercised shard")
+	}
+	// 8 identical requests: one placement analysis + one placement
+	// simulation, everything else coalesced or cached.
+	if sh.Analyses != 1 || sh.Sims != 1 {
+		t.Errorf("shard ran analyses=%d sims=%d for identical requests, want 1/1", sh.Analyses, sh.Sims)
+	}
+}

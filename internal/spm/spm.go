@@ -39,6 +39,11 @@ type Energy struct {
 // Name identifies the policy.
 func (Energy) Name() string { return "energy" }
 
+// ConfigKey identifies the policy's configuration for solve memoization:
+// the knapsack depends only on the energy model (the profile is a
+// per-pipeline artifact, fixed for every solve against that pipeline).
+func (a Energy) ConfigKey() string { return "energy|" + a.Model.Key() }
+
 // Allocate solves the energy knapsack at one capacity using the pipeline's
 // profile artifact.
 func (a Energy) Allocate(p *pipeline.Pipeline, capacity uint32) (*Allocation, error) {

@@ -1,0 +1,130 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// codec.go is the deterministic binary codec behind every stored artifact.
+// Two requirements rule out encoding/gob: the program key must be a stable
+// content hash, and two processes writing the same artifact must produce
+// bit-identical files (the concurrency tests assert it). So every integer
+// is fixed-width little-endian, every length is explicit, and every map is
+// written with its keys sorted.
+
+type encoder struct{ b []byte }
+
+func (e *encoder) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *encoder) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *encoder) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *encoder) i64(v int64)  { e.u64(uint64(v)) }
+
+func (e *encoder) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+func (e *encoder) bytes(p []byte) {
+	e.u32(uint32(len(p)))
+	e.b = append(e.b, p...)
+}
+
+// decoder consumes a payload produced by encoder. The first malformed read
+// latches an error; every later read returns zero values, so decode
+// functions can run straight-line and check err once at the end.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("store: decode: "+format, args...)
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.b)-d.off {
+		d.fail("need %d bytes at offset %d, have %d", n, d.off, len(d.b)-d.off)
+		return nil
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s
+}
+
+func (d *decoder) u8() uint8 {
+	s := d.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+func (d *decoder) u32() uint32 {
+	s := d.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+func (d *decoder) u64() uint64 {
+	s := d.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+func (d *decoder) i64() int64 { return int64(d.u64()) }
+
+func (d *decoder) boolean() bool { return d.u8() != 0 }
+
+func (d *decoder) str() string { return string(d.take(int(d.u32()))) }
+
+// count reads a length prefix and sanity-bounds it: each element of the
+// collection occupies at least one payload byte, so a length beyond the
+// remaining payload is structurally impossible and fails early instead of
+// provoking a huge allocation.
+func (d *decoder) count() int {
+	n := int(d.u32())
+	if d.err == nil && n > len(d.b)-d.off {
+		d.fail("implausible collection length %d with %d bytes left", n, len(d.b)-d.off)
+		return 0
+	}
+	return n
+}
+
+// finish reports the latched error, or trailing garbage after the last
+// field (which a version-skewed writer would leave behind).
+func (d *decoder) finish() error {
+	if d.err == nil && d.off != len(d.b) {
+		d.fail("%d trailing bytes", len(d.b)-d.off)
+	}
+	return d.err
+}
+
+// sortedKeys returns the map's keys in sorted order — the canonical
+// iteration order for every encoded map.
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

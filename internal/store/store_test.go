@@ -1,0 +1,450 @@
+package store_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cc"
+	"repro/internal/link"
+	"repro/internal/obj"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/wcet"
+)
+
+const testProgram = `
+int a[32];
+
+int suma() {
+    int s = 0;
+    for (int i = 0; i < 32; i += 1) s = s + a[i];
+    return s;
+}
+
+int main() {
+    int s = 0;
+    for (int k = 0; k < 4; k += 1) s = s + suma();
+    return s & 7;
+}
+`
+
+// artifacts compiles the test program and produces one artifact of every
+// persisted type, including a witness-bearing analysis and a cache-mode
+// simulation (so the classification counters are exercised).
+func artifacts(t *testing.T) (prog *obj.Program, simRes *sim.Result, prof *sim.Profile, wres, cres *wcet.Result) {
+	t.Helper()
+	prog, err := cc.Compile(testProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := link.Link(prog, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := &cache.Config{Size: 256, Assoc: 1}
+	if simRes, err = sim.Run(exe, sim.Options{Cache: ccfg}); err != nil {
+		t.Fatal(err)
+	}
+	if prof, err = sim.CollectProfile(exe, sim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if wres, err = wcet.Analyze(exe, wcet.Options{Witness: true}); err != nil {
+		t.Fatal(err)
+	}
+	if cres, err = wcet.Analyze(exe, wcet.Options{Cache: ccfg, StackBound: 512}); err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func open(t *testing.T) *store.Store {
+	t.Helper()
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// sameSim compares the persisted scalar fields (Mem is not persisted).
+func sameSim(a, b *sim.Result) bool {
+	return a.Cycles == b.Cycles && a.Instrs == b.Instrs &&
+		a.CacheHits == b.CacheHits && a.CacheMisses == b.CacheMisses &&
+		a.ExitCode == b.ExitCode
+}
+
+// TestRoundTripIdentity: every artifact type must round-trip to an
+// identical value (up to the documented Mem drop) and an identical
+// re-encoding.
+func TestRoundTripIdentity(t *testing.T) {
+	prog, simRes, prof, wres, cres := artifacts(t)
+	s := open(t)
+	pk := store.ProgramKey(prog)
+
+	if err := s.SaveSim(pk, "sim", simRes); err != nil {
+		t.Fatal(err)
+	}
+	gotSim, ok := s.LoadSim(pk, "sim")
+	if !ok {
+		t.Fatal("sim: miss after save")
+	}
+	if !sameSim(gotSim, simRes) {
+		t.Errorf("sim round trip changed values: %+v vs %+v", gotSim, simRes)
+	}
+	if gotSim.Mem != nil {
+		t.Error("sim: memory image must not be persisted")
+	}
+	if !bytes.Equal(store.EncodeSim(gotSim), store.EncodeSim(simRes)) {
+		t.Error("sim: re-encoding differs")
+	}
+
+	if err := s.SaveProfile(pk, "profile", prof); err != nil {
+		t.Fatal(err)
+	}
+	gotProf, ok := s.LoadProfile(pk, "profile")
+	if !ok {
+		t.Fatal("profile: miss after save")
+	}
+	if !reflect.DeepEqual(gotProf.ByObject, prof.ByObject) {
+		t.Errorf("profile objects differ: %+v vs %+v", gotProf.ByObject, prof.ByObject)
+	}
+	if gotProf.StackAccesses != prof.StackAccesses || gotProf.MinStackAddr != prof.MinStackAddr {
+		t.Error("profile stack fields differ")
+	}
+	if gotProf.ObservedStackDepth() != prof.ObservedStackDepth() {
+		t.Error("profile stack depth differs")
+	}
+	if gotProf.Result == nil || !sameSim(gotProf.Result, prof.Result) {
+		t.Error("profile result scalars differ")
+	}
+	if !bytes.Equal(store.EncodeProfile(gotProf), store.EncodeProfile(prof)) {
+		t.Error("profile: re-encoding differs")
+	}
+
+	for name, res := range map[string]*wcet.Result{"witness": wres, "cache": cres} {
+		if err := s.SaveWCET(pk, name, res); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := s.LoadWCET(pk, name, false)
+		if !ok {
+			t.Fatalf("wcet %s: miss after save", name)
+		}
+		if !reflect.DeepEqual(got, res) {
+			t.Errorf("wcet %s round trip changed values", name)
+		}
+		if !bytes.Equal(store.EncodeWCET(got), store.EncodeWCET(res)) {
+			t.Errorf("wcet %s: re-encoding differs", name)
+		}
+	}
+}
+
+// TestDeterministicEncoding: encoding is map-order independent — repeated
+// encodings of one artifact must be bit-identical (the property that lets
+// two processes write identical files for one key).
+func TestDeterministicEncoding(t *testing.T) {
+	_, simRes, prof, wres, _ := artifacts(t)
+	for i := 0; i < 3; i++ {
+		if !bytes.Equal(store.EncodeSim(simRes), store.EncodeSim(simRes)) {
+			t.Fatal("sim encoding not deterministic")
+		}
+		if !bytes.Equal(store.EncodeProfile(prof), store.EncodeProfile(prof)) {
+			t.Fatal("profile encoding not deterministic")
+		}
+		if !bytes.Equal(store.EncodeWCET(wres), store.EncodeWCET(wres)) {
+			t.Fatal("wcet encoding not deterministic")
+		}
+	}
+}
+
+// entryFile locates the single entry file in a store directory.
+func entryFile(t *testing.T, s *store.Store) string {
+	t.Helper()
+	entries, err := s.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("want exactly 1 entry, have %d", len(entries))
+	}
+	return filepath.Join(s.Dir(), entries[0].Name[:2], entries[0].Name+".art")
+}
+
+// TestCorruptionIsAMiss: a flipped payload byte, a truncated file and a
+// wrong magic must all read as a miss, and the broken entry must be
+// removed so the slot heals on the next write.
+func TestCorruptionIsAMiss(t *testing.T) {
+	prog, simRes, _, _, _ := artifacts(t)
+	pk := store.ProgramKey(prog)
+
+	corruptions := map[string]func([]byte) []byte{
+		"payload bit flip": func(b []byte) []byte { b[len(b)-1] ^= 0xFF; return b },
+		"truncation":       func(b []byte) []byte { return b[:len(b)-4] },
+		"header truncated": func(b []byte) []byte { return b[:10] },
+		"bad magic":        func(b []byte) []byte { copy(b, "NOPE"); return b },
+		"empty file":       func([]byte) []byte { return nil },
+	}
+	for name, corrupt := range corruptions {
+		s := open(t)
+		if _, ok := s.LoadSim(pk, "sim"); ok {
+			t.Fatalf("%s: hit on empty store", name)
+		}
+		if err := s.SaveSim(pk, "sim", simRes); err != nil {
+			t.Fatal(err)
+		}
+		path := entryFile(t, s)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, corrupt(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.LoadSim(pk, "sim"); ok {
+			t.Errorf("%s: corrupt entry served as a hit", name)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Errorf("%s: corrupt entry not removed", name)
+		}
+		// The slot heals: rewrite and read back.
+		if err := s.SaveSim(pk, "sim", simRes); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := s.LoadSim(pk, "sim"); !ok || !sameSim(got, simRes) {
+			t.Errorf("%s: rewrite after corruption did not heal", name)
+		}
+	}
+}
+
+// TestWitnessRequirement: a stored witness-less analysis answers plain
+// requests but reads as a miss when a witness is required; a
+// witness-bearing overwrite serves both.
+func TestWitnessRequirement(t *testing.T) {
+	prog, _, _, wres, _ := artifacts(t)
+	s := open(t)
+	pk := store.ProgramKey(prog)
+	plain := *wres
+	plain.Witness = nil
+	if err := s.SaveWCET(pk, "k", &plain); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.LoadWCET(pk, "k", false); !ok {
+		t.Error("witness-less entry must serve plain requests")
+	}
+	if _, ok := s.LoadWCET(pk, "k", true); ok {
+		t.Error("witness-less entry must miss when a witness is required")
+	}
+	if err := s.SaveWCET(pk, "k", wres); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.LoadWCET(pk, "k", true)
+	if !ok || got.Witness == nil {
+		t.Fatal("witness-bearing overwrite not served")
+	}
+	if got.WCET != wres.WCET {
+		t.Error("overwrite changed the bound")
+	}
+}
+
+// TestConcurrentSharedDir: two handles on one directory (two "processes")
+// saving and loading the same artifacts concurrently must stay race-clean
+// and leave a file bit-identical to a fresh encoding.
+func TestConcurrentSharedDir(t *testing.T) {
+	prog, simRes, _, wres, _ := artifacts(t)
+	dir := t.TempDir()
+	s1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := store.ProgramKey(prog)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		s := s1
+		if i%2 == 1 {
+			s = s2
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				if err := s.SaveSim(pk, "sim", simRes); err != nil {
+					t.Error(err)
+				}
+				if got, ok := s.LoadSim(pk, "sim"); ok && !sameSim(got, simRes) {
+					t.Error("concurrent load returned different values")
+				}
+				if err := s.SaveWCET(pk, "wcet", wres); err != nil {
+					t.Error(err)
+				}
+				if got, ok := s.LoadWCET(pk, "wcet", true); ok && got.WCET != wres.WCET {
+					t.Error("concurrent load returned a different bound")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Both writers were writing identical bytes; whichever rename won,
+	// the surviving files must verify and agree bit-for-bit with a fresh
+	// encoding.
+	entries, err := s1.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("want 2 entries after the race, have %d", len(entries))
+	}
+	for _, e := range entries {
+		if e.Corrupt {
+			t.Errorf("entry %s corrupt after concurrent writes", e.Name)
+		}
+	}
+	if got, ok := s1.LoadSim(pk, "sim"); !ok || !bytes.Equal(store.EncodeSim(got), store.EncodeSim(simRes)) {
+		t.Error("surviving sim entry does not agree bit-for-bit")
+	}
+	if got, ok := s2.LoadWCET(pk, "wcet", true); !ok || !bytes.Equal(store.EncodeWCET(got), store.EncodeWCET(wres)) {
+		t.Error("surviving wcet entry does not agree bit-for-bit")
+	}
+}
+
+// TestIndexSweepGC: the index lists entries with kinds and flags
+// corruption; Sweep removes corrupt entries and stale temporaries; GC
+// additionally expires old entries.
+func TestIndexSweepGC(t *testing.T) {
+	prog, simRes, prof, wres, _ := artifacts(t)
+	s := open(t)
+	pk := store.ProgramKey(prog)
+	if err := s.SaveSim(pk, "sim", simRes); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveProfile(pk, "profile", prof); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveWCET(pk, "wcet", wres); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := s.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("want 3 entries, have %d", len(entries))
+	}
+	kinds := map[store.Kind]int{}
+	for _, e := range entries {
+		if e.Corrupt {
+			t.Errorf("entry %s unexpectedly corrupt", e.Name)
+		}
+		kinds[e.Kind]++
+	}
+	if kinds[store.KindSim] != 1 || kinds[store.KindProfile] != 1 || kinds[store.KindWCET] != 1 {
+		t.Errorf("kind census wrong: %v", kinds)
+	}
+	var wantBytes int64
+	for _, e := range entries {
+		wantBytes += e.Size
+	}
+	n, bytes, err := s.Usage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || bytes != wantBytes {
+		t.Errorf("usage reports %d entries / %d bytes, want 3 / %d", n, bytes, wantBytes)
+	}
+
+	// Corrupt one entry and plant a stale temp file.
+	victim := filepath.Join(s.Dir(), entries[0].Name[:2], entries[0].Name+".art")
+	if err := os.WriteFile(victim, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(s.Dir(), "tmp-stale")
+	if err := os.WriteFile(stale, []byte("half-written"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = s.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := 0
+	for _, e := range entries {
+		if e.Corrupt {
+			corrupt++
+		}
+	}
+	if corrupt != 1 {
+		t.Errorf("index flags %d corrupt entries, want 1", corrupt)
+	}
+	removed, err := s.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Errorf("sweep removed %d files, want 2 (corrupt entry + stale temp)", removed)
+	}
+	entries, err = s.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("want 2 entries after sweep, have %d", len(entries))
+	}
+
+	// GC with a future cutoff expires everything that remains.
+	removed, err = s.GC(time.Now().Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Errorf("gc removed %d entries, want 2", removed)
+	}
+	entries, err = s.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("store not empty after gc: %d entries", len(entries))
+	}
+}
+
+// TestProgramKeySensitivity: the program hash must be reproducible across
+// compilations and must change when any content influencing placement or
+// analysis changes.
+func TestProgramKeySensitivity(t *testing.T) {
+	p1, err := cc.Compile(testProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := cc.Compile(testProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.ProgramKey(p1) != store.ProgramKey(p2) {
+		t.Fatal("recompiling the same source changed the program key")
+	}
+
+	base := store.ProgramKey(p2)
+	p2.Objects[0].Data[0] ^= 0xFF
+	if store.ProgramKey(p2) == base {
+		t.Error("flipping an object byte did not change the key")
+	}
+	p2.Objects[0].Data[0] ^= 0xFF
+	if store.ProgramKey(p2) != base {
+		t.Fatal("undoing the flip did not restore the key")
+	}
+	p2.Objects[0], p2.Objects[1] = p2.Objects[1], p2.Objects[0]
+	if store.ProgramKey(p2) == base {
+		t.Error("reordering objects (which moves placements) did not change the key")
+	}
+}

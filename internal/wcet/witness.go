@@ -69,6 +69,80 @@ func (a *AccessCounts) SPMCycleBenefit() int64 {
 	return total
 }
 
+// ObjectRank is one entry of TopObjects: a memory object with its
+// worst-case access counts and the scratchpad cycle benefit they imply.
+type ObjectRank struct {
+	Name string `json:"name"`
+	// Fetches is the worst-case instruction fetch count served.
+	Fetches uint64 `json:"fetches"`
+	// Data is the worst-case data access count served (all widths).
+	Data uint64 `json:"data_accesses"`
+	// Benefit is the worst-case cycles recoverable by scratchpad placement.
+	Benefit int64 `json:"benefit_cycles"`
+}
+
+// TopObjects ranks the witness's memory objects by worst-case cycles
+// recoverable via scratchpad placement (ties broken by name) and returns
+// the first n (all of them when n <= 0).
+func (w *Witness) TopObjects(n int) []ObjectRank {
+	rows := make([]ObjectRank, 0, len(w.ObjectAccesses))
+	for name, ac := range w.ObjectAccesses {
+		var data uint64
+		for _, c := range ac.Data {
+			data += c
+		}
+		rows = append(rows, ObjectRank{Name: name, Fetches: ac.Fetches, Data: data, Benefit: ac.SPMCycleBenefit()})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Benefit != rows[j].Benefit {
+			return rows[i].Benefit > rows[j].Benefit
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// BlockRank is one entry of TopBlocks: a basic block with its whole-program
+// worst-case execution count.
+type BlockRank struct {
+	Func  string `json:"func"`
+	Block int    `json:"block"`
+	Count uint64 `json:"count"`
+	// FuncRuns is the worst-case invocation count of the enclosing function.
+	FuncRuns uint64 `json:"func_runs"`
+}
+
+// TopBlocks ranks basic blocks by whole-program worst-case execution count
+// (ties broken by function name, then block index) and returns the first n
+// (all of them when n <= 0). Blocks the worst case never executes are
+// omitted.
+func (w *Witness) TopBlocks(n int) []BlockRank {
+	var rows []BlockRank
+	for fn, counts := range w.BlockCounts {
+		for i, c := range counts {
+			if c > 0 {
+				rows = append(rows, BlockRank{Func: fn, Block: i, Count: c, FuncRuns: w.FuncRuns[fn]})
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		if rows[i].Func != rows[j].Func {
+			return rows[i].Func < rows[j].Func
+		}
+		return rows[i].Block < rows[j].Block
+	})
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
 // buildWitness composes the per-function IPET solutions into whole-program
 // counts. order lists functions callees-first (the analysis order), so the
 // reverse walk sees every caller before its callees.

@@ -71,6 +71,11 @@ type Options struct {
 	// is kept, making the reported placement canonical. When nil, the
 	// most recently evaluated equal-WCET allocation wins (legacy order).
 	Energy func(inSPM map[string]bool) float64
+	// EnergyKey canonically identifies the Energy function's model (e.g.
+	// energy.Model.Key()) for solve memoization: function values cannot be
+	// compared, so Directed.ConfigKey refuses to produce a key — and the
+	// pipeline runs the solve unmemoized — when Energy is set without one.
+	EnergyKey string
 	// MaxIter bounds the number of knapsack/re-analysis rounds
 	// (DefaultMaxIter when zero).
 	MaxIter int
@@ -116,13 +121,45 @@ type Directed struct {
 // Name identifies the policy.
 func (Directed) Name() string { return "wcet" }
 
+// ConfigKey identifies the fixpoint's full configuration — analysis
+// options, iteration cap, tie-break model, explicit seeds and the seed
+// policy's own ConfigKey — for solve memoization. It returns "",
+// disabling memoization, when the configuration cannot be captured: an
+// Energy tie-break without an EnergyKey, per-call PreEvaluated seeds, or
+// an unkeyable seed policy.
+func (d Directed) ConfigKey() string {
+	o := d.Opts
+	if (o.Energy != nil && o.EnergyKey == "") || len(o.PreEvaluated) > 0 {
+		return ""
+	}
+	seedKey := "none"
+	if d.Seed != nil {
+		if seedKey = d.Seed.ConfigKey(); seedKey == "" {
+			return ""
+		}
+	}
+	seeds := make([]string, 0, len(o.Seeds))
+	for _, s := range o.Seeds {
+		seeds = append(seeds, strings.ReplaceAll(allocKey(s), "\x00", ","))
+	}
+	sort.Strings(seeds)
+	maxIter := o.MaxIter
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIter
+	}
+	return fmt.Sprintf("wcet|maxiter=%d|energy=%s|stack=%d|root=%s|seeds=%s|seed=(%s)",
+		maxIter, o.EnergyKey, o.WCET.StackBound, o.WCET.Root, strings.Join(seeds, ";"), seedKey)
+}
+
 // Allocate runs the fixpoint against the pipeline and converts the result
 // to the shared allocation type; Benefit is the worst-case cycles saved
 // over the empty-scratchpad baseline.
 func (d Directed) Allocate(p *pipeline.Pipeline, capacity uint32) (*pipeline.Allocation, error) {
 	opts := d.Opts
 	if d.Seed != nil {
-		sa, err := d.Seed.Allocate(p, capacity)
+		// Through the pipeline's allocation stage, so the seed solve is
+		// shared with direct sweeps of the seed policy.
+		sa, err := p.Allocate(d.Seed, capacity)
 		if err != nil {
 			return nil, err
 		}
