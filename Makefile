@@ -49,7 +49,8 @@ warmstore: wcetlab
 	echo "warmstore: ok (zero disk misses, identical figures)"
 
 # HTTP smoke: start `wcetlab serve` on an ephemeral port, make one
-# /v1/wcet request and one /v1/stats request against it.
+# /v1/wcet request and one /v1/stats request against it, then exercise the
+# store GC policy against the artifacts the server just wrote.
 smoke: wcetlab
 	@set -e; dir=$$(mktemp -d); pid=""; \
 	trap 'test -n "$$pid" && kill "$$pid" 2>/dev/null; rm -rf "$$dir"' EXIT; \
@@ -62,4 +63,8 @@ smoke: wcetlab
 		echo "smoke: /v1/wcet failed"; exit 1; }; \
 	curl -fsS "$$url/v1/stats" | grep -q '"workers"' || { \
 		echo "smoke: /v1/stats failed"; exit 1; }; \
+	./bin/wcetlab -store "$$dir/store" gc -max-age 24h | grep -q '^gc: removed 0 ' || { \
+		echo "smoke: gc -max-age removed fresh entries"; exit 1; }; \
+	./bin/wcetlab -store "$$dir/store" gc -max-bytes 1 | grep -q ' 0 entries (0 bytes) remain' || { \
+		echo "smoke: gc -max-bytes did not drain the store"; exit 1; }; \
 	echo "smoke: ok ($$url)"

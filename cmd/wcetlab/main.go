@@ -11,6 +11,8 @@
 //	wcetlab sweep <benchmark>   full sweep table for any Table 2 benchmark
 //	wcetlab wcetsweep <bench>   WCET-directed vs energy-directed allocation
 //	wcetlab witness <bench> [N] top-N worst-case blocks/objects (IPET witness)
+//	                            plus the derived hot-region placement units
+//	wcetlab gc                  apply an age/size retention policy to the store
 //	wcetlab serve               HTTP API over the same measurements
 //	wcetlab all                 everything above except the per-benchmark reports
 //
@@ -27,6 +29,13 @@
 //	-workers N   sweep worker pool size (0 = GOMAXPROCS)
 //	-addr ADDR   serve listen address (default localhost:8177; :0 picks
 //	             a free port and prints it)
+//	-granularity object|block
+//	             placement-unit granularity for the WCET-directed
+//	             allocator (wcetsweep): "block" splits hot loop regions
+//	             out of functions and places the fragments independently
+//
+// gc flags (after the subcommand): -max-age D removes entries older than
+// the duration, -max-bytes N evicts oldest-first beyond the byte budget.
 package main
 
 import (
@@ -44,23 +53,27 @@ import (
 	"repro/internal/benchprog"
 	"repro/internal/cc"
 	"repro/internal/core"
+	"repro/internal/link"
 	"repro/internal/mem"
 	"repro/internal/pipeline"
 	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/wcet"
+	"repro/internal/wcetalloc"
 )
 
 var (
 	// artifactStore is the shared on-disk cache tier (nil when disabled).
 	artifactStore *store.Store
 	labWorkers    int
+	granularity   wcetalloc.Granularity
 )
 
 func main() {
 	storeDir := flag.String("store", "", `artifact store directory (default $WCETLAB_STORE or ~/.cache/wcetlab; "off" disables)`)
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	addr := flag.String("addr", "localhost:8177", "serve listen address")
+	gran := flag.String("granularity", "object", "WCET-directed placement-unit granularity: object or block")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -70,6 +83,11 @@ func main() {
 	}
 	labWorkers = *workers
 	var err error
+	granularity, err = wcetalloc.ParseGranularity(*gran)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wcetlab:", err)
+		os.Exit(2)
+	}
 	artifactStore, err = openStore(*storeDir)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wcetlab: artifact store disabled: %v\n", err)
@@ -120,6 +138,8 @@ func main() {
 		err = witness(args[1], topN)
 	case "serve":
 		err = serve(*addr)
+	case "gc":
+		err = gc(args[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -131,13 +151,40 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: wcetlab [flags] {table1|table2|fig3|fig4|fig5|fig6|precision|sweep <bench>|wcetsweep <bench>|witness <bench> [topN]|serve|all}
+	fmt.Fprintln(os.Stderr, `usage: wcetlab [flags] {table1|table2|fig3|fig4|fig5|fig6|precision|sweep <bench>|wcetsweep <bench>|witness <bench> [topN]|gc [-max-age D] [-max-bytes N]|serve|all}
 
 flags:
   -store DIR   artifact store directory (default $WCETLAB_STORE or
                ~/.cache/wcetlab; "off" disables)
   -workers N   sweep worker pool size (0 = GOMAXPROCS)
-  -addr ADDR   serve listen address (default localhost:8177)`)
+  -addr ADDR   serve listen address (default localhost:8177)
+  -granularity object|block
+               placement-unit granularity for the WCET-directed allocator`)
+}
+
+// gc applies a retention policy to the artifact store: entries older than
+// -max-age go first, then the oldest entries beyond -max-bytes.
+func gc(args []string) error {
+	fs := flag.NewFlagSet("gc", flag.ContinueOnError)
+	maxAge := fs.Duration("max-age", 0, "remove entries older than this (0 keeps all ages)")
+	maxBytes := fs.Int64("max-bytes", 0, "evict oldest entries beyond this store size (0 = unbounded)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if artifactStore == nil {
+		return fmt.Errorf("gc: no artifact store configured (-store off?)")
+	}
+	removed, freed, err := artifactStore.GCPolicy(time.Now(), store.Policy{MaxAge: *maxAge, MaxBytes: *maxBytes})
+	if err != nil {
+		return err
+	}
+	entries, bytes, err := artifactStore.Usage()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gc: removed %d files (%d bytes) from %s; %d entries (%d bytes) remain\n",
+		removed, freed, artifactStore.Dir(), entries, bytes)
+	return nil
 }
 
 // openStore resolves the store directory — flag, then $WCETLAB_STORE, then
@@ -406,31 +453,37 @@ func sweep(name string) error {
 
 // wcetsweep compares the energy-directed (Steinke knapsack on the simulated
 // profile) and WCET-directed (IPET-witness knapsack, iterated to a
-// fixpoint) scratchpad allocations side by side for every paper capacity.
+// fixpoint) scratchpad allocations side by side for every paper capacity,
+// at the -granularity placement-unit granularity.
 func wcetsweep(name string) error {
 	lab, err := newLab(name)
 	if err != nil {
 		return err
 	}
-	cs, err := lab.SweepWCETAllocation()
+	cs, err := lab.SweepWCETAllocationGran(granularity)
 	if err != nil {
 		return err
 	}
-	header(fmt.Sprintf("WCET-directed sweep: %s (energy-directed vs WCET-directed allocation)", name))
-	fmt.Printf("%8s | %12s %12s %12s | %12s %12s %12s | %7s %5s\n",
+	header(fmt.Sprintf("WCET-directed sweep: %s (energy-directed vs WCET-directed allocation, %s granularity)", name, granularity))
+	fmt.Printf("%8s | %12s %12s %12s | %12s %12s %12s | %7s %5s %6s\n",
 		"size [B]", "energy sim", "energy WCET", "energy [nJ]",
-		"wcet sim", "wcet WCET", "energy [nJ]", "Δ WCET", "iters")
+		"wcet sim", "wcet WCET", "energy [nJ]", "Δ WCET", "iters", "splits")
 	for _, c := range cs {
 		delta := 100 * (float64(c.Energy.WCET) - float64(c.WCET.WCET)) / float64(c.Energy.WCET)
-		fmt.Printf("%8d | %12d %12d %12.0f | %12d %12d %12.0f | %6.2f%% %5d\n",
+		fmt.Printf("%8d | %12d %12d %12.0f | %12d %12d %12.0f | %6.2f%% %5d %6d\n",
 			c.SPMSize,
 			c.Energy.SimCycles, c.Energy.WCET, c.Energy.Energy,
 			c.WCET.SimCycles, c.WCET.WCET, c.WCET.Energy,
-			delta, c.Iterations)
+			delta, c.Iterations, len(c.Splits))
 	}
 	fmt.Println("\nThe WCET-directed allocation's bound is never above the energy-directed")
 	fmt.Println("one's; where the worst-case path diverges from the typical input, it is")
 	fmt.Println("strictly tighter at the cost of a slightly higher average-case energy.")
+	if granularity == wcetalloc.GranBlock {
+		fmt.Println("Block granularity splits hot loop regions out of functions (\"splits\"")
+		fmt.Println("counts them) whenever placing a fragment certifies a lower bound than")
+		fmt.Println("placing whole objects; the bound is never worse than object granularity.")
+	}
 	return nil
 }
 
@@ -465,5 +518,21 @@ func witness(name string, topN int) error {
 	}
 	fmt.Println("\nCounts are whole-program worst-case executions the IPET bound charges")
 	fmt.Println("for (per-invocation solution × worst-case invocations of the function).")
+
+	// The hot regions those counts imply: the placement units the
+	// block-granularity allocator (-granularity block) would split out.
+	regions, err := wcetalloc.HotRegions(lab.Pipe, w, link.SPMMax, "")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nHot-region placement units (block granularity would outline these):\n")
+	if len(regions) == 0 {
+		fmt.Println("  none (no splittable loop region on the worst-case path)")
+		return nil
+	}
+	fmt.Printf("%-20s %10s %10s %10s\n", "function", "start", "end", "bytes")
+	for _, r := range regions {
+		fmt.Printf("%-20s %10d %10d %10d\n", r.Func, r.Start, r.End, r.End-r.Start)
+	}
 	return nil
 }

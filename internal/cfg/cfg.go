@@ -24,6 +24,12 @@ type Instr struct {
 	CallTarget string
 	// Hint names the memory object a data access touches ("" if none).
 	Hint string
+	// CrossTarget names the object a `mov pc, r0` long branch lands in
+	// ("" for ordinary instructions) and CrossAddr its resolved target
+	// address. Cross jumps stitch a function split across placement units
+	// (see obj.CrossJump) back into one CFG.
+	CrossTarget string
+	CrossAddr   uint32
 }
 
 // Edge is a CFG edge.
@@ -39,9 +45,14 @@ type Edge struct {
 type Block struct {
 	Index      int
 	Start, End uint32
-	Instrs     []Instr
-	Succs      []*Edge
-	Preds      []*Edge
+	// Obj names the memory object holding the block's instructions. For an
+	// unsplit function this is the function itself; for a function split at
+	// basic-block granularity, fragment blocks name their fragment object —
+	// the unit whose placement decides the block's fetch cost.
+	Obj    string
+	Instrs []Instr
+	Succs  []*Edge
+	Preds  []*Edge
 }
 
 // Loop is a natural loop.
@@ -152,19 +163,116 @@ func (g *Graph) TopoOrder() ([]string, error) {
 	return order, nil
 }
 
+// buildFunc reconstructs one function. A function split at basic-block
+// granularity spans several code objects — the parent plus its fragments —
+// connected by cross jumps (obj.CrossJump); buildFunc decodes every piece
+// and stitches them into a single Function whose blocks know which object
+// (placement unit) holds them.
 func buildFunc(exe *link.Executable, name string) (*Function, error) {
 	pl := exe.Placement(name)
 	if pl == nil {
 		return nil, fmt.Errorf("cfg: function %q not placed", name)
 	}
-	o := pl.Obj
-	if o.Kind != obj.Code {
+	if pl.Obj.Kind != obj.Code {
 		return nil, fmt.Errorf("cfg: %q is not code", name)
 	}
+	pieces := []*link.Placement{pl}
+	for _, fn := range pl.Obj.Fragments {
+		fpl := exe.Placement(fn)
+		if fpl == nil {
+			return nil, fmt.Errorf("cfg: fragment %q of %q not placed", fn, name)
+		}
+		pieces = append(pieces, fpl)
+	}
+
+	f := &Function{Name: name, Addr: pl.Addr}
+	blockAt := map[uint32]*Block{}
+	var pieceBlocks [][]*Block
+	for _, ppl := range pieces {
+		blocks, err := buildPieceBlocks(exe, f, ppl)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range blocks {
+			blockAt[b.Start] = b
+		}
+		pieceBlocks = append(pieceBlocks, blocks)
+	}
+	f.Entry = f.Blocks[0]
+
+	// Edges.
+	connect := func(from, to *Block, taken bool) {
+		e := &Edge{From: from, To: to, Taken: taken}
+		from.Succs = append(from.Succs, e)
+		to.Preds = append(to.Preds, e)
+	}
+	for _, blocks := range pieceBlocks {
+		for bi, b := range blocks {
+			last := b.Instrs[len(b.Instrs)-1]
+			// Fall-through never crosses an object boundary: control leaves
+			// a unit only via branches, returns or cross jumps.
+			var fallthrough_ *Block
+			if bi+1 < len(blocks) {
+				fallthrough_ = blocks[bi+1]
+			}
+			switch {
+			case last.CrossTarget != "":
+				to := blockAt[last.CrossAddr]
+				if to == nil {
+					return nil, fmt.Errorf("cfg: %s: cross jump at %#x to %#x does not hit a block start", name, last.Addr, last.CrossAddr)
+				}
+				connect(b, to, true)
+			case last.In.Op == arm.OpB:
+				connect(b, blockAt[last.Addr+4+uint32(last.In.Imm)], true)
+			case last.In.Op == arm.OpBCond:
+				connect(b, blockAt[last.Addr+4+uint32(last.In.Imm)], true)
+				if fallthrough_ == nil {
+					return nil, fmt.Errorf("cfg: %s: conditional branch at %#x falls off the function", name, last.Addr)
+				}
+				connect(b, fallthrough_, false)
+			case last.In.IsReturn():
+				// no successors
+			default:
+				if fallthrough_ != nil {
+					connect(b, fallthrough_, false)
+				}
+			}
+			// Record call sites.
+			for ii, ci := range b.Instrs {
+				if ci.CallTarget != "" {
+					f.Calls = append(f.Calls, CallSite{Block: b, Instr: ii, Callee: ci.CallTarget})
+				}
+			}
+		}
+	}
+
+	// Flow facts from every piece, keyed by placed branch address.
+	bounds := map[uint32]obj.LoopBound{}
+	for _, ppl := range pieces {
+		for _, lb := range ppl.Obj.LoopBounds {
+			bounds[ppl.Addr+lb.BranchOffset] = lb
+		}
+	}
+	if err := findLoops(f, bounds); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// buildPieceBlocks decodes one placed code object into basic blocks,
+// appending them to f.Blocks (global indices) and returning the piece's
+// own block list in address order.
+func buildPieceBlocks(exe *link.Executable, f *Function, pl *link.Placement) ([]*Block, error) {
+	o := pl.Obj
+	name := o.Name
 
 	hints := map[uint32]string{}
 	for _, h := range o.Accesses {
 		hints[h.InstrOffset] = h.Target
+	}
+	cross := map[uint32]obj.CrossJump{}
+	for _, cj := range o.CrossJumps {
+		cross[cj.InstrOffset] = cj
 	}
 
 	// Decode; fold BL pairs.
@@ -196,6 +304,20 @@ func buildFunc(exe *link.Executable, name string) (*Function, error) {
 			ci.CallTarget = tpl.Obj.Name
 		case arm.OpBlLo:
 			return nil, fmt.Errorf("cfg: %s+%#x: BL suffix without prefix", name, off)
+		case arm.OpMovHi, arm.OpAddHi:
+			if in.Rd != arm.PC {
+				break
+			}
+			cj, ok := cross[off]
+			if !ok {
+				return nil, fmt.Errorf("cfg: %s+%#x: indirect branch without cross-jump metadata", name, off)
+			}
+			tpl := exe.Placement(cj.Target)
+			if tpl == nil {
+				return nil, fmt.Errorf("cfg: %s+%#x: cross jump to unplaced %q", name, off, cj.Target)
+			}
+			ci.CrossTarget = cj.Target
+			ci.CrossAddr = tpl.Addr + cj.TargetOffset
 		}
 		byAddr[addr] = len(instrs)
 		instrs = append(instrs, ci)
@@ -208,85 +330,51 @@ func buildFunc(exe *link.Executable, name string) (*Function, error) {
 	// Leaders: entry, branch targets, instruction after any control flow.
 	leader := map[uint32]bool{pl.Addr: true}
 	for i, ci := range instrs {
-		switch ci.In.Op {
-		case arm.OpB, arm.OpBCond:
+		switch {
+		case ci.In.Op == arm.OpB || ci.In.Op == arm.OpBCond:
 			target := ci.Addr + 4 + uint32(ci.In.Imm)
 			if _, ok := byAddr[target]; !ok {
-				return nil, fmt.Errorf("cfg: %s: branch at %#x to %#x leaves the function", name, ci.Addr, target)
+				return nil, fmt.Errorf("cfg: %s: branch at %#x to %#x leaves the object", name, ci.Addr, target)
 			}
 			leader[target] = true
 			if i+1 < len(instrs) {
 				leader[instrs[i+1].Addr] = true
 			}
-		default:
-			if ci.In.IsReturn() || ci.CallTarget != "" {
-				if i+1 < len(instrs) {
-					leader[instrs[i+1].Addr] = true
-				}
+		case ci.In.IsReturn() || ci.CallTarget != "" || ci.CrossTarget != "":
+			if i+1 < len(instrs) {
+				leader[instrs[i+1].Addr] = true
+			}
+		}
+	}
+	// Cross-jump landing offsets in *this* object are block leaders too.
+	// Scan every piece of the program for jumps landing here: the linker
+	// placed them, so resolve through the executable's placements.
+	for _, opl := range exe.Placements {
+		for _, cj := range opl.Obj.CrossJumps {
+			if cj.Target == name {
+				leader[pl.Addr+cj.TargetOffset] = true
 			}
 		}
 	}
 
 	// Split into blocks.
-	f := &Function{Name: name, Addr: pl.Addr}
-	blockAt := map[uint32]*Block{}
+	var blocks []*Block
 	var cur *Block
 	for _, ci := range instrs {
 		if leader[ci.Addr] || cur == nil {
-			cur = &Block{Index: len(f.Blocks), Start: ci.Addr}
+			cur = &Block{Index: len(f.Blocks), Start: ci.Addr, Obj: name}
 			f.Blocks = append(f.Blocks, cur)
-			blockAt[ci.Addr] = cur
+			blocks = append(blocks, cur)
 		}
 		cur.Instrs = append(cur.Instrs, ci)
 		cur.End = ci.Addr + ci.Size
 	}
-	f.Entry = f.Blocks[0]
-
-	// Edges.
-	connect := func(from, to *Block, taken bool) {
-		e := &Edge{From: from, To: to, Taken: taken}
-		from.Succs = append(from.Succs, e)
-		to.Preds = append(to.Preds, e)
-	}
-	for bi, b := range f.Blocks {
-		last := b.Instrs[len(b.Instrs)-1]
-		var fallthrough_ *Block
-		if bi+1 < len(f.Blocks) {
-			fallthrough_ = f.Blocks[bi+1]
-		}
-		switch {
-		case last.In.Op == arm.OpB:
-			connect(b, blockAt[last.Addr+4+uint32(last.In.Imm)], true)
-		case last.In.Op == arm.OpBCond:
-			connect(b, blockAt[last.Addr+4+uint32(last.In.Imm)], true)
-			if fallthrough_ == nil {
-				return nil, fmt.Errorf("cfg: %s: conditional branch at %#x falls off the function", name, last.Addr)
-			}
-			connect(b, fallthrough_, false)
-		case last.In.IsReturn():
-			// no successors
-		default:
-			if fallthrough_ != nil {
-				connect(b, fallthrough_, false)
-			}
-		}
-		// Record call sites.
-		for ii, ci := range b.Instrs {
-			if ci.CallTarget != "" {
-				f.Calls = append(f.Calls, CallSite{Block: b, Instr: ii, Callee: ci.CallTarget})
-			}
-		}
-	}
-
-	if err := findLoops(f, o); err != nil {
-		return nil, err
-	}
-	return f, nil
+	return blocks, nil
 }
 
 // findLoops computes dominators, identifies back edges and natural loops,
-// and attaches the object's flow-fact bounds.
-func findLoops(f *Function, o *obj.Object) error {
+// and attaches the flow-fact bounds (keyed by placed branch address).
+func findLoops(f *Function, bounds map[uint32]obj.LoopBound) error {
 	n := len(f.Blocks)
 	// Iterative dominator computation (Cooper/Harvey/Kennedy simplified:
 	// bitset iteration is fine at this scale).
@@ -336,11 +424,6 @@ func findLoops(f *Function, o *obj.Object) error {
 				changed = true
 			}
 		}
-	}
-
-	bounds := map[uint32]obj.LoopBound{}
-	for _, lb := range o.LoopBounds {
-		bounds[f.Addr+lb.BranchOffset] = lb
 	}
 
 	loops := map[*Block]*Loop{}

@@ -53,10 +53,18 @@ type Measurement struct {
 	CacheMisses uint64
 	// SPMUsed is the number of scratchpad bytes occupied by the allocation.
 	SPMUsed uint32
-	// SPMObjects is the number of memory objects moved to the scratchpad.
+	// SPMObjects is the number of placement units moved to the scratchpad
+	// (whole objects, or fragments under block granularity).
 	SPMObjects int
+	// SplitFuncs is the number of functions split into hot-region fragments
+	// for this measurement (0 at whole-object granularity).
+	SplitFuncs int
 	// Energy is the modelled energy of the profiled run under this
-	// placement (nJ; scratchpad runs only).
+	// placement (nJ; scratchpad runs only). For split placements the model
+	// stays at object granularity (fragments are not profiled objects): a
+	// split function counts as resident only when parent and fragment both
+	// are, so the figure is a conservative upper estimate (see
+	// energyPlacement).
 	Energy float64
 }
 
@@ -173,8 +181,14 @@ func (l *Lab) EnergyAllocator() pipeline.Allocator {
 // the energy allocation (so its bound is never worse than the energy
 // policy's) and with the lab's energy model as the equal-bound tie-break.
 func (l *Lab) WCETAllocator() pipeline.Allocator {
+	return l.WCETAllocatorGran(wcetalloc.GranObject)
+}
+
+// WCETAllocatorGran is WCETAllocator at an explicit placement-unit
+// granularity.
+func (l *Lab) WCETAllocatorGran(g wcetalloc.Granularity) pipeline.Allocator {
 	return wcetalloc.Directed{
-		Opts: wcetalloc.Options{Energy: l.placementEnergy, EnergyKey: l.Model.Key()},
+		Opts: wcetalloc.Options{Energy: l.placementEnergy, EnergyKey: l.Model.Key(), Granularity: g},
 		Seed: l.EnergyAllocator(),
 	}
 }
@@ -188,7 +202,7 @@ func (l *Lab) placementEnergy(inSPM map[string]bool) float64 {
 
 // Baseline measures the system with neither scratchpad nor cache.
 func (l *Lab) Baseline() (Measurement, error) {
-	return l.measure(0, nil, nil, nil)
+	return l.measure(nil, 0, nil, nil, nil)
 }
 
 // WithScratchpad runs the scratchpad branch for one capacity.
@@ -211,14 +225,39 @@ func (l *Lab) WithAllocator(a pipeline.Allocator, size uint32) (Measurement, err
 // measureAllocation links one scratchpad allocation and measures it. Both
 // the link and the analysis are pipeline artifacts: if the placement was
 // already analysed (e.g. by the wcetalloc fixpoint), the bound is reused.
+// The allocation's unit partition (if any) flows into every stage key.
 func (l *Lab) measureAllocation(size uint32, alloc *spm.Allocation) (Measurement, error) {
-	m, err := l.measure(size, alloc.InSPM, nil, alloc)
+	m, err := l.measure(alloc.Splits, size, alloc.InSPM, nil, alloc)
 	if err != nil {
 		return Measurement{}, err
 	}
 	m.SPMSize = size
-	m.Energy = l.Model.ProgramEnergy(l.Prog, l.Profile, alloc.InSPM)
+	m.Energy = l.Model.ProgramEnergy(l.Prog, l.Profile, energyPlacement(alloc))
 	return m, nil
+}
+
+// energyPlacement projects a (possibly split) placement onto the
+// object-granularity energy model so the reported figure never
+// underestimates: a split function counts as scratchpad-resident only
+// when *both* its rewritten parent and its hot fragment are resident
+// (then all its profiled accesses really are SPM accesses, trampolines
+// aside); a half-resident split function is charged entirely at main
+// cost. Fragment names are unknown to the profile and drop out.
+func energyPlacement(alloc *spm.Allocation) map[string]bool {
+	if len(alloc.Splits) == 0 {
+		return alloc.InSPM
+	}
+	split := make(map[string]bool, len(alloc.Splits))
+	for _, r := range alloc.Splits {
+		split[r.Func] = true
+	}
+	out := make(map[string]bool, len(alloc.InSPM))
+	for name, in := range alloc.InSPM {
+		if in && (!split[name] || alloc.InSPM[obj.FragmentName(name)]) {
+			out[name] = true
+		}
+	}
+	return out
 }
 
 // WithCache runs the cache branch for one capacity (direct mapped, 16-byte
@@ -236,7 +275,7 @@ func (l *Lab) WithInstructionCache(size uint32) (Measurement, error) {
 }
 
 func (l *Lab) withCacheConfig(ccfg cache.Config) (Measurement, error) {
-	m, err := l.measure(0, nil, &ccfg, nil)
+	m, err := l.measure(nil, 0, nil, &ccfg, nil)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -244,9 +283,10 @@ func (l *Lab) withCacheConfig(ccfg cache.Config) (Measurement, error) {
 	return m, nil
 }
 
-// measure simulates and analyses one configuration through the pipeline.
-func (l *Lab) measure(spmSize uint32, inSPM map[string]bool, ccfg *cache.Config, alloc *spm.Allocation) (Measurement, error) {
-	res, err := l.Pipe.Simulate(spmSize, inSPM, ccfg)
+// measure simulates and analyses one configuration through the pipeline,
+// under an optional placement-unit partition.
+func (l *Lab) measure(splits []obj.Region, spmSize uint32, inSPM map[string]bool, ccfg *cache.Config, alloc *spm.Allocation) (Measurement, error) {
+	res, err := l.Pipe.SimulateUnits(splits, spmSize, inSPM, ccfg)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -258,7 +298,7 @@ func (l *Lab) measure(spmSize uint32, inSPM map[string]bool, ccfg *cache.Config,
 		wopts.Cache = ccfg
 		wopts.StackBound = l.StackBound
 	}
-	wres, err := l.Pipe.Analyze(spmSize, inSPM, wopts)
+	wres, err := l.Pipe.AnalyzeUnits(splits, spmSize, inSPM, wopts)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -272,6 +312,7 @@ func (l *Lab) measure(spmSize uint32, inSPM map[string]bool, ccfg *cache.Config,
 		WCET:        wres.WCET,
 		CacheHits:   res.CacheHits,
 		CacheMisses: res.CacheMisses,
+		SplitFuncs:  len(splits),
 	}
 	if alloc != nil {
 		m.SPMUsed = alloc.Used
@@ -295,11 +336,17 @@ func (l *Lab) validateExit(exit int32) error {
 // WCET-directed (internal/wcetalloc) allocation at one capacity.
 type AllocComparison struct {
 	SPMSize uint32
+	// Granularity is the WCET-directed allocator's placement-unit
+	// granularity (the energy side always places whole objects).
+	Granularity wcetalloc.Granularity
 	// Energy is the measurement under the energy-knapsack allocation
 	// (identical to WithScratchpad).
 	Energy Measurement
 	// WCET is the measurement under the WCET-directed allocation.
 	WCET Measurement
+	// Splits is the unit partition the winning WCET-directed allocation
+	// uses (nil when whole-object placement won).
+	Splits []obj.Region
 	// Iterations is the number of accepted steps of the fixpoint loop
 	// (including the baseline evaluation).
 	Iterations int
@@ -308,19 +355,26 @@ type AllocComparison struct {
 }
 
 // WithWCETAllocation runs both allocators at one capacity and measures the
-// resulting systems side by side. The energy allocation is analysed once
-// (with its witness) and handed to the fixpoint as a pre-evaluated seed,
-// so its bound is never worse and the seed analysis is never repeated; the
-// empty-scratchpad baseline inside the fixpoint is a shared,
-// capacity-independent pipeline artifact.
+// resulting systems side by side, placing whole objects.
 func (l *Lab) WithWCETAllocation(size uint32) (AllocComparison, error) {
-	ealloc, err := l.Pipe.Allocate(l.EnergyAllocator(), size)
+	return l.WithWCETAllocationGran(size, wcetalloc.GranObject)
+}
+
+// WithWCETAllocationGran is WithWCETAllocation at an explicit placement-
+// unit granularity. The WCET-directed solve goes through the pipeline's
+// allocation stage, so it is memoized across sweeps and persisted in the
+// disk store (warm runs re-solve zero fixpoints); its internal energy-seed
+// solve shares the stage entry the energy Measurement uses, and both
+// placements' witness-bearing analyses are evaluated inside the fixpoint
+// first, so the measurements below are pure cache hits. At block
+// granularity the fixpoint additionally runs over the hot-region unit
+// partition and keeps the better certified bound.
+func (l *Lab) WithWCETAllocationGran(size uint32, g wcetalloc.Granularity) (AllocComparison, error) {
+	walloc, err := l.Pipe.Allocate(l.WCETAllocatorGran(g), size)
 	if err != nil {
 		return AllocComparison{}, err
 	}
-	// Analyse the energy placement with its witness first: the same
-	// artifact serves the Measurement below and seeds the fixpoint.
-	eres, err := l.Pipe.Analyze(size, ealloc.InSPM, wcet.Options{Witness: true})
+	ealloc, err := l.Pipe.Allocate(l.EnergyAllocator(), size)
 	if err != nil {
 		return AllocComparison{}, err
 	}
@@ -328,23 +382,18 @@ func (l *Lab) WithWCETAllocation(size uint32) (AllocComparison, error) {
 	if err != nil {
 		return AllocComparison{}, err
 	}
-	res, err := wcetalloc.AllocateIn(l.Pipe, size, wcetalloc.Options{
-		PreEvaluated: []wcetalloc.Evaluation{{InSPM: ealloc.InSPM, WCET: eres.WCET, Witness: eres.Witness}},
-		Energy:       l.placementEnergy,
-	})
-	if err != nil {
-		return AllocComparison{}, err
-	}
-	wm, err := l.measureAllocation(size, &spm.Allocation{InSPM: res.InSPM, Used: res.Used})
+	wm, err := l.measureAllocation(size, walloc)
 	if err != nil {
 		return AllocComparison{}, err
 	}
 	return AllocComparison{
-		SPMSize:    size,
-		Energy:     em,
-		WCET:       wm,
-		Iterations: len(res.Iterations),
-		Converged:  res.Converged,
+		SPMSize:     size,
+		Granularity: g,
+		Energy:      em,
+		WCET:        wm,
+		Splits:      walloc.Splits,
+		Iterations:  walloc.Iterations,
+		Converged:   walloc.Converged,
 	}, nil
 }
 
@@ -393,9 +442,18 @@ func sweep[T any](l *Lab, branch string, sizes []uint32, f func(uint32) (T, erro
 	return out, nil
 }
 
-// SweepWCETAllocation compares the two allocators at every paper capacity.
+// SweepWCETAllocation compares the two allocators at every paper capacity,
+// placing whole objects.
 func (l *Lab) SweepWCETAllocation() ([]AllocComparison, error) {
-	return sweep(l, "wcetalloc", PaperSizes, l.WithWCETAllocation)
+	return l.SweepWCETAllocationGran(wcetalloc.GranObject)
+}
+
+// SweepWCETAllocationGran is SweepWCETAllocation at an explicit placement-
+// unit granularity.
+func (l *Lab) SweepWCETAllocationGran(g wcetalloc.Granularity) ([]AllocComparison, error) {
+	return sweep(l, "wcetalloc", PaperSizes, func(size uint32) (AllocComparison, error) {
+		return l.WithWCETAllocationGran(size, g)
+	})
 }
 
 // SweepScratchpad measures every paper scratchpad capacity.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/benchprog"
 	"repro/internal/core"
 	"repro/internal/store"
+	"repro/internal/wcetalloc"
 )
 
 // TestWarmStoreSweepDeterminism is the acceptance property of the artifact
@@ -61,6 +62,14 @@ func TestWarmStoreSweepDeterminism(t *testing.T) {
 		t.Errorf("warm run recomputed stages: sims=%d analyses=%d profiles=%d links=%d, want all 0",
 			s.Sims, s.Analyses, s.Profiles, s.Links)
 	}
+	// Allocation solves persist too (the disk key includes the policy's
+	// ConfigKey): a second process re-solves zero knapsacks.
+	if s.Allocs != 0 {
+		t.Errorf("warm run re-solved %d allocations, want 0", s.Allocs)
+	}
+	if s.AllocDiskHits == 0 {
+		t.Error("warm run served no allocation solves from disk")
+	}
 	if s.DiskMisses() != 0 {
 		t.Errorf("warm run had %d disk misses, want 0", s.DiskMisses())
 	}
@@ -75,6 +84,64 @@ func TestWarmStoreSweepDeterminism(t *testing.T) {
 	}
 	if !reflect.DeepEqual(warmCache, coldCache) {
 		t.Errorf("cache sweep differs:\nwarm %+v\ncold %+v", warmCache, coldCache)
+	}
+}
+
+// TestWarmStoreBlockGranularitySweep: the unit partition is part of every
+// stage key and the fixpoint solve itself is a persisted allocation-stage
+// entry, so a block-granularity WCET-allocation sweep against a warm store
+// recomputes nothing in a fresh lab — zero links, simulations, analyses,
+// profiles and allocation solves — with bit-identical comparisons.
+func TestWarmStoreBlockGranularitySweep(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := core.NewLabWithStore(benchprog.WorstCaseSort, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldCS, err := cold.SweepWCETAllocationGran(wcetalloc.GranBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := 0
+	for _, c := range coldCS {
+		split += len(c.Splits)
+	}
+	if split == 0 {
+		t.Fatal("block granularity split nothing on WorstCaseSort (expected wins)")
+	}
+
+	warm, err := core.NewLabWithStore(benchprog.WorstCaseSort, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmCS, err := warm.SweepWCETAllocationGran(wcetalloc.GranBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := warm.Pipe.Stats()
+	if s.Sims != 0 || s.Analyses != 0 || s.Profiles != 0 {
+		t.Errorf("warm block sweep recomputed: sims=%d analyses=%d profiles=%d, want all 0",
+			s.Sims, s.Analyses, s.Profiles)
+	}
+	// The WCET-directed fixpoint itself is a persisted allocation stage
+	// entry: the warm process re-solves zero knapsacks of either policy.
+	if s.Allocs != 0 {
+		t.Errorf("warm block sweep re-solved %d allocations, want 0", s.Allocs)
+	}
+	if s.AllocDiskHits == 0 {
+		t.Error("warm block sweep served no allocation solves from disk")
+	}
+	if s.DiskMisses() != 0 {
+		t.Errorf("warm block sweep had %d disk misses, want 0", s.DiskMisses())
+	}
+	if s.Links != 0 {
+		t.Errorf("warm block sweep performed %d links, want 0 (the persisted solve skips HotRegions entirely)", s.Links)
+	}
+	if !reflect.DeepEqual(warmCS, coldCS) {
+		t.Errorf("block-granularity sweep differs:\nwarm %+v\ncold %+v", warmCS, coldCS)
 	}
 }
 

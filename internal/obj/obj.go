@@ -90,6 +90,16 @@ type Object struct {
 	LoopBounds []LoopBound
 	Accesses   []AccessHint
 	Calls      []string // callee names (also derivable from Relocs)
+
+	// Placement-unit metadata (see split.go). A function split at
+	// basic-block granularity spans multiple code objects: the parent
+	// (keeping the function name) lists its Fragments, each fragment names
+	// its Parent, and CrossJumps mark the `mov pc, r0` long-branch sites
+	// that carry control between them. internal/cfg stitches the objects
+	// back into one analysed function along these edges.
+	Parent     string
+	Fragments  []string
+	CrossJumps []CrossJump
 }
 
 // Size returns the object's size in bytes.
@@ -117,6 +127,17 @@ func (o *Object) Validate() error {
 		lim := uint32(len(o.Data))
 		if r.Kind == RelocAbs32 && r.Offset+4 > lim || r.Kind == RelocBL && r.Offset+4 > lim {
 			return fmt.Errorf("obj: %s: relocation at %d out of range", o.Name, r.Offset)
+		}
+	}
+	if (len(o.Fragments) > 0 || len(o.CrossJumps) > 0 || o.Parent != "") && o.Kind != Code {
+		return fmt.Errorf("obj: %s: placement-unit metadata on a data object", o.Name)
+	}
+	if o.Parent != "" && len(o.Fragments) > 0 {
+		return fmt.Errorf("obj: %s: fragment cannot itself be split", o.Name)
+	}
+	for _, cj := range o.CrossJumps {
+		if cj.InstrOffset+2 > o.CodeSize {
+			return fmt.Errorf("obj: %s: cross jump at %d outside the code", o.Name, cj.InstrOffset)
 		}
 	}
 	return nil
@@ -183,6 +204,33 @@ func (p *Program) Validate() error {
 		for _, c := range o.Calls {
 			if !seen[c] {
 				return fmt.Errorf("obj: %s: call to undefined %q", o.Name, c)
+			}
+		}
+		for _, f := range o.Fragments {
+			fo := p.Object(f)
+			if fo == nil {
+				return fmt.Errorf("obj: %s: fragment %q undefined", o.Name, f)
+			}
+			if fo.Parent != o.Name {
+				return fmt.Errorf("obj: %s: fragment %q names parent %q", o.Name, f, fo.Parent)
+			}
+		}
+		if o.Parent != "" {
+			po := p.Object(o.Parent)
+			if po == nil {
+				return fmt.Errorf("obj: %s: parent %q undefined", o.Name, o.Parent)
+			}
+			found := false
+			for _, f := range po.Fragments {
+				found = found || f == o.Name
+			}
+			if !found {
+				return fmt.Errorf("obj: %s: parent %q does not list it as a fragment", o.Name, o.Parent)
+			}
+		}
+		for _, cj := range o.CrossJumps {
+			if !seen[cj.Target] {
+				return fmt.Errorf("obj: %s: cross jump to undefined %q", o.Name, cj.Target)
 			}
 		}
 	}

@@ -1,0 +1,596 @@
+// split.go implements placement units below whole-object granularity: a
+// *hot region* — a contiguous run of basic blocks, typically a loop body —
+// is outlined from its function into a fragment code object that the
+// allocator can place independently (e.g. the loop in the scratchpad while
+// the cold remainder stays in main memory).
+//
+// Crossing a region boundary needs a long branch: the scratchpad and the
+// main-memory code region are ~1 MB apart, far beyond the ±2 KB range of
+// THUMB's B. The transform therefore rewrites each crossing edge into a
+// flag- and register-transparent trampoline pair
+//
+//	source side:  push {r0}; ldr r0, =landing; mov pc, r0
+//	target side:  pop {r0}; b real_target        (the landing pad)
+//
+// None of these instructions touches the condition flags, r0 is restored on
+// every path, and the `mov pc, r0` site is recorded as a CrossJump so the
+// CFG reconstruction (internal/cfg) sees the edge and the WCET analysis
+// charges the trampoline cycles on exactly the crossing paths.
+package obj
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/arm"
+)
+
+// Region names a byte range [Start, End) of one function's code to outline
+// into a fragment object. Boundaries must be instruction boundaries and the
+// range must be single-entry: every branch from outside the range into it
+// must target Start.
+type Region struct {
+	Func  string
+	Start uint32
+	End   uint32
+}
+
+func (r Region) String() string { return fmt.Sprintf("%s@%d-%d", r.Func, r.Start, r.End) }
+
+// CrossJump marks a `mov pc, r0` long-branch site: the instruction at
+// InstrOffset transfers control to the named object at TargetOffset (a
+// landing pad). internal/cfg turns each into an explicit CFG edge.
+type CrossJump struct {
+	InstrOffset  uint32
+	Target       string
+	TargetOffset uint32
+}
+
+// FragmentName returns the object name of the hot-region fragment split
+// out of the named function.
+func FragmentName(fn string) string { return fn + "#hot" }
+
+// CanonicalRegions validates and canonicalises a region list: sorted by
+// function name, at most one region per function, no empty ranges. The
+// canonical order is what RegionsKey hashes, so equal partitions produce
+// equal keys.
+func CanonicalRegions(regions []Region) ([]Region, error) {
+	out := append([]Region(nil), regions...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Func < out[j].Func })
+	for i, r := range out {
+		if r.Func == "" || r.End <= r.Start {
+			return nil, fmt.Errorf("obj: invalid region %v", r)
+		}
+		if i > 0 && out[i-1].Func == r.Func {
+			return nil, fmt.Errorf("obj: multiple regions for %s", r.Func)
+		}
+	}
+	return out, nil
+}
+
+// RegionsKey canonically encodes a unit partition for cache keys; the empty
+// partition encodes as "".
+func RegionsKey(regions []Region) string {
+	if len(regions) == 0 {
+		return ""
+	}
+	rs, err := CanonicalRegions(regions)
+	if err != nil {
+		// An invalid partition cannot be cached under a truthful key; the
+		// split itself will report the error.
+		return "invalid"
+	}
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// SplitProgram returns a new program with each region outlined into a
+// fragment object named FragmentName(region.Func), inserted immediately
+// after its parent. The input program is not modified. The split program
+// computes exactly what the input computes (trampolines are transparent);
+// only addresses and cycle counts differ.
+func SplitProgram(p *Program, regions []Region) (*Program, error) {
+	rs, err := CanonicalRegions(regions)
+	if err != nil {
+		return nil, err
+	}
+	byFunc := make(map[string]Region, len(rs))
+	for _, r := range rs {
+		byFunc[r.Func] = r
+		o := p.Object(r.Func)
+		if o == nil {
+			return nil, fmt.Errorf("obj: region %v: no such function", r)
+		}
+		if o.Kind != Code {
+			return nil, fmt.Errorf("obj: region %v: not a code object", r)
+		}
+		if len(o.Fragments) > 0 || o.Parent != "" {
+			return nil, fmt.Errorf("obj: region %v: %s is already split", r, r.Func)
+		}
+	}
+	out := &Program{Entry: p.Entry, Main: p.Main}
+	for _, o := range p.Objects {
+		r, ok := byFunc[o.Name]
+		if !ok {
+			out.Objects = append(out.Objects, o)
+			continue
+		}
+		parent, frag, err := splitObject(o, r.Start, r.End)
+		if err != nil {
+			return nil, err
+		}
+		out.Objects = append(out.Objects, parent, frag)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("obj: split program invalid: %w", err)
+	}
+	return out, nil
+}
+
+// instrInfo is one decoded instruction of the function being split.
+type instrInfo struct {
+	off  uint32
+	size uint32
+	in   arm.Instr
+}
+
+// decodeCode linearly decodes an object's code bytes (folding BL pairs)
+// and returns the instruction list plus an offset → index map.
+func decodeCode(o *Object) ([]instrInfo, map[uint32]int, error) {
+	var instrs []instrInfo
+	byOff := make(map[uint32]int)
+	for off := uint32(0); off < o.CodeSize; {
+		hw := uint16(o.Data[off]) | uint16(o.Data[off+1])<<8
+		in := arm.Decode(hw)
+		sz := uint32(2)
+		switch in.Op {
+		case arm.OpInvalid:
+			return nil, nil, fmt.Errorf("obj: %s+%#x: undecodable instruction %#04x", o.Name, off, hw)
+		case arm.OpBlHi:
+			if off+4 > o.CodeSize {
+				return nil, nil, fmt.Errorf("obj: %s+%#x: truncated BL pair", o.Name, off)
+			}
+			sz = 4
+		case arm.OpBlLo:
+			return nil, nil, fmt.Errorf("obj: %s+%#x: BL suffix without prefix", o.Name, off)
+		}
+		byOff[off] = len(instrs)
+		instrs = append(instrs, instrInfo{off: off, size: sz, in: in})
+		off += sz
+	}
+	return instrs, byOff, nil
+}
+
+// trampoline instruction encodings (fixed except the LDR displacement).
+const (
+	trampolineSize = 6 // push {r0}; ldr r0, [pc, #d]; mov pc, r0
+	landingSize    = 4 // pop {r0}; b target
+)
+
+func encPushR0() uint16 { return arm.MustEncode(arm.Instr{Op: arm.OpPush, Regs: 1 << 0}) }
+func encPopR0() uint16  { return arm.MustEncode(arm.Instr{Op: arm.OpPop, Regs: 1 << 0}) }
+func encMovPCR0() uint16 {
+	return arm.MustEncode(arm.Instr{Op: arm.OpMovHi, Rd: arm.PC, Rs: 0})
+}
+
+// branchTarget returns the byte offset a B/BCond at off targets.
+func branchTarget(ii instrInfo) uint32 { return ii.off + 4 + uint32(ii.in.Imm) }
+
+// splitObject outlines [lo, hi) of o's code into a fragment object and
+// rewrites the parent around the hole. See the package comment of this file
+// for the trampoline/landing scheme.
+func splitObject(o *Object, lo, hi uint32) (*Object, *Object, error) {
+	fail := func(format string, args ...any) (*Object, *Object, error) {
+		return nil, nil, fmt.Errorf("obj: split %s@[%d,%d): %s", o.Name, lo, hi, fmt.Sprintf(format, args...))
+	}
+	if hi > o.CodeSize {
+		return fail("end beyond code size %d", o.CodeSize)
+	}
+	if hi-lo < 2*trampolineSize {
+		return fail("region too small to outline")
+	}
+	if lo == 0 && hi == o.CodeSize {
+		return fail("region is the whole function")
+	}
+	instrs, byOff, err := decodeCode(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, ok := byOff[lo]; !ok {
+		return fail("start is not an instruction boundary")
+	}
+	if _, ok := byOff[hi]; !ok && hi != o.CodeSize {
+		return fail("end is not an instruction boundary")
+	}
+
+	oldPoolBase := (o.CodeSize + 3) &^ 3
+	if uint32(len(o.Data)) < oldPoolBase {
+		oldPoolBase = uint32(len(o.Data))
+	}
+	inRegion := func(off uint32) bool { return off >= lo && off < hi }
+	// poolSlot returns the pool slot an LdrPC at off reads, validating it
+	// lies inside the object's literal pool.
+	poolSlot := func(ii instrInfo) (uint32, error) {
+		slot := ((ii.off + 4) &^ 3) + uint32(ii.in.Imm)
+		if slot < oldPoolBase || slot+4 > uint32(len(o.Data)) {
+			return 0, fmt.Errorf("obj: %s+%#x: literal load outside the pool", o.Name, ii.off)
+		}
+		return slot, nil
+	}
+
+	// Scan: entry-edge discipline, exit targets, region pool references.
+	var exitTargets []uint32
+	exitSeen := map[uint32]bool{}
+	addExit := func(t uint32) {
+		if !exitSeen[t] {
+			exitSeen[t] = true
+			exitTargets = append(exitTargets, t)
+		}
+	}
+	var regionSlots []uint32
+	regionSlotSeen := map[uint32]bool{}
+	var fallsThrough bool
+	for i, ii := range instrs {
+		switch ii.in.Op {
+		case arm.OpB, arm.OpBCond:
+			t := branchTarget(ii)
+			if _, ok := byOff[t]; !ok {
+				return fail("branch at %#x leaves the function", ii.off)
+			}
+			switch {
+			case !inRegion(ii.off) && inRegion(t) && t != lo:
+				return fail("branch at %#x enters the region at %#x (not single-entry)", ii.off, t)
+			case inRegion(ii.off) && !inRegion(t):
+				addExit(t)
+			}
+		case arm.OpAddPCImm:
+			if inRegion(ii.off) {
+				return fail("pc-relative address at %#x cannot move", ii.off)
+			}
+		case arm.OpLdrPC:
+			if inRegion(ii.off) {
+				slot, err := poolSlot(ii)
+				if err != nil {
+					return nil, nil, err
+				}
+				if !regionSlotSeen[slot] {
+					regionSlotSeen[slot] = true
+					regionSlots = append(regionSlots, slot)
+				}
+			}
+		}
+		// The region's final instruction falls through to hi unless it is an
+		// unconditional transfer; the fall-through edge exits the region.
+		if inRegion(ii.off) && (i+1 == len(instrs) || instrs[i+1].off == hi) {
+			if ii.in.Op != arm.OpB && !ii.in.IsReturn() {
+				fallsThrough = true
+			}
+		}
+	}
+	// The fall-through exit trampoline must sit directly after the region
+	// code (control slides into it); other exits follow in offset order.
+	sort.Slice(exitTargets, func(i, j int) bool { return exitTargets[i] < exitTargets[j] })
+	if fallsThrough {
+		ordered := []uint32{hi}
+		for _, t := range exitTargets {
+			if t != hi {
+				ordered = append(ordered, t)
+			}
+		}
+		exitTargets = ordered
+	}
+
+	fragName := FragmentName(o.Name)
+	parent, err := buildParent(o, lo, hi, instrs, exitTargets, oldPoolBase, fragName)
+	if err != nil {
+		return fail("%v", err)
+	}
+	frag, err := buildFragment(o, lo, hi, instrs, exitTargets, regionSlots, oldPoolBase, fragName)
+	if err != nil {
+		return fail("%v", err)
+	}
+	return parent, frag, nil
+}
+
+// entryLandingSize is the fragment's entry landing pad: a single pop {r0}.
+const entryLandingSize = 2
+
+// buildParent rewrites the parent object: the region bytes are replaced by
+// the entry trampoline, exit landing pads are appended after the remaining
+// code, and every displaced branch, literal load, relocation, flow fact and
+// access hint is re-encoded or re-offset.
+func buildParent(o *Object, lo, hi uint32, instrs []instrInfo, exitTargets []uint32, oldPoolBase uint32, fragName string) (*Object, error) {
+	delta := (hi - lo) - trampolineSize
+	// newOff maps old code offsets (outside the region) to new ones.
+	newOff := func(off uint32) uint32 {
+		if off >= hi {
+			return off - delta
+		}
+		return off
+	}
+	landingBase := o.CodeSize - delta
+	landingOff := make(map[uint32]uint32, len(exitTargets))
+	for i, t := range exitTargets {
+		landingOff[t] = landingBase + uint32(i)*landingSize
+	}
+	newCodeSize := landingBase + uint32(len(exitTargets))*landingSize
+	newPoolBase := (newCodeSize + 3) &^ 3
+	oldPoolBytes := uint32(len(o.Data)) - oldPoolBase
+	entrySlot := newPoolBase + oldPoolBytes // appended literal: fragment address
+
+	data := make([]byte, entrySlot+4)
+	putHW := func(off uint32, hw uint16) {
+		data[off] = byte(hw)
+		data[off+1] = byte(hw >> 8)
+	}
+	// Old pool bytes keep their contents (relocated slots are overwritten at
+	// link time anyway).
+	copy(data[newPoolBase:], o.Data[oldPoolBase:])
+
+	// Code outside the region, with branches and literal loads re-encoded.
+	for _, ii := range instrs {
+		if ii.off >= lo && ii.off < hi {
+			continue
+		}
+		no := newOff(ii.off)
+		switch ii.in.Op {
+		case arm.OpB, arm.OpBCond:
+			t := branchTarget(ii)
+			disp := int32(newOff(t)) - int32(no) - 4
+			in := ii.in
+			in.Imm = disp
+			hw, err := arm.Encode(in)
+			if err != nil {
+				return nil, fmt.Errorf("re-encoding branch at %#x: %w", ii.off, err)
+			}
+			putHW(no, hw)
+		case arm.OpLdrPC:
+			slot := ((ii.off + 4) &^ 3) + uint32(ii.in.Imm)
+			if slot < oldPoolBase {
+				return nil, fmt.Errorf("literal load at %#x outside the pool", ii.off)
+			}
+			nslot := newPoolBase + (slot - oldPoolBase)
+			disp := int32(nslot) - int32((no+4)&^3)
+			in := ii.in
+			in.Imm = disp
+			hw, err := arm.Encode(in)
+			if err != nil {
+				return nil, fmt.Errorf("re-encoding literal load at %#x: %w", ii.off, err)
+			}
+			putHW(no, hw)
+		default:
+			copy(data[no:no+ii.size], o.Data[ii.off:ii.off+ii.size])
+		}
+	}
+
+	// Entry trampoline in the hole at lo.
+	putHW(lo, encPushR0())
+	ldrDisp := int32(entrySlot) - int32((lo+2+4)&^3)
+	hw, err := arm.Encode(arm.Instr{Op: arm.OpLdrPC, Rd: 0, Imm: ldrDisp})
+	if err != nil {
+		return nil, fmt.Errorf("entry trampoline literal out of range: %w", err)
+	}
+	putHW(lo+2, hw)
+	putHW(lo+4, encMovPCR0())
+
+	// Exit landing pads: pop {r0}; b target.
+	for _, t := range exitTargets {
+		off := landingOff[t]
+		putHW(off, encPopR0())
+		disp := int32(newOff(t)) - int32(off+2) - 4
+		hw, err := arm.Encode(arm.Instr{Op: arm.OpB, Imm: disp})
+		if err != nil {
+			return nil, fmt.Errorf("landing branch to %#x out of range: %w", t, err)
+		}
+		putHW(off+2, hw)
+	}
+
+	parent := &Object{
+		Name:      o.Name,
+		Kind:      Code,
+		Data:      data,
+		Align:     o.Align,
+		ReadOnly:  o.ReadOnly,
+		CodeSize:  newCodeSize,
+		Fragments: []string{fragName},
+		CrossJumps: []CrossJump{
+			{InstrOffset: lo + 4, Target: fragName, TargetOffset: 0},
+		},
+	}
+	for _, r := range o.Relocs {
+		switch {
+		case r.Offset >= lo && r.Offset < hi:
+			// Moves to the fragment.
+		case r.Offset >= oldPoolBase:
+			r.Offset = newPoolBase + (r.Offset - oldPoolBase)
+			parent.Relocs = append(parent.Relocs, r)
+		default:
+			r.Offset = newOff(r.Offset)
+			parent.Relocs = append(parent.Relocs, r)
+		}
+	}
+	parent.Relocs = append(parent.Relocs, Reloc{Kind: RelocAbs32, Offset: entrySlot, Target: fragName})
+	for _, lb := range o.LoopBounds {
+		if lb.BranchOffset >= lo && lb.BranchOffset < hi {
+			continue
+		}
+		lb.BranchOffset = newOff(lb.BranchOffset)
+		parent.LoopBounds = append(parent.LoopBounds, lb)
+	}
+	for _, a := range o.Accesses {
+		if a.InstrOffset >= lo && a.InstrOffset < hi {
+			continue
+		}
+		a.InstrOffset = newOff(a.InstrOffset)
+		parent.Accesses = append(parent.Accesses, a)
+	}
+	parent.Calls = callsFromRelocs(parent.Relocs)
+	return parent, nil
+}
+
+// buildFragment assembles the fragment object: the entry landing pad, the
+// region's code (branches to outside targets redirected to exit
+// trampolines), the exit trampolines, and a literal pool holding the
+// region's copied literals plus one landing address per exit.
+func buildFragment(o *Object, lo, hi uint32, instrs []instrInfo, exitTargets []uint32, regionSlots []uint32, oldPoolBase uint32, fragName string) (*Object, error) {
+	delta := (hi - lo) - trampolineSize
+	parentLanding := make(map[uint32]uint32, len(exitTargets))
+	{
+		landingBase := o.CodeSize - delta
+		for i, t := range exitTargets {
+			parentLanding[t] = landingBase + uint32(i)*landingSize
+		}
+	}
+	newOff := func(off uint32) uint32 { return off - lo + entryLandingSize }
+	trampBase := newOff(hi)
+	trampOff := make(map[uint32]uint32, len(exitTargets))
+	for i, t := range exitTargets {
+		trampOff[t] = trampBase + uint32(i)*trampolineSize
+	}
+	codeSize := trampBase + uint32(len(exitTargets))*trampolineSize
+	poolBase := (codeSize + 3) &^ 3
+
+	// Pool layout: copied region literals first, then exit landing addresses.
+	slotIdx := make(map[uint32]uint32, len(regionSlots))
+	for i, s := range regionSlots {
+		slotIdx[s] = poolBase + uint32(i)*4
+	}
+	exitSlot := make(map[uint32]uint32, len(exitTargets))
+	for i, t := range exitTargets {
+		exitSlot[t] = poolBase + uint32(len(regionSlots)+i)*4
+	}
+	total := poolBase + uint32(len(regionSlots)+len(exitTargets))*4
+
+	data := make([]byte, total)
+	putHW := func(off uint32, hw uint16) {
+		data[off] = byte(hw)
+		data[off+1] = byte(hw >> 8)
+	}
+	putHW(0, encPopR0()) // entry landing: restore r0, fall into the region
+
+	for _, ii := range instrs {
+		if ii.off < lo || ii.off >= hi {
+			continue
+		}
+		no := newOff(ii.off)
+		switch ii.in.Op {
+		case arm.OpB, arm.OpBCond:
+			t := branchTarget(ii)
+			nt := newOff(t)
+			if t < lo || t >= hi {
+				nt = trampOff[t] // exit: redirect to the trampoline
+			}
+			in := ii.in
+			in.Imm = int32(nt) - int32(no) - 4
+			hw, err := arm.Encode(in)
+			if err != nil {
+				return nil, fmt.Errorf("re-encoding region branch at %#x: %w", ii.off, err)
+			}
+			putHW(no, hw)
+		case arm.OpLdrPC:
+			slot := ((ii.off + 4) &^ 3) + uint32(ii.in.Imm)
+			in := ii.in
+			in.Imm = int32(slotIdx[slot]) - int32((no+4)&^3)
+			hw, err := arm.Encode(in)
+			if err != nil {
+				return nil, fmt.Errorf("re-encoding region literal load at %#x: %w", ii.off, err)
+			}
+			putHW(no, hw)
+		default:
+			copy(data[no:no+ii.size], o.Data[ii.off:ii.off+ii.size])
+		}
+	}
+
+	frag := &Object{
+		Name:     fragName,
+		Kind:     Code,
+		Data:     data,
+		Align:    4,
+		ReadOnly: o.ReadOnly,
+		CodeSize: codeSize,
+		Parent:   o.Name,
+	}
+
+	// Exit trampolines and their landing-address literals.
+	for _, t := range exitTargets {
+		off := trampOff[t]
+		putHW(off, encPushR0())
+		disp := int32(exitSlot[t]) - int32((off+2+4)&^3)
+		hw, err := arm.Encode(arm.Instr{Op: arm.OpLdrPC, Rd: 0, Imm: disp})
+		if err != nil {
+			return nil, fmt.Errorf("exit trampoline literal out of range: %w", err)
+		}
+		putHW(off+2, hw)
+		putHW(off+4, encMovPCR0())
+		frag.CrossJumps = append(frag.CrossJumps, CrossJump{
+			InstrOffset:  off + 4,
+			Target:       o.Name,
+			TargetOffset: parentLanding[t],
+		})
+		frag.Relocs = append(frag.Relocs, Reloc{
+			Kind:   RelocAbs32,
+			Offset: exitSlot[t],
+			Target: o.Name,
+			Addend: int32(parentLanding[t]),
+		})
+	}
+
+	// Copied region literals: relocated slots carry their relocation across,
+	// plain constants copy their bytes.
+	relocAt := make(map[uint32]Reloc, len(o.Relocs))
+	for _, r := range o.Relocs {
+		if r.Kind == RelocAbs32 && r.Offset >= oldPoolBase {
+			relocAt[r.Offset] = r
+		}
+	}
+	for _, s := range regionSlots {
+		ns := slotIdx[s]
+		if r, ok := relocAt[s]; ok {
+			r.Offset = ns
+			frag.Relocs = append(frag.Relocs, r)
+		} else {
+			copy(data[ns:ns+4], o.Data[s:s+4])
+		}
+	}
+
+	// Region relocations (BL call sites), flow facts and access hints move
+	// with their instructions.
+	for _, r := range o.Relocs {
+		if r.Offset >= lo && r.Offset < hi {
+			r.Offset = newOff(r.Offset)
+			frag.Relocs = append(frag.Relocs, r)
+		}
+	}
+	for _, lb := range o.LoopBounds {
+		if lb.BranchOffset >= lo && lb.BranchOffset < hi {
+			lb.BranchOffset = newOff(lb.BranchOffset)
+			frag.LoopBounds = append(frag.LoopBounds, lb)
+		}
+	}
+	for _, a := range o.Accesses {
+		if a.InstrOffset >= lo && a.InstrOffset < hi {
+			a.InstrOffset = newOff(a.InstrOffset)
+			frag.Accesses = append(frag.Accesses, a)
+		}
+	}
+	frag.Calls = callsFromRelocs(frag.Relocs)
+	return frag, nil
+}
+
+// callsFromRelocs recomputes an object's callee list from its BL
+// relocations, preserving first-use order.
+func callsFromRelocs(relocs []Reloc) []string {
+	var calls []string
+	seen := map[string]bool{}
+	for _, r := range relocs {
+		if r.Kind == RelocBL && !seen[r.Target] {
+			seen[r.Target] = true
+			calls = append(calls, r.Target)
+		}
+	}
+	return calls
+}

@@ -74,7 +74,9 @@ import (
 // energy-directed knapsack in internal/spm aliases it, the WCET-directed
 // fixpoint in internal/wcetalloc converts to it).
 type Allocation struct {
-	// InSPM names the objects placed in the scratchpad.
+	// InSPM names the objects placed in the scratchpad. Under a non-empty
+	// Splits partition the names refer to the split program's objects
+	// (fragments included).
 	InSPM map[string]bool
 	// Benefit is the total benefit in the allocator's objective (nJ per
 	// program run for the energy knapsack, worst-case cycles saved for
@@ -83,6 +85,17 @@ type Allocation struct {
 	// Used is the number of scratchpad bytes occupied (ignoring alignment
 	// padding, which the linker re-checks).
 	Used uint32
+	// Splits is the placement-unit partition the allocation is relative to:
+	// the hot regions outlined into independently placeable fragments.
+	// Empty means whole-object granularity. Measure the allocation with the
+	// *Units stage variants, passing this partition.
+	Splits []obj.Region
+	// Iterations and Converged describe the solve for iterative policies
+	// (the wcetalloc fixpoint: accepted steps including the baseline, and
+	// whether it reached a fixpoint before its cap). Single-shot knapsack
+	// policies leave them zero.
+	Iterations int
+	Converged  bool
 }
 
 // Allocator is the common interface of the scratchpad allocators: given
@@ -122,6 +135,7 @@ type Stats struct {
 	SimDiskHits, SimDiskMisses         uint64
 	AnalyzeDiskHits, AnalyzeDiskMisses uint64
 	ProfileDiskHits, ProfileDiskMisses uint64
+	AllocDiskHits, AllocDiskMisses     uint64
 	// StoreErrors counts failed best-effort store writes; the computed
 	// artifact is still returned to the caller.
 	StoreErrors uint64
@@ -131,12 +145,12 @@ type Stats struct {
 
 // DiskHits is the total of stage requests served from the disk tier.
 func (s Stats) DiskHits() uint64 {
-	return s.SimDiskHits + s.AnalyzeDiskHits + s.ProfileDiskHits
+	return s.SimDiskHits + s.AnalyzeDiskHits + s.ProfileDiskHits + s.AllocDiskHits
 }
 
 // DiskMisses is the total of disk lookups that fell through to compute.
 func (s Stats) DiskMisses() uint64 {
-	return s.SimDiskMisses + s.AnalyzeDiskMisses + s.ProfileDiskMisses
+	return s.SimDiskMisses + s.AnalyzeDiskMisses + s.ProfileDiskMisses + s.AllocDiskMisses
 }
 
 // Add accumulates another snapshot into s (aggregating across pipelines).
@@ -158,6 +172,8 @@ func (s *Stats) Add(o Stats) {
 	s.AnalyzeDiskMisses += o.AnalyzeDiskMisses
 	s.ProfileDiskHits += o.ProfileDiskHits
 	s.ProfileDiskMisses += o.ProfileDiskMisses
+	s.AllocDiskHits += o.AllocDiskHits
+	s.AllocDiskMisses += o.AllocDiskMisses
 	s.StoreErrors += o.StoreErrors
 	s.LinkTime += o.LinkTime
 	s.SimTime += o.SimTime
@@ -175,6 +191,7 @@ type Pipeline struct {
 
 	mu       sync.Mutex
 	disk     *store.Store
+	splits   map[string]*entry[*obj.Program]
 	links    map[string]*entry[*link.Executable]
 	sims     map[string]*entry[*sim.Result]
 	analyses map[string]*analysisEntry
@@ -217,6 +234,7 @@ type analysisEntry struct {
 func New(prog *obj.Program) *Pipeline {
 	return &Pipeline{
 		Prog:     prog,
+		splits:   make(map[string]*entry[*obj.Program]),
 		links:    make(map[string]*entry[*link.Executable]),
 		sims:     make(map[string]*entry[*sim.Result]),
 		analyses: make(map[string]*analysisEntry),
@@ -263,6 +281,37 @@ func (p *Pipeline) programKey() string {
 	return p.progKey
 }
 
+// unitPrefix canonically encodes a placement-unit partition as a stage-key
+// prefix. The empty partition encodes as "" so whole-object keys — and the
+// disk entries addressed by them — are byte-identical to the pre-unit
+// scheme: warm stores stay warm across granularities.
+func unitPrefix(regions []obj.Region) string {
+	if len(regions) == 0 {
+		return ""
+	}
+	return "units=" + obj.RegionsKey(regions) + "|"
+}
+
+// SplitProgram returns (memoized) the program with the given hot regions
+// outlined into fragment placement units; the empty partition returns the
+// pipeline's own program. The result is shared and must not be mutated.
+func (p *Pipeline) SplitProgram(regions []obj.Region) (*obj.Program, error) {
+	if len(regions) == 0 {
+		return p.Prog, nil
+	}
+	key := obj.RegionsKey(regions)
+	p.mu.Lock()
+	e, ok := p.splits[key]
+	if !ok {
+		e = &entry[*obj.Program]{}
+		p.splits[key] = e
+	}
+	p.mu.Unlock()
+	return e.get(func() (*obj.Program, error) {
+		return obj.SplitProgram(p.Prog, regions)
+	})
+}
+
 // PlacementKey canonicalises one scratchpad placement: residents sorted by
 // name, and the empty placement normalised to capacity 0 (an empty
 // scratchpad links, simulates and analyses identically at every capacity).
@@ -300,7 +349,14 @@ func analysisKey(placement string, opts wcet.Options) string {
 // is linked once regardless of the requested capacity (key normalisation);
 // the returned executable is shared and must be treated as read-only.
 func (p *Pipeline) Link(spmSize uint32, inSPM map[string]bool) (*link.Executable, error) {
-	key := PlacementKey(spmSize, inSPM)
+	return p.LinkUnits(nil, spmSize, inSPM)
+}
+
+// LinkUnits is Link under a placement-unit partition: the program is first
+// split at the given hot regions (memoized), then linked with the chosen
+// objects — fragments included — in the scratchpad.
+func (p *Pipeline) LinkUnits(regions []obj.Region, spmSize uint32, inSPM map[string]bool) (*link.Executable, error) {
+	key := unitPrefix(regions) + PlacementKey(spmSize, inSPM)
 	p.mu.Lock()
 	e, ok := p.links[key]
 	if !ok {
@@ -312,17 +368,21 @@ func (p *Pipeline) Link(spmSize uint32, inSPM map[string]bool) (*link.Executable
 		p.count(func(s *Stats) { s.LinkHits++ })
 	}
 	return e.get(func() (*link.Executable, error) {
+		prog, err := p.SplitProgram(regions)
+		if err != nil {
+			return nil, err
+		}
 		p.count(func(s *Stats) { s.Links++ })
 		t0 := time.Now()
 		defer func() {
 			d := time.Since(t0)
 			p.count(func(s *Stats) { s.LinkTime += d })
 		}()
-		if key == "spm=0|" {
+		if strings.HasSuffix(key, "spm=0|") {
 			// Normalised empty placement: capacity-independent.
-			return link.Link(p.Prog, 0, nil)
+			return link.Link(prog, 0, nil)
 		}
-		return link.Link(p.Prog, spmSize, inSPM)
+		return link.Link(prog, spmSize, inSPM)
 	})
 }
 
@@ -332,7 +392,12 @@ func (p *Pipeline) Link(spmSize uint32, inSPM map[string]bool) (*link.Executable
 // carries the run's counters but a nil Mem (the final memory image is not
 // persisted).
 func (p *Pipeline) Simulate(spmSize uint32, inSPM map[string]bool, ccfg *cache.Config) (*sim.Result, error) {
-	key := PlacementKey(spmSize, inSPM) + "|" + cacheKey(ccfg)
+	return p.SimulateUnits(nil, spmSize, inSPM, ccfg)
+}
+
+// SimulateUnits is Simulate under a placement-unit partition.
+func (p *Pipeline) SimulateUnits(regions []obj.Region, spmSize uint32, inSPM map[string]bool, ccfg *cache.Config) (*sim.Result, error) {
+	key := unitPrefix(regions) + PlacementKey(spmSize, inSPM) + "|" + cacheKey(ccfg)
 	p.mu.Lock()
 	e, ok := p.sims[key]
 	if !ok {
@@ -352,7 +417,7 @@ func (p *Pipeline) Simulate(spmSize uint32, inSPM map[string]bool, ccfg *cache.C
 			p.count(func(s *Stats) { s.SimDiskMisses++ })
 		}
 		p.count(func(s *Stats) { s.Sims++ })
-		exe, err := p.Link(spmSize, inSPM)
+		exe, err := p.LinkUnits(regions, spmSize, inSPM)
 		if err != nil {
 			return nil, err
 		}
@@ -376,7 +441,14 @@ func (p *Pipeline) Simulate(spmSize uint32, inSPM map[string]bool, ccfg *cache.C
 // a cached result carrying a witness serves witness-less requests
 // directly. The returned result is shared; treat it as read-only.
 func (p *Pipeline) Analyze(spmSize uint32, inSPM map[string]bool, opts wcet.Options) (*wcet.Result, error) {
-	key := analysisKey(PlacementKey(spmSize, inSPM), opts)
+	return p.AnalyzeUnits(nil, spmSize, inSPM, opts)
+}
+
+// AnalyzeUnits is Analyze under a placement-unit partition; the partition
+// is part of the memo and disk keys, so warm runs at a fixed granularity
+// recompute nothing.
+func (p *Pipeline) AnalyzeUnits(regions []obj.Region, spmSize uint32, inSPM map[string]bool, opts wcet.Options) (*wcet.Result, error) {
+	key := analysisKey(unitPrefix(regions)+PlacementKey(spmSize, inSPM), opts)
 	p.mu.Lock()
 	e := p.analyses[key]
 	if e == nil {
@@ -414,7 +486,7 @@ func (p *Pipeline) Analyze(spmSize uint32, inSPM map[string]bool, opts wcet.Opti
 				s.AnalyzeUpgrades++
 			}
 		})
-		exe, err := p.Link(spmSize, inSPM)
+		exe, err := p.LinkUnits(regions, spmSize, inSPM)
 		if err != nil {
 			e.res, e.err = nil, err
 		} else {
@@ -488,15 +560,15 @@ func (p *Pipeline) PrimeProfile(prof *sim.Profile) {
 // key is the policy's ConfigKey plus the capacity, so repeated sweeps
 // serve the knapsack/fixpoint solves from cache instead of re-solving; a
 // policy whose configuration cannot be captured (ConfigKey() == "") runs
-// unmemoized every time. Solves live in the memory tier only — the heavy
-// artifacts behind them (profile, analyses, simulations) are what the disk
-// tier persists, so a warm-store solve recomputes only the cheap knapsack.
+// unmemoized every time. Keyed solves also persist in the disk tier
+// (stage key "alloc|<ConfigKey>|cap=<n>"), so warm sweeps re-solve zero
+// knapsacks *across processes*, not just within one.
 func (p *Pipeline) Allocate(a Allocator, capacity uint32) (*Allocation, error) {
 	ck := a.ConfigKey()
 	if ck == "" {
 		return p.runAllocate(a, capacity)
 	}
-	key := fmt.Sprintf("%s|cap=%d", ck, capacity)
+	key := fmt.Sprintf("alloc|%s|cap=%d", ck, capacity)
 	p.mu.Lock()
 	e, ok := p.allocs[key]
 	if !ok {
@@ -507,7 +579,28 @@ func (p *Pipeline) Allocate(a Allocator, capacity uint32) (*Allocation, error) {
 	if ok {
 		p.count(func(s *Stats) { s.AllocHits++ })
 	}
-	return e.get(func() (*Allocation, error) { return p.runAllocate(a, capacity) })
+	return e.get(func() (*Allocation, error) {
+		if disk := p.diskStore(); disk != nil {
+			if art, ok := disk.LoadAlloc(p.programKey(), key); ok {
+				p.count(func(s *Stats) { s.AllocDiskHits++ })
+				return &Allocation{
+					InSPM: art.InSPM, Benefit: art.Benefit, Used: art.Used, Splits: art.Splits,
+					Iterations: int(art.Iterations), Converged: art.Converged,
+				}, nil
+			}
+			p.count(func(s *Stats) { s.AllocDiskMisses++ })
+		}
+		alloc, err := p.runAllocate(a, capacity)
+		if err == nil {
+			p.storeSave(func(disk *store.Store) error {
+				return disk.SaveAlloc(p.programKey(), key, &store.AllocArtifact{
+					InSPM: alloc.InSPM, Benefit: alloc.Benefit, Used: alloc.Used, Splits: alloc.Splits,
+					Iterations: uint32(alloc.Iterations), Converged: alloc.Converged,
+				})
+			})
+		}
+		return alloc, err
+	})
 }
 
 func (p *Pipeline) runAllocate(a Allocator, capacity uint32) (*Allocation, error) {

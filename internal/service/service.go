@@ -17,8 +17,10 @@
 //	GET /v1/wcet?bench=<name>[&spm=<bytes>|&cache=<bytes>[&assoc=<n>]]
 //	    One measurement: simulated cycles, WCET bound, ratio. No memory
 //	    parameter measures the baseline (no scratchpad, no cache).
-//	GET /v1/sweep?bench=<name>[&branch=spm|cache|wcetalloc]
-//	    A full paper-capacity sweep of one branch (default spm).
+//	GET /v1/sweep?bench=<name>[&branch=spm|cache|wcetalloc][&granularity=object|block]
+//	    A full paper-capacity sweep of one branch (default spm). The
+//	    granularity parameter (wcetalloc branch only) selects whole-object
+//	    or basic-block placement units for the WCET-directed allocator.
 //	GET /v1/witness?bench=<name>[&top=<n>]
 //	    Top-n worst-case memory objects and basic blocks (IPET witness).
 //	GET /v1/stats
@@ -45,6 +47,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/store"
 	"repro/internal/wcet"
+	"repro/internal/wcetalloc"
 )
 
 // Config configures a Server.
@@ -270,11 +273,13 @@ func (s *Server) handleWCET(w http.ResponseWriter, r *http.Request) {
 
 // allocComparisonDTO is the JSON projection of one core.AllocComparison.
 type allocComparisonDTO struct {
-	SPMSize    uint32         `json:"spm_size"`
-	Energy     measurementDTO `json:"energy_directed"`
-	WCET       measurementDTO `json:"wcet_directed"`
-	Iterations int            `json:"iterations"`
-	Converged  bool           `json:"converged"`
+	SPMSize     uint32         `json:"spm_size"`
+	Granularity string         `json:"granularity"`
+	Energy      measurementDTO `json:"energy_directed"`
+	WCET        measurementDTO `json:"wcet_directed"`
+	SplitFuncs  int            `json:"split_funcs,omitempty"`
+	Iterations  int            `json:"iterations"`
+	Converged   bool           `json:"converged"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -287,6 +292,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	branch := q.Get("branch")
 	if branch == "" {
 		branch = "spm"
+	}
+	gran, err := wcetalloc.ParseGranularity(q.Get("granularity"))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "granularity must be object or block")
+		return
 	}
 	if !s.acquire(w, r) {
 		return
@@ -311,7 +321,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		s.writeJSON(w, http.StatusOK, out)
 	case "wcetalloc":
-		cs, err := lab.SweepWCETAllocation()
+		cs, err := lab.SweepWCETAllocationGran(gran)
 		if err != nil {
 			s.serverError(w, err)
 			return
@@ -319,11 +329,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		out := make([]allocComparisonDTO, len(cs))
 		for i, c := range cs {
 			out[i] = allocComparisonDTO{
-				SPMSize:    c.SPMSize,
-				Energy:     toDTO(c.Energy),
-				WCET:       toDTO(c.WCET),
-				Iterations: c.Iterations,
-				Converged:  c.Converged,
+				SPMSize:     c.SPMSize,
+				Granularity: c.Granularity.String(),
+				Energy:      toDTO(c.Energy),
+				WCET:        toDTO(c.WCET),
+				SplitFuncs:  len(c.Splits),
+				Iterations:  c.Iterations,
+				Converged:   c.Converged,
 			}
 		}
 		s.writeJSON(w, http.StatusOK, out)

@@ -42,16 +42,31 @@ func (Energy) Name() string { return "energy" }
 // ConfigKey identifies the policy's configuration for solve memoization:
 // the knapsack depends only on the energy model (the profile is a
 // per-pipeline artifact, fixed for every solve against that pipeline).
-func (a Energy) ConfigKey() string { return "energy|" + a.Model.Key() }
+// The "auto" tag records the solver-selection scheme (see dpCellBudget):
+// persisted solves from a differently-tie-breaking scheme must not be
+// served for this one.
+func (a Energy) ConfigKey() string { return "energy|auto|" + a.Model.Key() }
+
+// dpCellBudget bounds the dynamic-programming table (items × capacity)
+// under which sweeps use the exact DP solver instead of branch & bound:
+// for the paper's item counts and capacities the DP is exact and orders of
+// magnitude cheaper than the ILP, which dominated sweep allocation time.
+const dpCellBudget = 1 << 22
 
 // Allocate solves the energy knapsack at one capacity using the pipeline's
-// profile artifact.
+// profile artifact. Sweep-sized instances take the exact DP solver; only
+// instances whose DP table would be unreasonably large fall back to the
+// paper's branch & bound ILP.
 func (a Energy) Allocate(p *pipeline.Pipeline, capacity uint32) (*Allocation, error) {
 	prof, err := p.Profile()
 	if err != nil {
 		return nil, err
 	}
-	return Allocate(p.Prog, prof, capacity, a.Model)
+	items := candidates(p.Prog, prof, a.Model, capacity)
+	if int64(len(items))*(int64(capacity)+1) <= dpCellBudget {
+		return KnapsackDP(items, capacity)
+	}
+	return Knapsack(items, capacity)
 }
 
 // Item is one knapsack candidate: a memory object with its occupancy and

@@ -3,6 +3,7 @@ package store
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"math"
 	"sort"
 
 	"repro/internal/obj"
@@ -24,7 +25,7 @@ import (
 // flow facts, access hints, call lists and the entry/main designations.
 func ProgramKey(p *obj.Program) string {
 	var e encoder
-	e.str("wclb-program-v1")
+	e.str("wclb-program-v2")
 	e.str(p.Entry)
 	e.str(p.Main)
 	e.u32(uint32(len(p.Objects)))
@@ -58,9 +59,89 @@ func ProgramKey(p *obj.Program) string {
 		for _, c := range o.Calls {
 			e.str(c)
 		}
+		e.str(o.Parent)
+		e.u32(uint32(len(o.Fragments)))
+		for _, f := range o.Fragments {
+			e.str(f)
+		}
+		e.u32(uint32(len(o.CrossJumps)))
+		for _, cj := range o.CrossJumps {
+			e.u32(cj.InstrOffset)
+			e.str(cj.Target)
+			e.u32(cj.TargetOffset)
+		}
 	}
 	sum := sha256.Sum256(e.b)
 	return hex.EncodeToString(sum[:])
+}
+
+// AllocArtifact is the persisted form of a scratchpad allocation solve. It
+// mirrors pipeline.Allocation field for field (the pipeline imports this
+// package, so the struct cannot be shared directly).
+type AllocArtifact struct {
+	InSPM      map[string]bool
+	Benefit    float64
+	Used       uint32
+	Splits     []obj.Region
+	Iterations uint32
+	Converged  bool
+}
+
+// EncodeAlloc serializes an allocation solve: the chosen residents (sorted;
+// only true entries), the objective value, the occupancy and the
+// placement-unit partition the names are relative to.
+func EncodeAlloc(a *AllocArtifact) []byte {
+	var e encoder
+	var names []string
+	for n, in := range a.InSPM {
+		if in {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	e.u32(uint32(len(names)))
+	for _, n := range names {
+		e.str(n)
+	}
+	e.u64(math.Float64bits(a.Benefit))
+	e.u32(a.Used)
+	e.u32(uint32(len(a.Splits)))
+	for _, r := range a.Splits {
+		e.str(r.Func)
+		e.u32(r.Start)
+		e.u32(r.End)
+	}
+	e.u32(a.Iterations)
+	e.boolean(a.Converged)
+	return e.b
+}
+
+// DecodeAlloc is the inverse of EncodeAlloc.
+func DecodeAlloc(b []byte) (*AllocArtifact, error) {
+	d := &decoder{b: b}
+	a := &AllocArtifact{InSPM: make(map[string]bool)}
+	n := d.count()
+	for i := 0; i < n; i++ {
+		name := d.str()
+		if d.err == nil {
+			a.InSPM[name] = true
+		}
+	}
+	a.Benefit = math.Float64frombits(d.u64())
+	a.Used = d.u32()
+	n = d.count()
+	for i := 0; i < n; i++ {
+		r := obj.Region{Func: d.str(), Start: d.u32(), End: d.u32()}
+		if d.err == nil {
+			a.Splits = append(a.Splits, r)
+		}
+	}
+	a.Iterations = d.u32()
+	a.Converged = d.boolean()
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return a, nil
 }
 
 func appendSim(e *encoder, r *sim.Result) {

@@ -55,6 +55,9 @@ const (
 	KindWCET Kind = 2
 	// KindProfile is a typical-input access profile.
 	KindProfile Kind = 3
+	// KindAlloc is a scratchpad allocation solve (pipeline.Allocation
+	// fields), keyed by the allocator's ConfigKey and the capacity.
+	KindAlloc Kind = 4
 )
 
 func (k Kind) String() string {
@@ -65,6 +68,8 @@ func (k Kind) String() string {
 		return "wcet"
 	case KindProfile:
 		return "profile"
+	case KindAlloc:
+		return "alloc"
 	}
 	return fmt.Sprintf("kind(%d)", uint16(k))
 }
@@ -241,6 +246,24 @@ func (s *Store) SaveWCET(progKey, stageKey string, r *wcet.Result) error {
 	return s.write(KindWCET, progKey, stageKey, EncodeWCET(r))
 }
 
+// LoadAlloc returns the stored allocation solve, or ok == false on a miss.
+func (s *Store) LoadAlloc(progKey, stageKey string) (*AllocArtifact, bool) {
+	payload := s.read(KindAlloc, progKey, stageKey)
+	if payload == nil {
+		return nil, false
+	}
+	a, err := DecodeAlloc(payload)
+	if err != nil {
+		return nil, false
+	}
+	return a, true
+}
+
+// SaveAlloc stores an allocation solve.
+func (s *Store) SaveAlloc(progKey, stageKey string, a *AllocArtifact) error {
+	return s.write(KindAlloc, progKey, stageKey, EncodeAlloc(a))
+}
+
 // LoadProfile returns the stored profile, or ok == false on a miss.
 func (s *Store) LoadProfile(progKey, stageKey string) (*sim.Profile, bool) {
 	payload := s.read(KindProfile, progKey, stageKey)
@@ -343,6 +366,76 @@ func (s *Store) Sweep() (removed int, err error) {
 // removed.
 func (s *Store) GC(cutoff time.Time) (removed int, err error) {
 	return s.clean(func(e Entry) bool { return e.ModTime.Before(cutoff) })
+}
+
+// Policy is a GC retention policy: entries older than MaxAge are removed
+// (0 keeps every age), and if the store still exceeds MaxBytes the oldest
+// surviving entries are removed until it fits (0 means unbounded). Corrupt
+// entries and stale temporaries are always removed.
+type Policy struct {
+	MaxAge   time.Duration
+	MaxBytes int64
+}
+
+// GCPolicy applies a retention policy and returns the number of files
+// removed and the bytes they occupied. The age cutoff is evaluated against
+// now; the size pass evicts oldest-first (ties broken by name, so
+// concurrent GCs converge on the same survivors).
+func (s *Store) GCPolicy(now time.Time, pol Policy) (removed int, freed int64, err error) {
+	var cutoff time.Time
+	if pol.MaxAge > 0 {
+		cutoff = now.Add(-pol.MaxAge)
+	}
+	entries, err := s.Index()
+	if err != nil {
+		return 0, 0, err
+	}
+	var live []Entry
+	var liveBytes int64
+	for _, e := range entries {
+		if e.Corrupt || (pol.MaxAge > 0 && e.ModTime.Before(cutoff)) {
+			if os.Remove(s.entryPath(e.Name)) == nil {
+				removed++
+				freed += e.Size
+			}
+			continue
+		}
+		live = append(live, e)
+		liveBytes += e.Size
+	}
+	if pol.MaxBytes > 0 && liveBytes > pol.MaxBytes {
+		sort.Slice(live, func(i, j int) bool {
+			if !live[i].ModTime.Equal(live[j].ModTime) {
+				return live[i].ModTime.Before(live[j].ModTime)
+			}
+			return live[i].Name < live[j].Name
+		})
+		for _, e := range live {
+			if liveBytes <= pol.MaxBytes {
+				break
+			}
+			if os.Remove(s.entryPath(e.Name)) == nil {
+				removed++
+				freed += e.Size
+				liveBytes -= e.Size
+			}
+		}
+	}
+	// Stale temporaries (crashed writers) go regardless of policy, with
+	// their bytes accounted like any other removal. Staleness is judged
+	// against the caller's clock, like the age cutoff above.
+	walkErr := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasPrefix(filepath.Base(path), tmpPrefix) {
+			return err
+		}
+		info, err := d.Info()
+		if err == nil && now.Sub(info.ModTime()) > time.Minute && os.Remove(path) == nil {
+			removed++
+			freed += info.Size()
+		}
+		return nil
+	})
+	return removed, freed, walkErr
 }
 
 func (s *Store) clean(expired func(Entry) bool) (removed int, err error) {

@@ -50,7 +50,7 @@ func newCacheAnalysis(exe *link.Executable, g *cfg.Graph, cc cache.Config, stack
 // post state. With a call at the block end, the returned state is the one
 // flowing *into* the callee; the caller handles the splice.
 func (a *cacheAnalysis) transfer(f *cfg.Function, b *cfg.Block, s *mustState) (*mustState, error) {
-	fnInSPM := a.exe.Placement(f.Name).InSPM
+	fnInSPM := a.exe.Placement(b.Obj).InSPM
 	for _, ci := range b.Instrs {
 		// Instruction fetches: one per halfword; scratchpad fetches bypass
 		// the cache entirely.

@@ -73,8 +73,11 @@ func (m *costModel) dataCost(da dataAccess, s *mustState) int64 {
 
 // blockCost walks a block and sums worst-case cycles. Conditional-branch
 // penalties are charged on taken edges by the IPET objective, not here.
+// Fetches are priced by the placement of the block's *owning object* (its
+// placement unit): for a split function, fragment blocks in the scratchpad
+// fetch at scratchpad cost while the cold remainder pays main memory.
 func (m *costModel) blockCost(f *cfg.Function, b *cfg.Block) (int64, error) {
-	fnInSPM := m.exe.Placement(f.Name).InSPM
+	fnInSPM := m.exe.Placement(b.Obj).InSPM
 	var s *mustState
 	if m.cc != nil {
 		if st := m.in[b]; st != nil {
@@ -100,9 +103,11 @@ func (m *costModel) blockCost(f *cfg.Function, b *cfg.Block) (int64, error) {
 			total += arm.CyclesSwi
 		}
 		// Unconditionally taken control transfers are charged here; the
-		// conditional branch penalty lives on the taken edge.
+		// conditional branch penalty lives on the taken edge. Cross jumps
+		// (`mov pc, r0` trampolines between placement units) are always
+		// taken, so their refill penalty lands on the crossing block.
 		switch {
-		case ci.In.Op == arm.OpB, ci.In.Op == arm.OpBlLo, ci.CallTarget != "":
+		case ci.In.Op == arm.OpB, ci.In.Op == arm.OpBlLo, ci.CallTarget != "", ci.CrossTarget != "":
 			total += arm.CyclesBranchTaken
 		case ci.In.IsReturn():
 			total += arm.CyclesBranchTaken

@@ -195,20 +195,23 @@ func buildWitness(g *cfg.Graph, order []string, root string, sols map[string]*ip
 }
 
 // addAccesses attributes one function's witness counts to memory objects:
-// instruction fetches to the function itself, data accesses to the object
-// the toolchain's access metadata names. Address attribution reuses the
-// cost model's view (instrAccesses), so the counts price exactly the
-// accesses the analysis charges for.
+// instruction fetches to the object *holding the block* (the function
+// itself, or the fragment unit for a split function's outlined blocks),
+// data accesses to the object the toolchain's access metadata names.
+// Address attribution reuses the cost model's view (instrAccesses), so the
+// counts price exactly the accesses the analysis charges for — which makes
+// the per-unit knapsack items of the block-granularity allocator drop out
+// of the same witness as the whole-object ones.
 func (w *Witness) addAccesses(exe *link.Executable, f *cfg.Function, counts []uint64, stackLo uint32) error {
-	ac := w.ObjectAccesses[f.Name]
-	if ac == nil {
-		ac = &AccessCounts{}
-		w.ObjectAccesses[f.Name] = ac
-	}
 	for _, b := range f.Blocks {
 		n := counts[b.Index]
 		if n == 0 {
 			continue
+		}
+		ac := w.ObjectAccesses[b.Obj]
+		if ac == nil {
+			ac = &AccessCounts{}
+			w.ObjectAccesses[b.Obj] = ac
 		}
 		for _, ci := range b.Instrs {
 			ac.Fetches += n * uint64(ci.Size/2)

@@ -29,6 +29,8 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/cfg"
+	"repro/internal/mem"
 	"repro/internal/obj"
 	"repro/internal/pipeline"
 	"repro/internal/spm"
@@ -38,6 +40,39 @@ import (
 // DefaultMaxIter caps the re-link/re-analyse loop; the benchmarks converge
 // in one or two iterations.
 const DefaultMaxIter = 8
+
+// Granularity selects what the allocator treats as a placement unit.
+type Granularity uint8
+
+const (
+	// GranObject places whole memory objects (functions and globals) — the
+	// paper's granularity.
+	GranObject Granularity = iota
+	// GranBlock additionally splits hot regions (contiguous basic-block
+	// runs, typically loop bodies) out of functions whose worst-case cycles
+	// concentrate there, and places the fragments independently. The
+	// certified bound is never worse than GranObject's: the whole-object
+	// solution seeds the comparison.
+	GranBlock
+)
+
+func (g Granularity) String() string {
+	if g == GranBlock {
+		return "block"
+	}
+	return "object"
+}
+
+// ParseGranularity parses "object" or "block".
+func ParseGranularity(s string) (Granularity, error) {
+	switch s {
+	case "object", "":
+		return GranObject, nil
+	case "block":
+		return GranBlock, nil
+	}
+	return GranObject, fmt.Errorf("wcetalloc: unknown granularity %q (want object or block)", s)
+}
 
 // Evaluation is a pre-evaluated allocation: a placement together with the
 // bound and witness an earlier analysis certified for it. Passing one in
@@ -79,6 +114,9 @@ type Options struct {
 	// MaxIter bounds the number of knapsack/re-analysis rounds
 	// (DefaultMaxIter when zero).
 	MaxIter int
+	// Granularity selects whole-object or basic-block placement units
+	// (GranObject when zero).
+	Granularity Granularity
 }
 
 // Iteration is one accepted step of the fixpoint loop.
@@ -93,13 +131,16 @@ type Iteration struct {
 
 // Result is the outcome of a WCET-directed allocation.
 type Result struct {
-	// InSPM names the objects placed in the scratchpad.
+	// InSPM names the objects placed in the scratchpad; under a non-empty
+	// Splits partition the names refer to the split program's objects.
 	InSPM map[string]bool
 	// Used is the scratchpad occupancy in bytes (alignment-rounded).
 	Used uint32
 	// WCET is the analysed bound under InSPM.
 	WCET uint64
-	// Baseline is the bound with an empty scratchpad of the same capacity.
+	// Baseline is the bound with an empty scratchpad of the same capacity
+	// (of the *unsplit* program, so bounds at both granularities share one
+	// reference).
 	Baseline uint64
 	// Iterations traces the accepted allocations, baseline first; WCET is
 	// non-increasing along it.
@@ -107,6 +148,9 @@ type Result struct {
 	// Converged reports that the loop stopped because the allocation
 	// repeated or stopped improving (false: MaxIter hit).
 	Converged bool
+	// Splits is the placement-unit partition the winning allocation uses:
+	// nil when whole-object placement won (always at GranObject).
+	Splits []obj.Region
 }
 
 // Directed is the WCET-directed allocation policy as a pipeline.Allocator.
@@ -147,8 +191,8 @@ func (d Directed) ConfigKey() string {
 	if maxIter <= 0 {
 		maxIter = DefaultMaxIter
 	}
-	return fmt.Sprintf("wcet|maxiter=%d|energy=%s|stack=%d|root=%s|seeds=%s|seed=(%s)",
-		maxIter, o.EnergyKey, o.WCET.StackBound, o.WCET.Root, strings.Join(seeds, ";"), seedKey)
+	return fmt.Sprintf("wcet|gran=%s|maxiter=%d|energy=%s|stack=%d|root=%s|seeds=%s|seed=(%s)",
+		o.Granularity, maxIter, o.EnergyKey, o.WCET.StackBound, o.WCET.Root, strings.Join(seeds, ";"), seedKey)
 }
 
 // Allocate runs the fixpoint against the pipeline and converts the result
@@ -170,29 +214,202 @@ func (d Directed) Allocate(p *pipeline.Pipeline, capacity uint32) (*pipeline.All
 		return nil, err
 	}
 	return &pipeline.Allocation{
-		InSPM:   r.InSPM,
-		Benefit: float64(r.Baseline - r.WCET),
-		Used:    r.Used,
+		InSPM:      r.InSPM,
+		Benefit:    float64(r.Baseline - r.WCET),
+		Used:       r.Used,
+		Splits:     r.Splits,
+		Iterations: len(r.Iterations),
+		Converged:  r.Converged,
 	}, nil
 }
 
 // Allocate runs the WCET-directed fixpoint with the branch & bound ILP
 // knapsack (the paper's solver architecture) on a private pipeline.
 func Allocate(prog *obj.Program, capacity uint32, opts Options) (*Result, error) {
-	return run(pipeline.New(prog), capacity, opts, spm.Knapsack)
+	return allocate(pipeline.New(prog), capacity, opts, spm.Knapsack)
 }
 
 // AllocateDP runs the same fixpoint with the exact dynamic-programming
 // knapsack; it exists to cross-check the ILP path.
 func AllocateDP(prog *obj.Program, capacity uint32, opts Options) (*Result, error) {
-	return run(pipeline.New(prog), capacity, opts, spm.KnapsackDP)
+	return allocate(pipeline.New(prog), capacity, opts, spm.KnapsackDP)
 }
 
 // AllocateIn runs the ILP fixpoint against a shared pipeline, so its
 // link+analyse artifacts are shared with every other measurement made
 // through the same pipeline (and across capacities of a sweep).
 func AllocateIn(p *pipeline.Pipeline, capacity uint32, opts Options) (*Result, error) {
-	return run(p, capacity, opts, spm.Knapsack)
+	return allocate(p, capacity, opts, spm.Knapsack)
+}
+
+// allocate dispatches on the requested placement-unit granularity.
+func allocate(p *pipeline.Pipeline, capacity uint32, opts Options, solve func([]spm.Item, uint32) (*spm.Allocation, error)) (*Result, error) {
+	if opts.Granularity == GranBlock {
+		return runBlock(p, capacity, opts, solve)
+	}
+	return run(p, nil, capacity, opts, solve)
+}
+
+// runBlock is the basic-block-granularity strategy: solve at whole-object
+// granularity first, derive the hot-region partition from the baseline
+// witness, re-run the same fixpoint over the split program's units, and
+// keep whichever certified bound is lower. Seeding the unit run with the
+// whole-object winner (fragments added for split functions) and taking the
+// minimum at the end makes the block-granularity bound never worse than
+// the whole-object one, by construction.
+func runBlock(p *pipeline.Pipeline, capacity uint32, opts Options, solve func([]spm.Item, uint32) (*spm.Allocation, error)) (*Result, error) {
+	objRes, err := run(p, nil, capacity, opts, solve)
+	if err != nil {
+		return nil, err
+	}
+	wopts := opts.WCET
+	wopts.Witness = true
+	base, err := p.Analyze(capacity, nil, wopts) // cached: the fixpoint's baseline
+	if err != nil {
+		return nil, err
+	}
+	regions, err := HotRegions(p, base.Witness, capacity, opts.WCET.Root)
+	if err != nil || len(regions) == 0 {
+		return objRes, err
+	}
+	bopts := opts
+	bopts.PreEvaluated = nil
+	// The average-case energy tie-break is an object-granularity model (the
+	// profile knows nothing of fragments); the unit run stays deterministic
+	// without it.
+	bopts.Energy, bopts.EnergyKey = nil, ""
+	bopts.Seeds = []map[string]bool{expandSeed(objRes.InSPM, regions)}
+	for _, s := range opts.Seeds {
+		bopts.Seeds = append(bopts.Seeds, expandSeed(s, regions))
+	}
+	blockRes, err := run(p, regions, capacity, bopts, solve)
+	if err != nil {
+		return nil, err
+	}
+	if blockRes.WCET < objRes.WCET {
+		blockRes.Splits = regions
+		// Report bounds at both granularities against the one canonical
+		// reference: the unsplit empty-scratchpad baseline.
+		blockRes.Baseline = objRes.Baseline
+		return blockRes, nil
+	}
+	return objRes, nil
+}
+
+// expandSeed maps a whole-object allocation onto a split program: a chosen
+// function that was split contributes its parent and its fragment, so the
+// seed covers the same bytes (modulo trampolines).
+func expandSeed(seed map[string]bool, regions []obj.Region) map[string]bool {
+	split := make(map[string]bool, len(regions))
+	for _, r := range regions {
+		split[r.Func] = true
+	}
+	out := make(map[string]bool, len(seed)+2)
+	for name, in := range seed {
+		if !in {
+			continue
+		}
+		out[name] = true
+		if split[name] {
+			out[obj.FragmentName(name)] = true
+		}
+	}
+	return out
+}
+
+// HotRegions derives the placement-unit partition for a program from its
+// baseline worst-case witness: per function, the natural-loop byte range
+// with the highest worst-case fetch savings that can actually be outlined
+// (single entry, encodable fixups) and whose fragment fits the capacity.
+// Functions whose worst case never runs, or whose loops cannot be split,
+// contribute nothing. The result is canonical (sorted, one region per
+// function), so it is a stable cache-key ingredient.
+func HotRegions(p *pipeline.Pipeline, w *wcet.Witness, capacity uint32, root string) ([]obj.Region, error) {
+	exe, err := p.Link(0, nil)
+	if err != nil {
+		return nil, err
+	}
+	if root == "" {
+		root = exe.Prog.Entry
+	}
+	g, err := cfg.Build(exe, root)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(g.Funcs))
+	for n := range g.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var regions []obj.Region
+	for _, fn := range names {
+		f := g.Funcs[fn]
+		counts := w.BlockCounts[fn]
+		o := exe.Placement(fn).Obj
+		if len(counts) == 0 || len(f.Loops) == 0 {
+			continue
+		}
+		type cand struct {
+			lo, hi  uint32
+			benefit int64
+		}
+		var cands []cand
+		for _, l := range f.Loops {
+			lo := l.Head.Start - f.Addr
+			var hi uint32
+			for b := range l.Blocks {
+				if b.End-f.Addr > hi {
+					hi = b.End - f.Addr
+				}
+			}
+			if hi > o.CodeSize || (lo == 0 && hi >= o.CodeSize) {
+				continue
+			}
+			// Worst-case fetch cycles recoverable by serving the region's
+			// address range from the scratchpad.
+			var benefit int64
+			for _, b := range f.Blocks {
+				if b.Start < f.Addr+lo || b.Start >= f.Addr+hi || b.Index >= len(counts) {
+					continue
+				}
+				var halfwords uint64
+				for _, ci := range b.Instrs {
+					halfwords += uint64(ci.Size / 2)
+				}
+				benefit += int64(counts[b.Index]*halfwords) * int64(mem.MainHalfCycles-mem.SPMCycles)
+			}
+			if benefit <= 0 {
+				continue
+			}
+			cands = append(cands, cand{lo: lo, hi: hi, benefit: benefit})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].benefit != cands[j].benefit {
+				return cands[i].benefit > cands[j].benefit
+			}
+			if cands[i].lo != cands[j].lo {
+				return cands[i].lo < cands[j].lo
+			}
+			return cands[i].hi < cands[j].hi
+		})
+		for _, c := range cands {
+			r := obj.Region{Func: fn, Start: c.lo, End: c.hi}
+			// Through the pipeline's memoized split stage: repeated
+			// derivations (one HotRegions call per swept capacity) validate
+			// each candidate region once, not once per capacity.
+			sp, err := p.SplitProgram([]obj.Region{r})
+			if err != nil {
+				continue // not single-entry or not encodable: try the next loop
+			}
+			if spm.AlignedSize(sp.Object(obj.FragmentName(fn))) > capacity {
+				continue // the unit could never be placed
+			}
+			regions = append(regions, r)
+			break
+		}
+	}
+	return obj.CanonicalRegions(regions)
 }
 
 // evaluation is one linked+analysed allocation. energy memoizes the
@@ -205,11 +422,17 @@ type evaluation struct {
 	energy  float64
 }
 
-func run(p *pipeline.Pipeline, capacity uint32, opts Options, solve func([]spm.Item, uint32) (*spm.Allocation, error)) (*Result, error) {
+// run iterates the link → analyse → re-allocate fixpoint over the units of
+// one partition: the program's own objects when regions is nil, the split
+// program's objects (fragments included) otherwise.
+func run(p *pipeline.Pipeline, regions []obj.Region, capacity uint32, opts Options, solve func([]spm.Item, uint32) (*spm.Allocation, error)) (*Result, error) {
 	if opts.WCET.Cache != nil {
 		return nil, fmt.Errorf("wcetalloc: combined scratchpad+cache analysis is not modelled")
 	}
-	prog := p.Prog
+	prog, err := p.SplitProgram(regions)
+	if err != nil {
+		return nil, fmt.Errorf("wcetalloc: %w", err)
+	}
 	maxIter := opts.MaxIter
 	if maxIter <= 0 {
 		maxIter = DefaultMaxIter
@@ -227,7 +450,7 @@ func run(p *pipeline.Pipeline, capacity uint32, opts Options, solve func([]spm.I
 		return used
 	}
 	evaluate := func(inSPM map[string]bool) (*evaluation, error) {
-		res, err := p.Analyze(capacity, inSPM, wopts)
+		res, err := p.AnalyzeUnits(regions, capacity, inSPM, wopts)
 		if err != nil {
 			return nil, fmt.Errorf("wcetalloc: %w", err)
 		}
