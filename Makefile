@@ -48,13 +48,17 @@ warmstore: wcetlab
 		diff "$$dir/cold.head" "$$dir/warm.head" | head -20; exit 1; }; \
 	echo "warmstore: ok (zero disk misses, identical figures)"
 
-# HTTP smoke: start `wcetlab serve` on an ephemeral port, make one
-# /v1/wcet request and one /v1/stats request against it, then exercise the
-# store GC policy against the artifacts the server just wrote.
+# HTTP smoke: start `wcetlab serve` (with periodic GC enabled) on an
+# ephemeral port, make one /v1/wcet request and one /v1/stats request
+# against it, sweep the Pareto branch both buffered and streamed and
+# verify the streamed JSON lines carry exactly the buffered array's rows,
+# then exercise the store GC policy against the artifacts the server just
+# wrote. (The whitespace-stripping comparison is sound here because no
+# JSON string in a sweep row contains whitespace.)
 smoke: wcetlab
 	@set -e; dir=$$(mktemp -d); pid=""; \
 	trap 'test -n "$$pid" && kill "$$pid" 2>/dev/null; rm -rf "$$dir"' EXIT; \
-	./bin/wcetlab -store "$$dir/store" -addr 127.0.0.1:0 serve 2> "$$dir/serve.log" & pid=$$!; \
+	./bin/wcetlab -store "$$dir/store" -addr 127.0.0.1:0 serve -gc-interval 1s 2> "$$dir/serve.log" & pid=$$!; \
 	url=""; i=0; while [ $$i -lt 100 ]; do \
 		url=$$(sed -n 's#.*serving on \(http://[^ ]*\).*#\1#p' "$$dir/serve.log"); \
 		[ -n "$$url" ] && break; i=$$((i+1)); sleep 0.1; done; \
@@ -63,6 +67,16 @@ smoke: wcetlab
 		echo "smoke: /v1/wcet failed"; exit 1; }; \
 	curl -fsS "$$url/v1/stats" | grep -q '"workers"' || { \
 		echo "smoke: /v1/stats failed"; exit 1; }; \
+	curl -fsS "$$url/v1/sweep?bench=WorstCaseSort&branch=pareto" | tr -d ' \n' > "$$dir/pareto.buf"; \
+	curl -fsS "$$url/v1/sweep?bench=WorstCaseSort&branch=pareto&stream=1" \
+		| paste -sd, - | sed 's/^/[/; s/$$/]/' | tr -d ' \n' > "$$dir/pareto.str"; \
+	cmp -s "$$dir/pareto.buf" "$$dir/pareto.str" || { \
+		echo "smoke: streamed pareto sweep differs from buffered:"; \
+		diff "$$dir/pareto.buf" "$$dir/pareto.str" | head -5; exit 1; }; \
+	grep -q '"kind":"' "$$dir/pareto.buf" || { \
+		echo "smoke: pareto sweep returned no points"; exit 1; }; \
+	sleep 1.2; curl -fsS "$$url/v1/stats" | grep -q '"gc"' || { \
+		echo "smoke: /v1/stats has no periodic-gc section"; exit 1; }; \
 	./bin/wcetlab -store "$$dir/store" gc -max-age 24h | grep -q '^gc: removed 0 ' || { \
 		echo "smoke: gc -max-age removed fresh entries"; exit 1; }; \
 	./bin/wcetlab -store "$$dir/store" gc -max-bytes 1 | grep -q ' 0 entries (0 bytes) remain' || { \

@@ -10,10 +10,17 @@
 //	wcetlab precision           §4 worst-case-input precision experiment
 //	wcetlab sweep <benchmark>   full sweep table for any Table 2 benchmark
 //	wcetlab wcetsweep <bench>   WCET-directed vs energy-directed allocation
+//	wcetlab pareto <bench>      energy/WCET Pareto front per capacity
+//	                            (ε-constraint scan between the pure-energy
+//	                            and pure-WCET allocations)
 //	wcetlab witness <bench> [N] top-N worst-case blocks/objects (IPET witness)
-//	                            plus the derived hot-region placement units
+//	                            plus the derived hot-region placement units;
+//	                            -path renders the worst-case path as a CFG
+//	                            walk (blocks with counts, unit ownership,
+//	                            trampoline crossings)
 //	wcetlab gc                  apply an age/size retention policy to the store
-//	wcetlab serve               HTTP API over the same measurements
+//	wcetlab serve               HTTP API over the same measurements; periodic
+//	                            store GC behind -gc-interval/-max-age/-max-bytes
 //	wcetlab all                 everything above except the per-benchmark reports
 //
 // "all" sweeps every benchmark once through the shared artifact pipeline
@@ -36,6 +43,8 @@
 //
 // gc flags (after the subcommand): -max-age D removes entries older than
 // the duration, -max-bytes N evicts oldest-first beyond the byte budget.
+// serve accepts the same two flags plus -gc-interval D to apply that
+// policy periodically for as long as the server runs.
 package main
 
 import (
@@ -45,6 +54,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -52,9 +62,11 @@ import (
 
 	"repro/internal/benchprog"
 	"repro/internal/cc"
+	"repro/internal/cfg"
 	"repro/internal/core"
 	"repro/internal/link"
 	"repro/internal/mem"
+	"repro/internal/obj"
 	"repro/internal/pipeline"
 	"repro/internal/service"
 	"repro/internal/store"
@@ -122,22 +134,35 @@ func main() {
 			os.Exit(2)
 		}
 		err = wcetsweep(args[1])
+	case "pareto":
+		if len(args) < 2 {
+			usage()
+			os.Exit(2)
+		}
+		err = pareto(args[1])
 	case "witness":
 		if len(args) < 2 {
 			usage()
 			os.Exit(2)
 		}
+		rest := args[2:]
 		topN := 10
-		if len(args) > 2 {
-			topN, err = strconv.Atoi(args[2])
+		if len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+			topN, err = strconv.Atoi(rest[0])
 			if err != nil || topN <= 0 {
 				usage()
 				os.Exit(2)
 			}
+			rest = rest[1:]
 		}
-		err = witness(args[1], topN)
+		fs := flag.NewFlagSet("witness", flag.ContinueOnError)
+		path := fs.Bool("path", false, "render the worst-case path as a CFG walk in address order")
+		if err := fs.Parse(rest); err != nil {
+			os.Exit(2)
+		}
+		err = witness(args[1], topN, *path)
 	case "serve":
-		err = serve(*addr)
+		err = serve(*addr, args[1:])
 	case "gc":
 		err = gc(args[1:])
 	default:
@@ -151,7 +176,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: wcetlab [flags] {table1|table2|fig3|fig4|fig5|fig6|precision|sweep <bench>|wcetsweep <bench>|witness <bench> [topN]|gc [-max-age D] [-max-bytes N]|serve|all}
+	fmt.Fprintln(os.Stderr, `usage: wcetlab [flags] {table1|table2|fig3|fig4|fig5|fig6|precision|sweep <bench>|wcetsweep <bench>|pareto <bench>|witness <bench> [topN] [-path]|gc [-max-age D] [-max-bytes N]|serve [-gc-interval D] [-max-age D] [-max-bytes N]|all}
 
 flags:
   -store DIR   artifact store directory (default $WCETLAB_STORE or
@@ -217,16 +242,39 @@ func newLab(name string) (*core.Lab, error) {
 	return lab, nil
 }
 
-func serve(addr string) error {
+// serve runs the HTTP API; -gc-interval (with the gc subcommand's
+// -max-age/-max-bytes policy flags) applies the store retention policy
+// periodically so a long-running server's artifact store stays bounded.
+func serve(addr string, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	gcInterval := fs.Duration("gc-interval", 0, "apply the retention policy to the store every interval (0 disables periodic GC)")
+	maxAge := fs.Duration("max-age", 0, "periodic GC: remove entries older than this (0 keeps all ages)")
+	maxBytes := fs.Int64("max-bytes", 0, "periodic GC: evict oldest entries beyond this store size (0 = unbounded)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *gcInterval > 0 && artifactStore == nil {
+		return fmt.Errorf("serve: -gc-interval needs an artifact store (-store)")
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := service.New(service.Config{Store: artifactStore, Workers: labWorkers, LabWorkers: labWorkers})
+	srv := service.New(service.Config{
+		Store:      artifactStore,
+		Workers:    labWorkers,
+		LabWorkers: labWorkers,
+		GCInterval: *gcInterval,
+		GCPolicy:   store.Policy{MaxAge: *maxAge, MaxBytes: *maxBytes},
+	})
 	return srv.Run(ctx, addr, func(bound string) {
 		storeDesc := "off"
 		if artifactStore != nil {
 			storeDesc = artifactStore.Dir()
 		}
-		fmt.Fprintf(os.Stderr, "wcetlab: serving on http://%s (store %s)\n", bound, storeDesc)
+		gcDesc := ""
+		if *gcInterval > 0 {
+			gcDesc = fmt.Sprintf(", gc every %s", *gcInterval)
+		}
+		fmt.Fprintf(os.Stderr, "wcetlab: serving on http://%s (store %s%s)\n", bound, storeDesc, gcDesc)
 	})
 }
 
@@ -487,11 +535,49 @@ func wcetsweep(name string) error {
 	return nil
 }
 
+// pareto prints the energy/WCET Pareto front for every paper capacity:
+// the pure-energy and pure-WCET endpoints (bit-identical to the wcetsweep
+// allocations) plus the mutually non-dominated ε-constraint points
+// between them, every bound certified by a full re-analysis.
+func pareto(name string) error {
+	lab, err := newLab(name)
+	if err != nil {
+		return err
+	}
+	fronts, err := lab.SweepPareto()
+	if err != nil {
+		return err
+	}
+	header(fmt.Sprintf("Pareto front: %s (energy vs certified WCET bound, ε-constraint scan)", name))
+	for _, f := range fronts {
+		fmt.Printf("\ncapacity %d B — %d point(s):\n", f.SPMSize, len(f.Points))
+		fmt.Printf("%-7s %12s %12s %12s %6s %6s  %s\n",
+			"kind", "WCET bound", "ε budget", "energy [nJ]", "used", "iters", "placement")
+		for _, pt := range f.Points {
+			names := make([]string, 0, len(pt.InSPM))
+			for n, in := range pt.InSPM {
+				if in {
+					names = append(names, n)
+				}
+			}
+			sort.Strings(names)
+			fmt.Printf("%-7s %12d %12d %12.0f %6d %6d  %s\n",
+				pt.Kind, pt.WCET, pt.Budget, pt.EnergyNJ, pt.Used, pt.Iterations, strings.Join(names, ","))
+		}
+	}
+	fmt.Println("\nEach front runs from the pure WCET-directed allocation (lowest certified")
+	fmt.Println("bound) to the pure energy-directed one (lowest modelled energy); interior")
+	fmt.Println("points maximise energy benefit subject to a stepped WCET budget. All")
+	fmt.Println("points are mutually non-dominated; a single-point front means one")
+	fmt.Println("allocation is optimal in both objectives at that capacity.")
+	return nil
+}
+
 // witness prints the top-N worst-case basic blocks and memory objects from
 // the exported IPET witness of the baseline (empty scratchpad) analysis —
-// the first step toward worst-case path visualisation: it names exactly
-// the code and data the compositional bound charges for.
-func witness(name string, topN int) error {
+// it names exactly the code and data the compositional bound charges for.
+// With -path it additionally renders the worst-case path as a CFG walk.
+func witness(name string, topN int, path bool) error {
 	lab, err := newLab(name)
 	if err != nil {
 		return err
@@ -528,11 +614,90 @@ func witness(name string, topN int) error {
 	fmt.Printf("\nHot-region placement units (block granularity would outline these):\n")
 	if len(regions) == 0 {
 		fmt.Println("  none (no splittable loop region on the worst-case path)")
-		return nil
+	} else {
+		fmt.Printf("%-20s %10s %10s %10s\n", "function", "start", "end", "bytes")
+		for _, r := range regions {
+			fmt.Printf("%-20s %10d %10d %10d\n", r.Func, r.Start, r.End, r.End-r.Start)
+		}
 	}
-	fmt.Printf("%-20s %10s %10s %10s\n", "function", "start", "end", "bytes")
-	for _, r := range regions {
-		fmt.Printf("%-20s %10d %10d %10d\n", r.Func, r.Start, r.End, r.End-r.Start)
+	if path {
+		return witnessPath(lab, regions)
 	}
+	return nil
+}
+
+// witnessPath renders the worst-case path as a CFG walk: every function
+// the worst case runs, in address order, with each basic block's address
+// range, worst-case execution count, owning placement unit and the
+// trampoline crossings between units. The walk is rendered over the
+// split program under the hot-region partition (unsplit when there are no
+// regions), so the unit boundaries the block-granularity allocator places
+// across — and the long-branch trampolines that stitch them — are
+// visible on the path itself.
+func witnessPath(lab *core.Lab, regions []obj.Region) error {
+	res, err := lab.Pipe.AnalyzeUnits(regions, 0, nil, wcet.Options{Witness: true})
+	if err != nil {
+		return err
+	}
+	exe, err := lab.Pipe.LinkUnits(regions, 0, nil)
+	if err != nil {
+		return err
+	}
+	g, err := cfg.Build(exe, "")
+	if err != nil {
+		return err
+	}
+	w := res.Witness
+	funcs := make([]*cfg.Function, 0, len(g.Funcs))
+	for _, f := range g.Funcs {
+		if w.FuncRuns[f.Name] > 0 {
+			funcs = append(funcs, f)
+		}
+	}
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].Addr < funcs[j].Addr })
+
+	header(fmt.Sprintf("Worst-case path (CFG walk, %d split unit(s), WCET %d cycles)", len(regions), res.WCET))
+	crossings := 0
+	for _, f := range funcs {
+		counts := w.BlockCounts[f.Name]
+		fmt.Printf("\n%s @0x%04x — %d worst-case invocation(s):\n", f.Name, f.Addr, w.FuncRuns[f.Name])
+		fmt.Printf("  %-5s %-19s %12s %-20s %s\n", "block", "addr range", "count", "unit", "notes")
+		// Address order, parent-object blocks before outlined fragments:
+		// the walk reads like the function's layout, with the fragment's
+		// blocks (living at the fragment object's own addresses) appended
+		// where the trampolines hand over.
+		blocks := append([]*cfg.Block(nil), f.Blocks...)
+		sort.Slice(blocks, func(i, j int) bool {
+			if (blocks[i].Obj == f.Name) != (blocks[j].Obj == f.Name) {
+				return blocks[i].Obj == f.Name
+			}
+			return blocks[i].Start < blocks[j].Start
+		})
+		for _, b := range blocks {
+			var count uint64
+			if b.Index < len(counts) {
+				count = counts[b.Index]
+			}
+			var notes []string
+			for _, in := range b.Instrs {
+				if in.CrossTarget != "" {
+					notes = append(notes, fmt.Sprintf("tramp→%s@0x%04x", in.CrossTarget, in.CrossAddr))
+					if count > 0 {
+						crossings++
+					}
+				}
+			}
+			marker := " "
+			if count == 0 {
+				marker = "·" // off the worst-case path
+			}
+			fmt.Printf("%s #%-4d [%#06x,%#06x) %12d %-20s %s\n",
+				marker, b.Index, b.Start, b.End, count, b.Obj, strings.Join(notes, " "))
+		}
+	}
+	fmt.Printf("\n%d function(s) on the worst-case path; %d trampoline crossing site(s)\n", len(funcs), crossings)
+	fmt.Println("on it (unit handovers the bound charges trampoline cycles for). Blocks")
+	fmt.Println("marked · are never executed on the worst-case path; \"unit\" names the")
+	fmt.Println("placement unit whose scratchpad decision prices the block's fetches.")
 	return nil
 }

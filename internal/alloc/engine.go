@@ -1,0 +1,595 @@
+package alloc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/cfg"
+	"repro/internal/mem"
+	"repro/internal/obj"
+	"repro/internal/pipeline"
+	"repro/internal/wcet"
+)
+
+// DefaultMaxIter caps the re-link/re-analyse loop; the benchmarks converge
+// in one or two iterations.
+const DefaultMaxIter = 8
+
+// Granularity selects what the engine treats as a placement unit.
+type Granularity uint8
+
+const (
+	// GranObject places whole memory objects (functions and globals) — the
+	// paper's granularity.
+	GranObject Granularity = iota
+	// GranBlock additionally splits hot regions (contiguous basic-block
+	// runs, typically loop bodies) out of functions whose worst-case cycles
+	// concentrate there, and places the fragments independently. The
+	// certified bound is never worse than GranObject's: the whole-object
+	// solution seeds the comparison.
+	GranBlock
+)
+
+func (g Granularity) String() string {
+	if g == GranBlock {
+		return "block"
+	}
+	return "object"
+}
+
+// ParseGranularity parses "object" or "block".
+func ParseGranularity(s string) (Granularity, error) {
+	switch s {
+	case "object", "":
+		return GranObject, nil
+	case "block":
+		return GranBlock, nil
+	}
+	return GranObject, fmt.Errorf("alloc: unknown granularity %q (want object or block)", s)
+}
+
+// Evaluation is a pre-evaluated allocation: a placement together with the
+// bound and witness an earlier analysis certified for it. Passing one in
+// Options.PreEvaluated seeds the fixpoint without re-running the analysis.
+type Evaluation struct {
+	// InSPM names the objects placed in the scratchpad.
+	InSPM map[string]bool
+	// WCET is the analysed bound under InSPM.
+	WCET uint64
+	// Witness is the worst-case-path witness of the same analysis; it must
+	// come from a witness-enabled run (Evaluations without a witness are
+	// treated as plain Seeds and re-analysed).
+	Witness *wcet.Witness
+}
+
+// Options configures an engine run. The objective and solver are passed to
+// Run separately — Options carries the knobs shared by every objective.
+type Options struct {
+	// WCET configures the analysis; Cache must be nil (the paper's
+	// combined scratchpad+cache system is not modelled).
+	WCET wcet.Options
+	// Seeds are allocations to evaluate before iterating — e.g. the
+	// energy-directed allocation — so the result is never worse than the
+	// best seed. Seeds that do not fit the capacity are rejected. Static
+	// objectives solve exactly and ignore them.
+	Seeds []map[string]bool
+	// PreEvaluated are seeds whose bound and witness are already known
+	// (e.g. analysed by the measurement pipeline); they enter the loop
+	// without a link+analyse run. Capacity and object checks still apply.
+	PreEvaluated []Evaluation
+	// Energy, when non-nil, models the average-case energy of a placement
+	// and breaks ties among equal-WCET allocations: the lower-energy one
+	// is kept, making the reported placement canonical. When nil, the
+	// most recently evaluated equal-WCET allocation wins (legacy order).
+	Energy func(inSPM map[string]bool) float64
+	// EnergyKey canonically identifies the Energy function's model (e.g.
+	// energy.Model.Key()) for solve memoization: function values cannot be
+	// compared, so Directed.ConfigKey refuses to produce a key — and the
+	// pipeline runs the solve unmemoized — when Energy is set without one.
+	EnergyKey string
+	// MaxIter bounds the number of knapsack/re-analysis rounds
+	// (DefaultMaxIter when zero).
+	MaxIter int
+	// Granularity selects whole-object or basic-block placement units
+	// (GranObject when zero). Block granularity requires a witness-priced
+	// objective (the hot-region partition is derived from the witness).
+	Granularity Granularity
+}
+
+func (o Options) maxIter() int {
+	if o.MaxIter <= 0 {
+		return DefaultMaxIter
+	}
+	return o.MaxIter
+}
+
+// Iteration is one accepted step of the fixpoint loop.
+type Iteration struct {
+	// InSPM is the allocation evaluated this step.
+	InSPM map[string]bool
+	// Used is the scratchpad occupancy in bytes (alignment-rounded).
+	Used uint32
+	// WCET is the analysed bound under this allocation.
+	WCET uint64
+}
+
+// Result is the outcome of an engine run.
+type Result struct {
+	// InSPM names the objects placed in the scratchpad; under a non-empty
+	// Splits partition the names refer to the split program's objects.
+	InSPM map[string]bool
+	// Used is the scratchpad occupancy in bytes (alignment-rounded).
+	Used uint32
+	// Benefit is the final allocation's total objective value (the sum of
+	// its items' benefits under the run's objective).
+	Benefit float64
+	// WCET is the analysed bound under InSPM (0 for static objectives,
+	// which run no analysis).
+	WCET uint64
+	// Baseline is the bound with an empty scratchpad of the same capacity
+	// (of the *unsplit* program, so bounds at both granularities share one
+	// reference; 0 for static objectives).
+	Baseline uint64
+	// Iterations traces the accepted allocations, baseline first; WCET is
+	// non-increasing along it. Static objectives record a single step.
+	Iterations []Iteration
+	// Converged reports that the loop stopped because the allocation
+	// repeated or stopped improving (false: MaxIter hit). Static
+	// objectives always converge.
+	Converged bool
+	// Splits is the placement-unit partition the winning allocation uses:
+	// nil when whole-object placement won (always at GranObject).
+	Splits []obj.Region
+}
+
+// Run is the engine's fixpoint driver, the single entry point behind every
+// allocation policy. The objective decides the driver's shape:
+//
+//   - a static objective (NeedsWitness() == false) prices items once from
+//     the profile and solves once — no linking, no analysis (the
+//     energy-directed policy);
+//   - a witness-priced objective iterates link → analyse → re-solve until
+//     the allocation reaches a fixpoint, the certified bound stops
+//     improving, or MaxIter is hit; the accepted bound is monotonically
+//     non-increasing (the WCET-directed policy).
+//
+// Every link+analyse goes through the pipeline, so evaluations are
+// memoized: the capacity-independent empty-scratchpad baseline is analysed
+// once per program, already-evaluated allocations are never re-analysed,
+// and pre-evaluated seeds enter the loop without any analysis at all.
+func Run(p *pipeline.Pipeline, capacity uint32, objective Objective, solver Solver, opts Options) (*Result, error) {
+	if opts.WCET.Cache != nil {
+		return nil, fmt.Errorf("alloc: combined scratchpad+cache analysis is not modelled")
+	}
+	if !objective.NeedsWitness() {
+		if opts.Granularity == GranBlock {
+			return nil, fmt.Errorf("alloc: block granularity requires a witness-priced objective (%s is static)", objective.Name())
+		}
+		return runStatic(p, capacity, objective, solver)
+	}
+	if opts.Granularity == GranBlock {
+		return runBlock(p, capacity, objective, solver, opts)
+	}
+	return run(p, nil, capacity, objective, solver, opts)
+}
+
+// runStatic solves a static objective: evidence is capacity-independent
+// (the profile), so one knapsack is exact and no analysis runs.
+func runStatic(p *pipeline.Pipeline, capacity uint32, objective Objective, solver Solver) (*Result, error) {
+	var ev Evidence
+	if objective.NeedsProfile() {
+		prof, err := p.Profile()
+		if err != nil {
+			return nil, err
+		}
+		ev.Profile = prof
+	}
+	items := Candidates(p.Prog, ev, objective, capacity)
+	a, err := SolveItems(items, capacity, solver)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		InSPM:      a.InSPM,
+		Used:       a.Used,
+		Benefit:    a.Benefit,
+		Iterations: []Iteration{{InSPM: a.InSPM, Used: a.Used}},
+		Converged:  true,
+	}, nil
+}
+
+// runBlock is the basic-block-granularity strategy: solve at whole-object
+// granularity first, derive the hot-region partition from the baseline
+// witness, re-run the same fixpoint over the split program's units, and
+// keep whichever certified bound is lower. Seeding the unit run with the
+// whole-object winner (fragments added for split functions) and taking the
+// minimum at the end makes the block-granularity bound never worse than
+// the whole-object one, by construction.
+func runBlock(p *pipeline.Pipeline, capacity uint32, objective Objective, solver Solver, opts Options) (*Result, error) {
+	objRes, err := run(p, nil, capacity, objective, solver, opts)
+	if err != nil {
+		return nil, err
+	}
+	wopts := opts.WCET
+	wopts.Witness = true
+	base, err := p.Analyze(capacity, nil, wopts) // cached: the fixpoint's baseline
+	if err != nil {
+		return nil, err
+	}
+	regions, err := HotRegions(p, base.Witness, capacity, opts.WCET.Root)
+	if err != nil || len(regions) == 0 {
+		return objRes, err
+	}
+	bopts := opts
+	bopts.PreEvaluated = nil
+	// The average-case energy tie-break is an object-granularity model (the
+	// profile knows nothing of fragments); the unit run stays deterministic
+	// without it.
+	bopts.Energy, bopts.EnergyKey = nil, ""
+	bopts.Seeds = []map[string]bool{expandSeed(objRes.InSPM, regions)}
+	for _, s := range opts.Seeds {
+		bopts.Seeds = append(bopts.Seeds, expandSeed(s, regions))
+	}
+	blockRes, err := run(p, regions, capacity, objective, solver, bopts)
+	if err != nil {
+		return nil, err
+	}
+	if blockRes.WCET < objRes.WCET {
+		blockRes.Splits = regions
+		// Report bounds at both granularities against the one canonical
+		// reference: the unsplit empty-scratchpad baseline.
+		blockRes.Baseline = objRes.Baseline
+		return blockRes, nil
+	}
+	return objRes, nil
+}
+
+// expandSeed maps a whole-object allocation onto a split program: a chosen
+// function that was split contributes its parent and its fragment, so the
+// seed covers the same bytes (modulo trampolines).
+func expandSeed(seed map[string]bool, regions []obj.Region) map[string]bool {
+	split := make(map[string]bool, len(regions))
+	for _, r := range regions {
+		split[r.Func] = true
+	}
+	out := make(map[string]bool, len(seed)+2)
+	for name, in := range seed {
+		if !in {
+			continue
+		}
+		out[name] = true
+		if split[name] {
+			out[obj.FragmentName(name)] = true
+		}
+	}
+	return out
+}
+
+// HotRegions derives the placement-unit partition for a program from its
+// baseline worst-case witness: per function, the natural-loop byte range
+// with the highest worst-case fetch savings that can actually be outlined
+// (single entry, encodable fixups) and whose fragment fits the capacity.
+// Functions whose worst case never runs, or whose loops cannot be split,
+// contribute nothing. The result is canonical (sorted, one region per
+// function), so it is a stable cache-key ingredient.
+func HotRegions(p *pipeline.Pipeline, w *wcet.Witness, capacity uint32, root string) ([]obj.Region, error) {
+	exe, err := p.Link(0, nil)
+	if err != nil {
+		return nil, err
+	}
+	if root == "" {
+		root = exe.Prog.Entry
+	}
+	g, err := cfg.Build(exe, root)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(g.Funcs))
+	for n := range g.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var regions []obj.Region
+	for _, fn := range names {
+		f := g.Funcs[fn]
+		counts := w.BlockCounts[fn]
+		o := exe.Placement(fn).Obj
+		if len(counts) == 0 || len(f.Loops) == 0 {
+			continue
+		}
+		type cand struct {
+			lo, hi  uint32
+			benefit int64
+		}
+		var cands []cand
+		for _, l := range f.Loops {
+			lo := l.Head.Start - f.Addr
+			var hi uint32
+			for b := range l.Blocks {
+				if b.End-f.Addr > hi {
+					hi = b.End - f.Addr
+				}
+			}
+			if hi > o.CodeSize || (lo == 0 && hi >= o.CodeSize) {
+				continue
+			}
+			// Worst-case fetch cycles recoverable by serving the region's
+			// address range from the scratchpad.
+			var benefit int64
+			for _, b := range f.Blocks {
+				if b.Start < f.Addr+lo || b.Start >= f.Addr+hi || b.Index >= len(counts) {
+					continue
+				}
+				var halfwords uint64
+				for _, ci := range b.Instrs {
+					halfwords += uint64(ci.Size / 2)
+				}
+				benefit += int64(counts[b.Index]*halfwords) * int64(mem.MainHalfCycles-mem.SPMCycles)
+			}
+			if benefit <= 0 {
+				continue
+			}
+			cands = append(cands, cand{lo: lo, hi: hi, benefit: benefit})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].benefit != cands[j].benefit {
+				return cands[i].benefit > cands[j].benefit
+			}
+			if cands[i].lo != cands[j].lo {
+				return cands[i].lo < cands[j].lo
+			}
+			return cands[i].hi < cands[j].hi
+		})
+		for _, c := range cands {
+			r := obj.Region{Func: fn, Start: c.lo, End: c.hi}
+			// Through the pipeline's memoized split stage: repeated
+			// derivations (one HotRegions call per swept capacity) validate
+			// each candidate region once, not once per capacity.
+			sp, err := p.SplitProgram([]obj.Region{r})
+			if err != nil {
+				continue // not single-entry or not encodable: try the next loop
+			}
+			if AlignedSize(sp.Object(obj.FragmentName(fn))) > capacity {
+				continue // the unit could never be placed
+			}
+			regions = append(regions, r)
+			break
+		}
+	}
+	return obj.CanonicalRegions(regions)
+}
+
+// evaluation is one linked+analysed allocation. energy memoizes the
+// Options.Energy value (NaN until computed).
+type evaluation struct {
+	inSPM   map[string]bool
+	used    uint32
+	wcet    uint64
+	witness *wcet.Witness
+	energy  float64
+}
+
+// evaluator owns the link+analyse machinery one fixpoint run shares: every
+// evaluation goes through the pipeline's memoized stages under the run's
+// unit partition.
+type evaluator struct {
+	p       *pipeline.Pipeline
+	prog    *obj.Program
+	regions []obj.Region
+	cap     uint32
+	wopts   wcet.Options
+}
+
+func (e *evaluator) usedBytes(inSPM map[string]bool) uint32 {
+	var used uint32
+	for name, in := range inSPM {
+		if in {
+			used += AlignedSize(e.prog.Object(name))
+		}
+	}
+	return used
+}
+
+func (e *evaluator) evaluate(inSPM map[string]bool) (*evaluation, error) {
+	res, err := e.p.AnalyzeUnits(e.regions, e.cap, inSPM, e.wopts)
+	if err != nil {
+		return nil, fmt.Errorf("alloc: %w", err)
+	}
+	return &evaluation{inSPM: inSPM, used: e.usedBytes(inSPM), wcet: res.WCET, witness: res.Witness, energy: math.NaN()}, nil
+}
+
+// run iterates the link → analyse → re-allocate fixpoint over the units of
+// one partition: the program's own objects when regions is nil, the split
+// program's objects (fragments included) otherwise.
+func run(p *pipeline.Pipeline, regions []obj.Region, capacity uint32, objective Objective, solver Solver, opts Options) (*Result, error) {
+	prog, err := p.SplitProgram(regions)
+	if err != nil {
+		return nil, fmt.Errorf("alloc: %w", err)
+	}
+	wopts := opts.WCET
+	wopts.Witness = true
+	ev := &evaluator{p: p, prog: prog, regions: regions, cap: capacity, wopts: wopts}
+	var evidence Evidence
+	if objective.NeedsProfile() {
+		if evidence.Profile, err = p.Profile(); err != nil {
+			return nil, err
+		}
+	}
+
+	// modelledEnergy memoizes Options.Energy per evaluation.
+	modelledEnergy := func(e *evaluation) float64 {
+		if math.IsNaN(e.energy) {
+			e.energy = opts.Energy(e.inSPM)
+		}
+		return e.energy
+	}
+	// better reports whether cand beats the incumbent: a strictly lower
+	// bound always wins; on an equal bound the tie-break (lower modelled
+	// energy) decides, or, without an energy model, the newcomer wins
+	// (legacy behaviour).
+	better := func(cand, incumbent *evaluation) bool {
+		if cand.wcet != incumbent.wcet {
+			return cand.wcet < incumbent.wcet
+		}
+		if opts.Energy == nil {
+			return true
+		}
+		return modelledEnergy(cand) < modelledEnergy(incumbent)
+	}
+
+	base, err := ev.evaluate(map[string]bool{})
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		Baseline:   base.wcet,
+		Iterations: []Iteration{{InSPM: base.inSPM, Used: 0, WCET: base.wcet}},
+	}
+	best := base
+	seen := map[string]bool{allocKey(base.inSPM): true}
+
+	// Seeds (e.g. the energy-directed allocation): the result can only be
+	// at least as good as the best of them. Seeds naming unknown objects
+	// or exceeding the capacity are rejected, not errors. Pre-evaluated
+	// seeds carry their bound and witness and skip the analysis.
+	accept := func(e *evaluation) {
+		if e.wcet <= best.wcet && better(e, best) {
+			best = e
+			r.Iterations = append(r.Iterations, Iteration{InSPM: e.inSPM, Used: e.used, WCET: e.wcet})
+		}
+	}
+	for _, pre := range opts.PreEvaluated {
+		if pre.Witness == nil {
+			opts.Seeds = append(opts.Seeds, pre.InSPM)
+			continue
+		}
+		seed := fittingSeed(prog, pre.InSPM, capacity)
+		if len(seed) == 0 || seen[allocKey(seed)] {
+			continue
+		}
+		seen[allocKey(seed)] = true
+		accept(&evaluation{inSPM: seed, used: ev.usedBytes(seed), wcet: pre.WCET, witness: pre.Witness, energy: math.NaN()})
+	}
+	for _, seed := range opts.Seeds {
+		seed = fittingSeed(prog, seed, capacity)
+		if len(seed) == 0 || seen[allocKey(seed)] {
+			continue
+		}
+		seen[allocKey(seed)] = true
+		e, err := ev.evaluate(seed)
+		if err != nil {
+			return nil, err
+		}
+		accept(e)
+	}
+
+	for i := 0; i < opts.maxIter(); i++ {
+		evidence.Witness = best.witness
+		items := Candidates(prog, evidence, objective, capacity)
+		alloc, err := SolveItems(items, capacity, solver)
+		if err != nil {
+			return nil, fmt.Errorf("alloc: %w", err)
+		}
+		key := allocKey(alloc.InSPM)
+		if seen[key] {
+			// The allocation repeated: fixpoint.
+			r.Converged = true
+			break
+		}
+		seen[key] = true
+		e, err := ev.evaluate(alloc.InSPM)
+		if err != nil {
+			return nil, err
+		}
+		if e.wcet > best.wcet {
+			// The first-order benefit model over-promised (the worst path
+			// moved): keep the incumbent. The accepted trace stays
+			// monotone.
+			r.Converged = true
+			break
+		}
+		stalled := e.wcet == best.wcet
+		if better(e, best) {
+			best = e
+			r.Iterations = append(r.Iterations, Iteration{InSPM: e.inSPM, Used: e.used, WCET: e.wcet})
+		}
+		if stalled {
+			// Equal bound under a new allocation: further rounds can only
+			// oscillate between equally worst paths. The tie-break above
+			// decided which of the two equal-WCET placements is canonical.
+			r.Converged = true
+			break
+		}
+	}
+
+	r.InSPM = best.inSPM
+	r.Used = best.used
+	r.WCET = best.wcet
+	evidence.Witness = best.witness
+	r.Benefit = placementBenefit(prog, evidence, objective, best.inSPM)
+	return r, nil
+}
+
+// placementBenefit totals the objective value of one placement under the
+// given evidence. The sum runs in sorted name order: float addition is not
+// associative, so summing in map iteration order would make the reported
+// benefit differ in the last ulp between runs.
+func placementBenefit(prog *obj.Program, ev Evidence, objective Objective, inSPM map[string]bool) float64 {
+	names := make([]string, 0, len(inSPM))
+	for name, in := range inSPM {
+		if in {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var total float64
+	for _, name := range names {
+		if o := prog.Object(name); o != nil {
+			if b := objective.Benefit(ev, o); b > 0 {
+				total += b
+			}
+		}
+	}
+	return total
+}
+
+// fittingSeed normalises a seed allocation to its true entries, dropping
+// the whole seed (nil) if it names an unknown object or if its
+// alignment-rounded sizes exceed the capacity. Under the toolchain's
+// uniform word alignment the accepted seed is guaranteed to link (at the
+// price of rejecting a rare seed that would only fit unpadded); see
+// AlignedSize for the mixed-alignment caveat.
+func fittingSeed(prog *obj.Program, seed map[string]bool, capacity uint32) map[string]bool {
+	out := make(map[string]bool, len(seed))
+	var used uint32
+	for name, in := range seed {
+		if !in {
+			continue
+		}
+		o := prog.Object(name)
+		if o == nil {
+			return nil
+		}
+		used += AlignedSize(o)
+		if used > capacity {
+			return nil
+		}
+		out[name] = true
+	}
+	return out
+}
+
+// allocKey canonicalises an allocation set for fixpoint detection.
+func allocKey(inSPM map[string]bool) string {
+	names := make([]string, 0, len(inSPM))
+	for n, ok := range inSPM {
+		if ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, "\x00")
+}

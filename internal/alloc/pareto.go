@@ -1,0 +1,386 @@
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/energy"
+	"repro/internal/pipeline"
+	"repro/internal/wcet"
+)
+
+// Budgeted is the engine's multi-objective mode as a pipeline.Allocator:
+// the ε-constraint solve behind one Pareto-front point. It maximises
+// energy benefit on the typical input subject to a budget on the
+// *certified* WCET bound: the witness provides a linear model of the
+// bound, the ILP solves the bi-objective knapsack, a full re-analysis
+// certifies the result, and the loop refines the witness until a certified
+// allocation fits the budget (or the placements repeat / MaxIter is hit,
+// in which case the Fallback allocation — the pure WCET-directed solution,
+// which meets every budget the Pareto scan asks for — is used).
+//
+// Going through pipeline.Allocate gives every point the standard solve
+// memoization: the ConfigKey embeds the budget, so a warm store serves a
+// whole Pareto sweep without re-solving anything.
+type Budgeted struct {
+	// Budget is the certified-WCET bound the allocation must stay within.
+	Budget uint64
+	// Model prices the energy objective and identifies it in the key.
+	Model energy.Model
+	// WCET configures the certification analyses; Cache must be nil.
+	WCET wcet.Options
+	// MaxIter bounds the solve→certify refinement rounds (DefaultMaxIter
+	// when zero).
+	MaxIter int
+	// Fallback, when non-nil, supplies the allocation used when no
+	// ε-solve certifies within the budget (the pure WCET-directed policy;
+	// its own solve is memoized and shared with the endpoint). It must be
+	// an object-granularity policy: the energy axis is object-granularity,
+	// so a fallback returning a split placement is rejected with an error.
+	Fallback pipeline.Allocator
+}
+
+// Name identifies the policy.
+func (Budgeted) Name() string { return "pareto" }
+
+// ConfigKey identifies the ε-solve's full configuration — budget, energy
+// model, analysis options, iteration cap and the fallback policy's own
+// ConfigKey — for solve memoization.
+func (b Budgeted) ConfigKey() string {
+	fallback := "none"
+	if b.Fallback != nil {
+		if fallback = b.Fallback.ConfigKey(); fallback == "" {
+			return ""
+		}
+	}
+	maxIter := b.MaxIter
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIter
+	}
+	return fmt.Sprintf("pareto|budget=%d|maxiter=%d|energy=%s|stack=%d|root=%s|fallback=(%s)",
+		b.Budget, maxIter, b.Model.Key(), b.WCET.StackBound, b.WCET.Root, fallback)
+}
+
+// Allocate runs the ε-constraint loop at one capacity. The returned
+// Allocation's Benefit is the energy benefit (nJ per run) of the chosen
+// placement; its certified bound is the pipeline's memoized analysis of
+// the placement (re-derivable by any caller at zero cost).
+func (b Budgeted) Allocate(p *pipeline.Pipeline, capacity uint32) (*Allocation, error) {
+	if b.WCET.Cache != nil {
+		return nil, fmt.Errorf("alloc: combined scratchpad+cache analysis is not modelled")
+	}
+	prof, err := p.Profile()
+	if err != nil {
+		return nil, err
+	}
+	wopts := b.WCET
+	wopts.Witness = true
+	base, err := p.Analyze(capacity, nil, wopts)
+	if err != nil {
+		return nil, err
+	}
+	eob := EnergyObjective{Model: b.Model}
+	wob := WCETObjective{}
+	maxIter := b.MaxIter
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIter
+	}
+
+	// best tracks the feasible (certified ≤ budget) allocation with the
+	// highest energy benefit; ties go to the lexicographically smallest
+	// placement so the point is canonical.
+	var best *Allocation
+	keep := func(inSPM map[string]bool, benefit float64) {
+		if best != nil && (benefit < best.Benefit ||
+			(benefit == best.Benefit && allocKey(inSPM) >= allocKey(best.InSPM))) {
+			return
+		}
+		var used uint32
+		for name, in := range inSPM {
+			if in {
+				used += AlignedSize(p.Prog.Object(name))
+			}
+		}
+		best = &Allocation{InSPM: inSPM, Benefit: benefit, Used: used}
+	}
+
+	if b.Fallback != nil {
+		fa, err := p.Allocate(b.Fallback, capacity)
+		if err != nil {
+			return nil, err
+		}
+		if len(fa.Splits) != 0 {
+			// The energy axis is an object-granularity model (fragments are
+			// not profiled objects), so a split placement cannot be priced
+			// consistently with the ε-solves it anchors.
+			return nil, fmt.Errorf("alloc: pareto: fallback %q produced a block-granularity allocation; use an object-granularity policy", b.Fallback.Name())
+		}
+		cert, err := p.Analyze(capacity, fa.InSPM, wopts)
+		if err != nil {
+			return nil, err
+		}
+		if cert.WCET <= b.Budget {
+			keep(fa.InSPM, placementBenefit(p.Prog, Evidence{Profile: prof}, eob, fa.InSPM))
+		}
+	}
+
+	incumbent := &evaluation{inSPM: map[string]bool{}, wcet: base.WCET, witness: base.Witness}
+	seen := map[string]bool{allocKey(incumbent.inSPM): true}
+	rounds := 0
+	converged := false
+	for i := 0; i < maxIter; i++ {
+		ev := Evidence{Profile: prof, Witness: incumbent.witness}
+		items, weights := CandidatesBi(p.Prog, ev, eob, wob, capacity)
+		weightOf := make(map[string]float64, len(items))
+		for j, it := range items {
+			weightOf[it.Name] = weights[j]
+		}
+		// The witness models the bound linearly around its own placement:
+		// WCET(S) ≈ pseudoBase − Σ_{i∈S} savings_i, where pseudoBase folds
+		// the incumbent's already-banked savings back in. The ε-constraint
+		// then asks for enough savings to reach the budget. The fold runs
+		// over the sorted item list (not incumbent.inSPM's map order) so
+		// the float sum — and with it the solve — is bit-reproducible.
+		pseudoBase := float64(incumbent.wcet)
+		for _, it := range items {
+			if incumbent.inSPM[it.Name] {
+				pseudoBase += weightOf[it.Name]
+			}
+		}
+		required := pseudoBase - float64(b.Budget)
+		a, err := KnapsackBudget(items, capacity, weights, required)
+		if errors.Is(err, ErrInfeasible) {
+			break // no subset models within budget: fall back
+		}
+		if err != nil {
+			return nil, err
+		}
+		key := allocKey(a.InSPM)
+		if seen[key] {
+			break // the model stopped producing new placements
+		}
+		seen[key] = true
+		cert, err := p.Analyze(capacity, a.InSPM, wopts)
+		if err != nil {
+			return nil, err
+		}
+		rounds++
+		if cert.WCET <= b.Budget {
+			// Certified within budget at the model's energy optimum.
+			converged = true
+			keep(a.InSPM, a.Benefit)
+			break
+		}
+		// Over budget: the worst path moved. Refine around the certified
+		// placement and re-solve.
+		incumbent = &evaluation{inSPM: a.InSPM, wcet: cert.WCET, witness: cert.Witness}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("alloc: no allocation certifies within WCET budget %d at capacity %d", b.Budget, capacity)
+	}
+	best.Iterations = rounds
+	best.Converged = converged
+	return best, nil
+}
+
+// ParetoPoint is one allocation on the energy/WCET Pareto front: a
+// placement with its certified worst-case bound and modelled average-case
+// energy. Lower is better on both axes; within one front every point is
+// mutually non-dominated.
+type ParetoPoint struct {
+	// Kind records how the point was obtained: "wcet" (the pure
+	// WCET-directed endpoint), "energy" (the pure energy-directed
+	// endpoint), or "budget" (an ε-constraint point between them).
+	Kind string
+	// Budget is the ε bound the point was solved under (the endpoints
+	// carry their own certified bound).
+	Budget uint64
+	// InSPM names the objects placed in the scratchpad.
+	InSPM map[string]bool
+	// Used is the scratchpad occupancy in bytes (alignment-rounded).
+	Used uint32
+	// WCET is the certified worst-case bound of the placement, from a
+	// full re-analysis (never the linear model's estimate).
+	WCET uint64
+	// EnergyNJ is the modelled energy of the profiled run under the
+	// placement (lower is better).
+	EnergyNJ float64
+	// EnergyBenefit is the energy the placement saves over an empty
+	// scratchpad (the knapsack objective; higher is better).
+	EnergyBenefit float64
+	// Iterations counts the solve→certify rounds the point took and
+	// Converged whether its ε-solve certified within budget (endpoints
+	// report their own policies' fixpoint figures).
+	Iterations int
+	Converged  bool
+}
+
+// ParetoOptions configures a Pareto-front computation.
+type ParetoOptions struct {
+	// Model is the energy model pricing the energy axis (and the
+	// tie-break of the WCET endpoint).
+	Model energy.Model
+	// WCET configures the analyses; Cache must be nil.
+	WCET wcet.Options
+	// Steps is the number of ε intervals between the endpoints: up to
+	// Steps-1 interior budgets are scanned (default 8).
+	Steps int
+	// MaxIter bounds each solve's refinement rounds (DefaultMaxIter when
+	// zero).
+	MaxIter int
+}
+
+// DefaultParetoSteps is the default ε-constraint resolution of a front.
+const DefaultParetoSteps = 8
+
+// ParetoFront computes the energy/WCET Pareto front at one capacity by an
+// ε-constraint scan: the endpoints are the pure energy-directed and pure
+// WCET-directed allocations (solved by the same engine, memoized under
+// their usual keys), and the interior maximises energy benefit under a
+// stepped budget on the certified WCET bound. Every returned point's bound
+// comes from a full re-analysis, and the returned points are mutually
+// non-dominated, sorted by ascending WCET (so energy strictly falls along
+// the front). When the two endpoints coincide in either objective the
+// front degenerates to a single point.
+//
+// All solves and analyses go through the pipeline's memoized stages, so a
+// warm store serves a whole front (endpoints, interior points and their
+// certifications) with zero recomputation.
+func ParetoFront(p *pipeline.Pipeline, capacity uint32, opts ParetoOptions) ([]ParetoPoint, error) {
+	if opts.WCET.Cache != nil {
+		return nil, fmt.Errorf("alloc: combined scratchpad+cache analysis is not modelled")
+	}
+	prof, err := p.Profile()
+	if err != nil {
+		return nil, err
+	}
+	steps := opts.Steps
+	if steps <= 0 {
+		steps = DefaultParetoSteps
+	}
+	eAllocator := EnergyAllocator{Model: opts.Model}
+	wAllocator := Directed{
+		Opts: Options{
+			WCET:      opts.WCET,
+			Energy:    func(inSPM map[string]bool) float64 { return opts.Model.ProgramEnergy(p.Prog, prof, inSPM) },
+			EnergyKey: opts.Model.Key(),
+			MaxIter:   opts.MaxIter,
+		},
+		Seed: eAllocator,
+	}
+	wopts := opts.WCET
+	wopts.Witness = true
+	point := func(kind string, budget uint64, a *Allocation) (ParetoPoint, error) {
+		cert, err := p.Analyze(capacity, a.InSPM, wopts)
+		if err != nil {
+			return ParetoPoint{}, err
+		}
+		return ParetoPoint{
+			Kind:          kind,
+			Budget:        budget,
+			InSPM:         a.InSPM,
+			Used:          a.Used,
+			WCET:          cert.WCET,
+			EnergyNJ:      opts.Model.ProgramEnergy(p.Prog, prof, a.InSPM),
+			EnergyBenefit: placementBenefit(p.Prog, Evidence{Profile: prof}, EnergyObjective{Model: opts.Model}, a.InSPM),
+			Iterations:    a.Iterations,
+			Converged:     a.Converged,
+		}, nil
+	}
+
+	ea, err := p.Allocate(eAllocator, capacity)
+	if err != nil {
+		return nil, err
+	}
+	// The WCET endpoint stays at object granularity: the energy axis is an
+	// object-granularity model (fragments are not profiled objects), so
+	// every point of one front prices identically.
+	wa, err := p.Allocate(wAllocator, capacity)
+	if err != nil {
+		return nil, err
+	}
+	E, err := point("energy", 0, ea)
+	if err != nil {
+		return nil, err
+	}
+	W, err := point("wcet", 0, wa)
+	if err != nil {
+		return nil, err
+	}
+	E.Budget, W.Budget = E.WCET, W.WCET
+	// The energy endpoint is a static exact solve (no fixpoint), so it is
+	// converged by definition; the WCET endpoint keeps its own fixpoint's
+	// convergence flag.
+	E.Converged = true
+	if W.WCET > E.WCET {
+		// The fixpoint is seeded with the energy allocation, so its bound
+		// can never exceed the seed's.
+		return nil, fmt.Errorf("alloc: pareto: WCET endpoint %d above energy endpoint %d", W.WCET, E.WCET)
+	}
+	if E.WCET == W.WCET {
+		// Degenerate front: the energy optimum already has the best
+		// certifiable bound (typical once the capacity fits everything
+		// hot). One point, canonical placement: the energy optimum.
+		E.Budget = E.WCET
+		return []ParetoPoint{E}, nil
+	}
+	if W.EnergyNJ <= E.EnergyNJ {
+		// Degenerate the other way: the WCET optimum is also
+		// energy-optimal, so the energy endpoint is dominated.
+		return []ParetoPoint{W}, nil
+	}
+
+	span := E.WCET - W.WCET
+	var budgets []uint64
+	seen := map[uint64]bool{W.WCET: true, E.WCET: true}
+	for k := 1; k < steps; k++ {
+		b := W.WCET + span*uint64(k)/uint64(steps)
+		if !seen[b] {
+			seen[b] = true
+			budgets = append(budgets, b)
+		}
+	}
+	var interior []ParetoPoint
+	for _, budget := range budgets {
+		ba, err := p.Allocate(Budgeted{
+			Budget:   budget,
+			Model:    opts.Model,
+			WCET:     opts.WCET,
+			MaxIter:  opts.MaxIter,
+			Fallback: wAllocator,
+		}, capacity)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := point("budget", budget, ba)
+		if err != nil {
+			return nil, err
+		}
+		interior = append(interior, pt)
+	}
+	// Assemble the front: endpoints anchored, interior points admitted
+	// only strictly inside the endpoints' rectangle and in strictly
+	// monotone order — which is exactly mutual non-domination.
+	sort.Slice(interior, func(i, j int) bool {
+		if interior[i].WCET != interior[j].WCET {
+			return interior[i].WCET < interior[j].WCET
+		}
+		if interior[i].EnergyNJ != interior[j].EnergyNJ {
+			return interior[i].EnergyNJ < interior[j].EnergyNJ
+		}
+		return interior[i].Budget < interior[j].Budget
+	})
+	front := []ParetoPoint{W}
+	for _, pt := range interior {
+		last := front[len(front)-1]
+		if pt.WCET <= last.WCET || pt.EnergyNJ >= last.EnergyNJ {
+			continue // dominated by (or duplicating) an accepted point
+		}
+		if pt.WCET >= E.WCET || pt.EnergyNJ <= E.EnergyNJ {
+			continue // dominated by (or clashing with) the energy endpoint
+		}
+		front = append(front, pt)
+	}
+	return append(front, E), nil
+}

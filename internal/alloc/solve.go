@@ -1,0 +1,163 @@
+package alloc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ilp"
+	"repro/internal/lp"
+	"repro/internal/pipeline"
+)
+
+// Allocation is the shared result type of every allocation solve (an alias
+// of pipeline.Allocation, like internal/spm's).
+type Allocation = pipeline.Allocation
+
+// Solver selects the knapsack back-end of the engine's solver front-end.
+type Solver uint8
+
+const (
+	// SolverAuto uses the exact DP solver when its table is small (always
+	// at paper scale) and falls back to the branch & bound ILP — the
+	// scheme the energy-directed sweeps use ("auto" in their ConfigKey).
+	SolverAuto Solver = iota
+	// SolverILP always uses the branch & bound ILP, mirroring the paper's
+	// CPLEX formulation — the WCET-directed fixpoint's solver.
+	SolverILP
+	// SolverDP always uses the exact dynamic-programming solver; it exists
+	// to cross-check the ILP path in tests.
+	SolverDP
+)
+
+// dpCellBudget bounds the dynamic-programming table (items × capacity)
+// under which SolverAuto uses the exact DP solver instead of branch &
+// bound: for the paper's item counts and capacities the DP is exact and
+// orders of magnitude cheaper than the ILP, which dominated sweep
+// allocation time.
+const dpCellBudget = 1 << 22
+
+// SolveItems is the engine's solver front-end: one 0/1 knapsack over the
+// items, dispatched to the selected back-end.
+func SolveItems(items []Item, capacity uint32, s Solver) (*Allocation, error) {
+	switch s {
+	case SolverILP:
+		return Knapsack(items, capacity)
+	case SolverDP:
+		return KnapsackDP(items, capacity)
+	default:
+		if int64(len(items))*(int64(capacity)+1) <= dpCellBudget {
+			return KnapsackDP(items, capacity)
+		}
+		return Knapsack(items, capacity)
+	}
+}
+
+// Knapsack solves the 0/1 knapsack over the items with the branch & bound
+// ILP solver, mirroring the paper's CPLEX formulation: maximise
+// Σ benefit_i·y_i subject to Σ size_i·y_i ≤ capacity, y_i ∈ {0, 1}.
+func Knapsack(items []Item, capacity uint32) (*Allocation, error) {
+	a := &Allocation{InSPM: map[string]bool{}}
+	if len(items) == 0 {
+		return a, nil
+	}
+	s, err := ilp.Solve(knapsackProblem(items, capacity, nil, 0))
+	if err != nil {
+		return nil, fmt.Errorf("alloc: knapsack: %w", err)
+	}
+	fill(a, items, s.X)
+	return a, nil
+}
+
+// ErrInfeasible reports that no item subset satisfies an ε-constraint.
+var ErrInfeasible = errors.New("alloc: no allocation satisfies the constraint")
+
+// KnapsackBudget solves the ε-constrained knapsack of the multi-objective
+// mode: maximise Σ benefit_i·y_i subject to Σ size_i·y_i ≤ capacity and
+// Σ weight_i·y_i ≥ minWeight, y_i ∈ {0, 1} — maximise the primary
+// objective among allocations the secondary model says stay within budget.
+// Returns ErrInfeasible when no subset reaches minWeight.
+func KnapsackBudget(items []Item, capacity uint32, weights []float64, minWeight float64) (*Allocation, error) {
+	a := &Allocation{InSPM: map[string]bool{}}
+	if minWeight <= 0 {
+		return SolveItems(items, capacity, SolverAuto)
+	}
+	if len(items) == 0 {
+		return nil, ErrInfeasible
+	}
+	s, err := ilp.Solve(knapsackProblem(items, capacity, weights, minWeight))
+	if err != nil {
+		if errors.Is(err, ilp.ErrInfeasible) {
+			return nil, ErrInfeasible
+		}
+		return nil, fmt.Errorf("alloc: budget knapsack: %w", err)
+	}
+	fill(a, items, s.X)
+	return a, nil
+}
+
+// knapsackProblem builds the 0/1 program: the capacity constraint, per-item
+// upper bounds, and (with weights) the ε-constraint.
+func knapsackProblem(items []Item, capacity uint32, weights []float64, minWeight float64) *ilp.Problem {
+	n := len(items)
+	p := &ilp.Problem{LP: lp.Problem{NumVars: n, Objective: make([]float64, n)}}
+	sizes := make([]float64, n)
+	for i, it := range items {
+		p.LP.Objective[i] = it.Benefit
+		sizes[i] = float64(it.Size)
+	}
+	p.LP.AddConstraint(sizes, lp.LE, float64(capacity))
+	if weights != nil {
+		p.LP.AddConstraint(append([]float64(nil), weights...), lp.GE, minWeight)
+	}
+	for i := 0; i < n; i++ {
+		u := make([]float64, n)
+		u[i] = 1
+		p.LP.AddConstraint(u, lp.LE, 1)
+	}
+	return p
+}
+
+// fill projects an ILP solution vector onto the allocation.
+func fill(a *Allocation, items []Item, x []float64) {
+	for i, it := range items {
+		if x[i] > 0.5 {
+			a.InSPM[it.Name] = true
+			a.Benefit += it.Benefit
+			a.Used += it.Size
+		}
+	}
+}
+
+// KnapsackDP solves the same knapsack exactly by dynamic programming over
+// capacities (sizes are small integers). It exists to cross-check the ILP
+// path and as a faster solver for sweeps.
+func KnapsackDP(items []Item, capacity uint32) (*Allocation, error) {
+	a := &Allocation{InSPM: map[string]bool{}}
+	if len(items) == 0 {
+		return a, nil
+	}
+	c := int(capacity)
+	best := make([]float64, c+1)
+	take := make([][]bool, len(items))
+	for i, it := range items {
+		take[i] = make([]bool, c+1)
+		w := int(it.Size)
+		for cap := c; cap >= w; cap-- {
+			if v := best[cap-w] + it.Benefit; v > best[cap] {
+				best[cap] = v
+				take[i][cap] = true
+			}
+		}
+	}
+	// Reconstruct.
+	cap := c
+	for i := len(items) - 1; i >= 0; i-- {
+		if take[i][cap] {
+			a.InSPM[items[i].Name] = true
+			a.Benefit += items[i].Benefit
+			a.Used += items[i].Size
+			cap -= int(items[i].Size)
+		}
+	}
+	return a, nil
+}

@@ -423,21 +423,67 @@ func forEach(n, workers int, f func(int) error) []error {
 	return errs
 }
 
-// sweep runs f over the sizes on the lab's worker pool. The reported
-// error is the one of the lowest-indexed failing size, so parallel and
-// sequential runs are indistinguishable to callers; branch names the
-// sweep in error messages ("spm", "cache", "wcetalloc").
-func sweep[T any](l *Lab, branch string, sizes []uint32, f func(uint32) (T, error)) ([]T, error) {
+// sweepStream runs f over the sizes on the lab's worker pool and hands
+// each result to emit in index order, as soon as it and every
+// lower-indexed result are available — so a consumer (e.g. the service's
+// chunked /v1/sweep responses) sees the first rows while later capacities
+// are still computing, yet the row order is identical to a buffered
+// sweep. The reported error is the one of the lowest-indexed failing
+// size (or the first emit error), so parallel and sequential runs are
+// indistinguishable to callers; branch names the sweep in error messages
+// ("spm", "cache", "wcetalloc", "pareto"). All workers are drained
+// before returning.
+func sweepStream[T any](l *Lab, branch string, sizes []uint32, f func(uint32) (T, error), emit func(int, T) error) error {
+	workers := l.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sizes) {
+		workers = len(sizes)
+	}
 	out := make([]T, len(sizes))
-	errs := forEach(len(sizes), l.Workers, func(i int) error {
-		var err error
-		out[i], err = f(sizes[i])
-		return err
-	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: %s %s %d: %w", l.Bench.Name, branch, sizes[i], err)
+	done := make([]chan error, len(sizes))
+	for i := range done {
+		done[i] = make(chan error, 1)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range sizes {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var err error
+			out[i], err = f(sizes[i])
+			done[i] <- err
+		}()
+	}
+	var firstErr error
+	for i := range sizes {
+		if err := <-done[i]; err != nil {
+			firstErr = fmt.Errorf("core: %s %s %d: %w", l.Bench.Name, branch, sizes[i], err)
+			break
 		}
+		if err := emit(i, out[i]); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// sweep is the buffered form of sweepStream: f over the sizes on the
+// lab's worker pool, results in size order.
+func sweep[T any](l *Lab, branch string, sizes []uint32, f func(uint32) (T, error)) ([]T, error) {
+	out := make([]T, 0, len(sizes))
+	err := sweepStream(l, branch, sizes, f, func(_ int, v T) error {
+		out = append(out, v)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -456,9 +502,24 @@ func (l *Lab) SweepWCETAllocationGran(g wcetalloc.Granularity) ([]AllocCompariso
 	})
 }
 
+// SweepWCETAllocationGranStream is SweepWCETAllocationGran delivering
+// each comparison to emit in capacity order as soon as it is ready.
+func (l *Lab) SweepWCETAllocationGranStream(g wcetalloc.Granularity, emit func(AllocComparison) error) error {
+	return sweepStream(l, "wcetalloc", PaperSizes, func(size uint32) (AllocComparison, error) {
+		return l.WithWCETAllocationGran(size, g)
+	}, func(_ int, c AllocComparison) error { return emit(c) })
+}
+
 // SweepScratchpad measures every paper scratchpad capacity.
 func (l *Lab) SweepScratchpad() ([]Measurement, error) {
 	return sweep(l, "spm", PaperSizes, l.WithScratchpad)
+}
+
+// SweepScratchpadStream is SweepScratchpad delivering each measurement to
+// emit in capacity order as soon as it is ready.
+func (l *Lab) SweepScratchpadStream(emit func(Measurement) error) error {
+	return sweepStream(l, "spm", PaperSizes, l.WithScratchpad,
+		func(_ int, m Measurement) error { return emit(m) })
 }
 
 // SweepCache measures every paper cache capacity (direct mapped).
@@ -466,6 +527,14 @@ func (l *Lab) SweepCache() ([]Measurement, error) {
 	return sweep(l, "cache", PaperSizes, func(size uint32) (Measurement, error) {
 		return l.WithCache(size, 1)
 	})
+}
+
+// SweepCacheStream is SweepCache delivering each measurement to emit in
+// capacity order as soon as it is ready.
+func (l *Lab) SweepCacheStream(emit func(Measurement) error) error {
+	return sweepStream(l, "cache", PaperSizes, func(size uint32) (Measurement, error) {
+		return l.WithCache(size, 1)
+	}, func(_ int, m Measurement) error { return emit(m) })
 }
 
 // BenchmarkSweep is one benchmark's full scratchpad and cache sweep.

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"repro/internal/alloc"
+)
+
+// ParetoFrontAt is the energy/WCET Pareto front at one scratchpad
+// capacity: the pure-WCET and pure-energy endpoints plus the mutually
+// non-dominated ε-constraint points between them, sorted by ascending
+// certified WCET (so modelled energy strictly falls along the front).
+type ParetoFrontAt struct {
+	Benchmark string
+	SPMSize   uint32
+	Points    []alloc.ParetoPoint
+}
+
+// ParetoFront computes the energy/WCET Pareto front at one capacity
+// through the lab's pipeline: the endpoints are the lab's pure
+// energy-directed and pure WCET-directed allocations (the same memoized
+// solves every other sweep uses), every point's bound is certified by a
+// full re-analysis, and all solves and analyses are served through the
+// pipeline's memoized stages — against a warm store a whole front
+// recomputes nothing.
+func (l *Lab) ParetoFront(size uint32) (ParetoFrontAt, error) {
+	points, err := alloc.ParetoFront(l.Pipe, size, l.paretoOptions())
+	if err != nil {
+		return ParetoFrontAt{}, err
+	}
+	return ParetoFrontAt{Benchmark: l.Bench.Name, SPMSize: size, Points: points}, nil
+}
+
+func (l *Lab) paretoOptions() alloc.ParetoOptions {
+	return alloc.ParetoOptions{Model: l.Model}
+}
+
+// SweepPareto computes the Pareto front at every paper capacity on the
+// lab's worker pool; fronts come back in capacity order regardless of
+// completion order.
+func (l *Lab) SweepPareto() ([]ParetoFrontAt, error) {
+	return sweep(l, "pareto", PaperSizes, l.ParetoFront)
+}
+
+// SweepParetoStream is SweepPareto delivering each capacity's front to
+// emit in capacity order as soon as it is ready.
+func (l *Lab) SweepParetoStream(emit func(ParetoFrontAt) error) error {
+	return sweepStream(l, "pareto", PaperSizes, l.ParetoFront,
+		func(_ int, f ParetoFrontAt) error { return emit(f) })
+}

@@ -6,11 +6,17 @@
 package ilp
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/lp"
 )
+
+// ErrInfeasible reports that no integral point satisfies the constraints.
+// Callers adding ε-constraints (internal/alloc's budget knapsack) branch on
+// it to distinguish "constraint unsatisfiable" from solver failure.
+var ErrInfeasible = errors.New("ilp: infeasible")
 
 // Problem is an integer program: an LP plus integrality flags.
 type Problem struct {
@@ -99,7 +105,7 @@ func Solve(p *Problem) (Solution, error) {
 		stack = append(stack, node{prob: le}, node{prob: ge})
 	}
 	if incumbent.Status != lp.Optimal {
-		return incumbent, fmt.Errorf("ilp: infeasible")
+		return incumbent, ErrInfeasible
 	}
 	return incumbent, nil
 }

@@ -10,21 +10,30 @@
 // A bounded worker pool caps concurrently served measurement requests;
 // waiters honour request cancellation. With a store attached, everything a
 // request computes persists, so answers survive restarts and are shared
-// with CLI runs against the same store.
+// with CLI runs against the same store; a periodic GC (Config.GCInterval
+// plus the store's retention policy) keeps long-running servers bounded.
 //
 // # API
 //
 //	GET /v1/wcet?bench=<name>[&spm=<bytes>|&cache=<bytes>[&assoc=<n>]]
 //	    One measurement: simulated cycles, WCET bound, ratio. No memory
 //	    parameter measures the baseline (no scratchpad, no cache).
-//	GET /v1/sweep?bench=<name>[&branch=spm|cache|wcetalloc][&granularity=object|block]
+//	GET /v1/sweep?bench=<name>[&branch=spm|cache|wcetalloc|pareto][&granularity=object|block][&stream=1]
 //	    A full paper-capacity sweep of one branch (default spm). The
 //	    granularity parameter (wcetalloc branch only) selects whole-object
 //	    or basic-block placement units for the WCET-directed allocator.
+//	    branch=pareto serves the energy/WCET Pareto front per capacity:
+//	    the pure-energy and pure-WCET endpoints plus the mutually
+//	    non-dominated ε-constraint points between them, every bound
+//	    certified by a full re-analysis. stream=1 switches the response to
+//	    chunked JSON lines (application/x-ndjson): one row per line,
+//	    flushed in capacity order as soon as each row's computation
+//	    finishes, with the same rows a buffered response would hold. A
+//	    mid-sweep failure appends a final {"error": ...} line.
 //	GET /v1/witness?bench=<name>[&top=<n>]
 //	    Top-n worst-case memory objects and basic blocks (IPET witness).
 //	GET /v1/stats
-//	    Server, store and per-shard pipeline statistics.
+//	    Server, store, periodic-GC and per-shard pipeline statistics.
 //
 // All responses are JSON; errors are {"error": "..."} with 4xx/5xx codes.
 package service
@@ -36,6 +45,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -61,6 +71,13 @@ type Config struct {
 	Workers int
 	// LabWorkers bounds each shard's sweep worker pool (0 = GOMAXPROCS).
 	LabWorkers int
+	// GCInterval, when positive and Store is attached, applies GCPolicy to
+	// the store every interval for as long as Run is serving, so a
+	// long-running server's artifact store stays bounded.
+	GCInterval time.Duration
+	// GCPolicy is the retention policy periodic GC applies (age expiry,
+	// then oldest-first size eviction — see store.Policy).
+	GCPolicy store.Policy
 }
 
 // Server shards requests across per-benchmark labs.
@@ -76,6 +93,8 @@ type Server struct {
 	names   []string // registry order
 
 	requests, failures atomic.Uint64
+
+	gcRuns, gcRemoved, gcFreed, gcErrors atomic.Uint64
 }
 
 // shard is one benchmark's lazily built lab. The sync.Once makes the
@@ -128,6 +147,9 @@ func (s *Server) Run(ctx context.Context, addr string, ready func(boundAddr stri
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
+	if s.cfg.Store != nil && s.cfg.GCInterval > 0 {
+		go s.gcLoop(ctx)
+	}
 	srv := &http.Server{Handler: s.mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -141,6 +163,29 @@ func (s *Server) Run(ctx context.Context, addr string, ready func(boundAddr stri
 	err = srv.Shutdown(shutCtx)
 	<-errc // Serve has returned http.ErrServerClosed
 	return err
+}
+
+// gcLoop applies the configured retention policy to the artifact store on
+// every GCInterval tick until ctx is cancelled. Failures are counted, not
+// fatal: the store self-heals corrupt entries on read, so a missed GC
+// pass costs disk space, never correctness.
+func (s *Server) gcLoop(ctx context.Context) {
+	t := time.NewTicker(s.cfg.GCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			removed, freed, err := s.cfg.Store.GCPolicy(now, s.cfg.GCPolicy)
+			s.gcRuns.Add(1)
+			s.gcRemoved.Add(uint64(removed))
+			s.gcFreed.Add(uint64(freed))
+			if err != nil {
+				s.gcErrors.Add(1)
+			}
+		}
+	}
 }
 
 // lab returns (building on first use) the shard for a benchmark name.
@@ -282,6 +327,51 @@ type allocComparisonDTO struct {
 	Converged   bool           `json:"converged"`
 }
 
+// paretoPointDTO is the JSON projection of one alloc.ParetoPoint.
+type paretoPointDTO struct {
+	Kind          string   `json:"kind"`
+	Budget        uint64   `json:"budget"`
+	WCET          uint64   `json:"wcet"`
+	EnergyNJ      float64  `json:"energy_nj"`
+	EnergyBenefit float64  `json:"energy_benefit_nj"`
+	SPMUsed       uint32   `json:"spm_used"`
+	InSPM         []string `json:"in_spm"`
+	Iterations    int      `json:"iterations"`
+	Converged     bool     `json:"converged"`
+}
+
+// paretoFrontDTO is the JSON projection of one capacity's Pareto front.
+type paretoFrontDTO struct {
+	Benchmark string           `json:"benchmark"`
+	SPMSize   uint32           `json:"spm_size"`
+	Points    []paretoPointDTO `json:"points"`
+}
+
+func toParetoDTO(f core.ParetoFrontAt) paretoFrontDTO {
+	out := paretoFrontDTO{Benchmark: f.Benchmark, SPMSize: f.SPMSize, Points: make([]paretoPointDTO, len(f.Points))}
+	for i, pt := range f.Points {
+		names := make([]string, 0, len(pt.InSPM))
+		for n, in := range pt.InSPM {
+			if in {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		out.Points[i] = paretoPointDTO{
+			Kind:          pt.Kind,
+			Budget:        pt.Budget,
+			WCET:          pt.WCET,
+			EnergyNJ:      pt.EnergyNJ,
+			EnergyBenefit: pt.EnergyBenefit,
+			SPMUsed:       pt.Used,
+			InSPM:         names,
+			Iterations:    pt.Iterations,
+			Converged:     pt.Converged,
+		}
+	}
+	return out
+}
+
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	q := r.URL.Query()
@@ -298,49 +388,85 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "granularity must be object or block")
 		return
 	}
+	stream := q.Get("stream") == "1"
 	if !s.acquire(w, r) {
 		return
 	}
 	defer s.release()
 	switch branch {
-	case "spm", "cache":
-		var ms []core.Measurement
-		var err error
-		if branch == "spm" {
-			ms, err = lab.SweepScratchpad()
-		} else {
-			ms, err = lab.SweepCache()
-		}
-		if err != nil {
-			s.serverError(w, err)
-			return
-		}
-		out := make([]measurementDTO, len(ms))
-		for i, m := range ms {
-			out[i] = toDTO(m)
-		}
-		s.writeJSON(w, http.StatusOK, out)
+	case "spm":
+		s.sweepResponse(w, stream, func(emit func(any) error) error {
+			return lab.SweepScratchpadStream(func(m core.Measurement) error { return emit(toDTO(m)) })
+		})
+	case "cache":
+		s.sweepResponse(w, stream, func(emit func(any) error) error {
+			return lab.SweepCacheStream(func(m core.Measurement) error { return emit(toDTO(m)) })
+		})
 	case "wcetalloc":
-		cs, err := lab.SweepWCETAllocationGran(gran)
-		if err != nil {
+		s.sweepResponse(w, stream, func(emit func(any) error) error {
+			return lab.SweepWCETAllocationGranStream(gran, func(c core.AllocComparison) error {
+				return emit(allocComparisonDTO{
+					SPMSize:     c.SPMSize,
+					Granularity: c.Granularity.String(),
+					Energy:      toDTO(c.Energy),
+					WCET:        toDTO(c.WCET),
+					SplitFuncs:  len(c.Splits),
+					Iterations:  c.Iterations,
+					Converged:   c.Converged,
+				})
+			})
+		})
+	case "pareto":
+		s.sweepResponse(w, stream, func(emit func(any) error) error {
+			return lab.SweepParetoStream(func(f core.ParetoFrontAt) error { return emit(toParetoDTO(f)) })
+		})
+	default:
+		s.writeError(w, http.StatusBadRequest, "branch must be spm, cache, wcetalloc or pareto")
+	}
+}
+
+// sweepResponse renders one sweep's rows either buffered (a JSON array,
+// written when the sweep completes) or streamed (chunked JSON lines,
+// application/x-ndjson: one row per line, flushed in capacity order as
+// each row's computation finishes). The rows are identical in both modes;
+// run receives the emit callback from the sweep's streaming driver. A
+// failure before the first streamed row is a regular JSON error with a
+// 5xx status; mid-stream (the status line is already sent) it becomes a
+// final {"error": ...} row.
+func (s *Server) sweepResponse(w http.ResponseWriter, stream bool, run func(emit func(any) error) error) {
+	if !stream {
+		rows := []any{}
+		if err := run(func(v any) error { rows = append(rows, v); return nil }); err != nil {
 			s.serverError(w, err)
 			return
 		}
-		out := make([]allocComparisonDTO, len(cs))
-		for i, c := range cs {
-			out[i] = allocComparisonDTO{
-				SPMSize:     c.SPMSize,
-				Granularity: c.Granularity.String(),
-				Energy:      toDTO(c.Energy),
-				WCET:        toDTO(c.WCET),
-				SplitFuncs:  len(c.Splits),
-				Iterations:  c.Iterations,
-				Converged:   c.Converged,
-			}
+		s.writeJSON(w, http.StatusOK, rows)
+		return
+	}
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	started := false
+	err := run(func(v any) error {
+		if !started {
+			started = true
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
 		}
-		s.writeJSON(w, http.StatusOK, out)
-	default:
-		s.writeError(w, http.StatusBadRequest, "branch must be spm, cache or wcetalloc")
+		if err := enc.Encode(v); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		if !started {
+			s.serverError(w, err)
+			return
+		}
+		s.failures.Add(1)
+		enc.Encode(map[string]string{"error": err.Error()})
 	}
 }
 
@@ -439,12 +565,22 @@ type storeStatsDTO struct {
 	Bytes   int64  `json:"bytes"`
 }
 
+// gcStatsDTO reports the periodic store GC's work since startup.
+type gcStatsDTO struct {
+	Interval       string `json:"interval"`
+	Runs           uint64 `json:"runs"`
+	EntriesRemoved uint64 `json:"entries_removed"`
+	BytesFreed     uint64 `json:"bytes_freed"`
+	Errors         uint64 `json:"errors"`
+}
+
 type statsDTO struct {
 	Workers    int                      `json:"workers"`
 	InFlight   int                      `json:"in_flight"`
 	Requests   uint64                   `json:"requests"`
 	Failures   uint64                   `json:"failures"`
 	Store      *storeStatsDTO           `json:"store,omitempty"`
+	GC         *gcStatsDTO              `json:"gc,omitempty"`
 	Benchmarks map[string]stageStatsDTO `json:"benchmarks"`
 	Total      stageStatsDTO            `json:"total"`
 }
@@ -482,6 +618,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ss.Bytes = bytes
 		}
 		out.Store = ss
+	}
+	if s.cfg.Store != nil && s.cfg.GCInterval > 0 {
+		out.GC = &gcStatsDTO{
+			Interval:       s.cfg.GCInterval.String(),
+			Runs:           s.gcRuns.Load(),
+			EntriesRemoved: s.gcRemoved.Load(),
+			BytesFreed:     s.gcFreed.Load(),
+			Errors:         s.gcErrors.Load(),
+		}
 	}
 	s.writeJSON(w, http.StatusOK, out)
 }

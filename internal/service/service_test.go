@@ -1,12 +1,15 @@
 package service_test
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/benchprog"
 	"repro/internal/core"
@@ -164,6 +167,131 @@ func TestServeErrors(t *testing.T) {
 	get(t, ts.URL+"/v1/wcet?bench=WorstCaseSort&spm=128", http.StatusOK, &m)
 	if m.WCET == 0 {
 		t.Error("server wedged after error responses")
+	}
+}
+
+// TestServeSweepStream: ?stream=1 serves the sweep as chunked JSON lines
+// whose rows are exactly the buffered response's array elements, for every
+// branch including the Pareto front.
+func TestServeSweepStream(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, branch := range []string{"spm", "cache", "wcetalloc", "pareto"} {
+		t.Run(branch, func(t *testing.T) {
+			var buffered []json.RawMessage
+			get(t, ts.URL+"/v1/sweep?bench=ADPCM&branch="+branch, http.StatusOK, &buffered)
+
+			resp, err := http.Get(ts.URL + "/v1/sweep?bench=ADPCM&branch=" + branch + "&stream=1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("stream status %d", resp.StatusCode)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+				t.Errorf("stream content type %q, want application/x-ndjson", ct)
+			}
+			var streamed []any
+			dec := json.NewDecoder(resp.Body)
+			for dec.More() {
+				var row any
+				if err := dec.Decode(&row); err != nil {
+					t.Fatal(err)
+				}
+				streamed = append(streamed, row)
+			}
+			if len(streamed) != len(buffered) {
+				t.Fatalf("streamed %d rows, buffered %d", len(streamed), len(buffered))
+			}
+			for i := range streamed {
+				var want any
+				if err := json.Unmarshal(buffered[i], &want); err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(streamed[i], want) {
+					t.Errorf("row %d: streamed %v, buffered %v", i, streamed[i], want)
+				}
+			}
+		})
+	}
+}
+
+// TestServeParetoSweep: the pareto branch serves one front per paper
+// capacity, endpoints included, rows in capacity order.
+func TestServeParetoSweep(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var fronts []struct {
+		Benchmark string `json:"benchmark"`
+		SPMSize   uint32 `json:"spm_size"`
+		Points    []struct {
+			Kind  string   `json:"kind"`
+			WCET  uint64   `json:"wcet"`
+			InSPM []string `json:"in_spm"`
+		} `json:"points"`
+	}
+	get(t, ts.URL+"/v1/sweep?bench=ADPCM&branch=pareto", http.StatusOK, &fronts)
+	if len(fronts) != len(core.PaperSizes) {
+		t.Fatalf("pareto sweep returned %d fronts, want %d", len(fronts), len(core.PaperSizes))
+	}
+	for i, f := range fronts {
+		if f.SPMSize != core.PaperSizes[i] {
+			t.Errorf("front %d: size %d, want %d", i, f.SPMSize, core.PaperSizes[i])
+		}
+		if len(f.Points) == 0 {
+			t.Errorf("front %d: empty", i)
+		}
+		for j := 1; j < len(f.Points); j++ {
+			if f.Points[j].WCET <= f.Points[j-1].WCET {
+				t.Errorf("front %d: WCET not strictly increasing at point %d", i, j)
+			}
+		}
+	}
+}
+
+// TestServeGC: a server configured with a periodic GC interval applies the
+// retention policy while running and reports it in /v1/stats.
+func TestServeGC(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := service.New(service.Config{
+		Store:      st,
+		Workers:    2,
+		GCInterval: 10 * time.Millisecond,
+		GCPolicy:   store.Policy{MaxAge: 24 * time.Hour},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx, "127.0.0.1:0", func(a string) { addr <- a }) }()
+	base := "http://" + <-addr
+
+	deadline := time.Now().Add(5 * time.Second)
+	var stats struct {
+		GC *struct {
+			Interval string `json:"interval"`
+			Runs     uint64 `json:"runs"`
+			Errors   uint64 `json:"errors"`
+		} `json:"gc"`
+	}
+	for {
+		get(t, base+"/v1/stats", http.StatusOK, &stats)
+		if stats.GC != nil && stats.GC.Runs > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic GC never ran")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if stats.GC.Interval != "10ms" || stats.GC.Errors != 0 {
+		t.Errorf("gc stats %+v", stats.GC)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,25 +1,20 @@
-// Package spm implements the paper's static scratchpad allocation
-// (Steinke et al., DATE 2002): given per-object access profiles from a
-// typical-input simulation and an energy model, choose the set of functions
-// and globals to place in the scratchpad by solving a 0/1 knapsack.
+// Package spm exposes the paper's static scratchpad allocation (Steinke
+// et al., DATE 2002): given per-object access profiles from a
+// typical-input simulation and an energy model, choose the set of
+// functions and globals to place in the scratchpad by solving a 0/1
+// knapsack.
 //
-// The paper formulates the knapsack in ILP notation and solves it with a
-// commercial solver; this package does the same against internal/ilp, and
-// additionally provides an exact dynamic-programming solver used to
-// cross-check the ILP result in tests.
-//
-// The knapsack machinery (Item, Knapsack, KnapsackDP) is shared with the
-// WCET-directed allocator in internal/wcetalloc, which swaps the energy
-// benefit function for worst-case-path cycle savings.
+// Since the engine refactor this package is a thin facade over
+// internal/alloc, which owns the candidate builder, the knapsack solvers
+// and the fixpoint driver for every allocation objective; the energy
+// policy here is the engine run with the static EnergyObjective (one
+// solve, no analysis). Outputs are byte-identical to the pre-engine
+// implementation (golden-asserted in internal/core).
 package spm
 
 import (
-	"fmt"
-	"sort"
-
+	"repro/internal/alloc"
 	"repro/internal/energy"
-	"repro/internal/ilp"
-	"repro/internal/lp"
 	"repro/internal/obj"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
@@ -30,150 +25,33 @@ import (
 // pipeline.Allocation, which internal/wcetalloc converts to as well).
 type Allocation = pipeline.Allocation
 
+// Item is one knapsack candidate (the engine's item type).
+type Item = alloc.Item
+
 // Energy is the energy-directed allocation policy as a pipeline.Allocator:
-// the Steinke knapsack over the pipeline's memoized typical-input profile.
-type Energy struct {
-	Model energy.Model
-}
-
-// Name identifies the policy.
-func (Energy) Name() string { return "energy" }
-
-// ConfigKey identifies the policy's configuration for solve memoization:
-// the knapsack depends only on the energy model (the profile is a
-// per-pipeline artifact, fixed for every solve against that pipeline).
-// The "auto" tag records the solver-selection scheme (see dpCellBudget):
-// persisted solves from a differently-tie-breaking scheme must not be
-// served for this one.
-func (a Energy) ConfigKey() string { return "energy|auto|" + a.Model.Key() }
-
-// dpCellBudget bounds the dynamic-programming table (items × capacity)
-// under which sweeps use the exact DP solver instead of branch & bound:
-// for the paper's item counts and capacities the DP is exact and orders of
-// magnitude cheaper than the ILP, which dominated sweep allocation time.
-const dpCellBudget = 1 << 22
-
-// Allocate solves the energy knapsack at one capacity using the pipeline's
-// profile artifact. Sweep-sized instances take the exact DP solver; only
-// instances whose DP table would be unreasonably large fall back to the
-// paper's branch & bound ILP.
-func (a Energy) Allocate(p *pipeline.Pipeline, capacity uint32) (*Allocation, error) {
-	prof, err := p.Profile()
-	if err != nil {
-		return nil, err
-	}
-	items := candidates(p.Prog, prof, a.Model, capacity)
-	if int64(len(items))*(int64(capacity)+1) <= dpCellBudget {
-		return KnapsackDP(items, capacity)
-	}
-	return Knapsack(items, capacity)
-}
-
-// Item is one knapsack candidate: a memory object with its occupancy and
-// the objective value of moving it to the scratchpad.
-type Item struct {
-	Name    string
-	Size    uint32
-	Benefit float64
-}
+// the Steinke knapsack over the pipeline's memoized typical-input profile
+// (the engine's alloc.EnergyAllocator).
+type Energy = alloc.EnergyAllocator
 
 // AlignedSize over-approximates the scratchpad bytes an object occupies by
-// rounding its size up to its alignment. With the uniform word alignment
-// the toolchain emits, any chosen set whose AlignedSizes sum within the
-// capacity is guaranteed to link; under mixed alignments the sum can miss
-// inter-object padding, in which case the linker still rejects an
-// overflowing set loudly ("scratchpad overflow") rather than mislinking.
-func AlignedSize(o *obj.Object) uint32 {
-	return (o.Size() + o.Align - 1) &^ (o.Align - 1)
-}
-
-// candidates builds the knapsack items: every object with a positive
-// benefit that individually fits the capacity.
-func candidates(prog *obj.Program, prof *sim.Profile, m energy.Model, capacity uint32) []Item {
-	var items []Item
-	for _, o := range prog.Objects {
-		b := m.ObjectBenefit(o, prof.ByObject[o.Name])
-		if b <= 0 {
-			continue
-		}
-		sz := AlignedSize(o)
-		if sz == 0 || sz > capacity {
-			continue
-		}
-		items = append(items, Item{Name: o.Name, Size: sz, Benefit: b})
-	}
-	// Deterministic order for reproducible allocations.
-	sort.Slice(items, func(i, j int) bool { return items[i].Name < items[j].Name })
-	return items
-}
+// rounding its size up to its alignment; see alloc.AlignedSize.
+func AlignedSize(o *obj.Object) uint32 { return alloc.AlignedSize(o) }
 
 // Knapsack solves the 0/1 knapsack over the items with the branch & bound
-// ILP solver, mirroring the paper's CPLEX formulation: maximise
-// Σ benefit_i·y_i subject to Σ size_i·y_i ≤ capacity, y_i ∈ {0, 1}.
+// ILP solver, mirroring the paper's CPLEX formulation.
 func Knapsack(items []Item, capacity uint32) (*Allocation, error) {
-	a := &Allocation{InSPM: map[string]bool{}}
-	if len(items) == 0 {
-		return a, nil
-	}
-	n := len(items)
-	p := &ilp.Problem{LP: lp.Problem{NumVars: n, Objective: make([]float64, n)}}
-	weights := make([]float64, n)
-	for i, it := range items {
-		p.LP.Objective[i] = it.Benefit
-		weights[i] = float64(it.Size)
-	}
-	p.LP.AddConstraint(weights, lp.LE, float64(capacity))
-	for i := 0; i < n; i++ {
-		u := make([]float64, n)
-		u[i] = 1
-		p.LP.AddConstraint(u, lp.LE, 1)
-	}
-	s, err := ilp.Solve(p)
-	if err != nil {
-		return nil, fmt.Errorf("spm: knapsack: %w", err)
-	}
-	for i, it := range items {
-		if s.X[i] > 0.5 {
-			a.InSPM[it.Name] = true
-			a.Benefit += it.Benefit
-			a.Used += it.Size
-		}
-	}
-	return a, nil
+	return alloc.Knapsack(items, capacity)
 }
 
-// KnapsackDP solves the same knapsack exactly by dynamic programming over
-// capacities (sizes are small integers). It exists to cross-check the ILP
-// path and as a faster solver for sweeps.
+// KnapsackDP solves the same knapsack exactly by dynamic programming; it
+// exists to cross-check the ILP path and as a faster solver for sweeps.
 func KnapsackDP(items []Item, capacity uint32) (*Allocation, error) {
-	a := &Allocation{InSPM: map[string]bool{}}
-	if len(items) == 0 {
-		return a, nil
-	}
-	c := int(capacity)
-	best := make([]float64, c+1)
-	take := make([][]bool, len(items))
-	for i, it := range items {
-		take[i] = make([]bool, c+1)
-		w := int(it.Size)
-		for cap := c; cap >= w; cap-- {
-			if v := best[cap-w] + it.Benefit; v > best[cap] {
-				best[cap] = v
-				take[i][cap] = true
-			}
-		}
-	}
-	// Reconstruct.
-	cap := c
-	for i := len(items) - 1; i >= 0; i-- {
-		if take[i][cap] {
-			a.InSPM[items[i].Name] = true
-			a.Benefit += items[i].Benefit
-			a.Used += items[i].Size
-			cap -= int(items[i].Size)
-		}
-	}
-	return a, nil
+	return alloc.KnapsackDP(items, capacity)
+}
+
+// candidates builds the energy knapsack items for one program and profile.
+func candidates(prog *obj.Program, prof *sim.Profile, m energy.Model, capacity uint32) []Item {
+	return alloc.Candidates(prog, alloc.Evidence{Profile: prof}, alloc.EnergyObjective{Model: m}, capacity)
 }
 
 // Allocate solves the energy knapsack with the branch & bound ILP solver.

@@ -1,18 +1,17 @@
-// Package wcetalloc implements WCET-directed scratchpad allocation: the
+// Package wcetalloc exposes WCET-directed scratchpad allocation: the
 // optimisation the paper points at but leaves to future work. Where
 // internal/spm weighs memory objects by their access counts on a simulated
 // typical input (minimising average-case energy), this allocator weighs
 // them by their access counts on the *worst-case path* — the IPET witness
 // internal/wcet exports — and so minimises the WCET bound itself.
 //
-// Moving an object into the scratchpad changes block costs and can shift
-// which path is worst, so a single knapsack is not enough: the allocator
-// re-links with each chosen allocation, re-runs the analysis, re-extracts
-// the witness and repeats until the allocation reaches a fixpoint, the
-// bound stops improving, or an iteration cap is hit. Because every
-// scratchpad access is at least as cheap as its main-memory counterpart
-// and the analysis is cache-less (region timings only), the accepted
-// bound is monotonically non-increasing across iterations.
+// Since the engine refactor this package is a thin facade over
+// internal/alloc, which owns the candidate builder, the knapsack solvers
+// and the fixpoint driver (link → analyse → re-allocate until the
+// allocation repeats, the bound stops improving, or an iteration cap is
+// hit) for every allocation objective; the policy here is the engine run
+// with the witness-priced WCETObjective. Outputs are byte-identical to the
+// pre-engine implementation (golden-asserted in internal/core).
 //
 // Every link+analyse the fixpoint performs goes through a
 // pipeline.Pipeline, so evaluations are memoized: the capacity-independent
@@ -24,607 +23,71 @@
 package wcetalloc
 
 import (
-	"fmt"
-	"math"
-	"sort"
-	"strings"
-
-	"repro/internal/cfg"
-	"repro/internal/mem"
+	"repro/internal/alloc"
 	"repro/internal/obj"
 	"repro/internal/pipeline"
-	"repro/internal/spm"
 	"repro/internal/wcet"
 )
 
 // DefaultMaxIter caps the re-link/re-analyse loop; the benchmarks converge
 // in one or two iterations.
-const DefaultMaxIter = 8
+const DefaultMaxIter = alloc.DefaultMaxIter
 
 // Granularity selects what the allocator treats as a placement unit.
-type Granularity uint8
+type Granularity = alloc.Granularity
 
 const (
 	// GranObject places whole memory objects (functions and globals) — the
 	// paper's granularity.
-	GranObject Granularity = iota
+	GranObject = alloc.GranObject
 	// GranBlock additionally splits hot regions (contiguous basic-block
 	// runs, typically loop bodies) out of functions whose worst-case cycles
 	// concentrate there, and places the fragments independently. The
 	// certified bound is never worse than GranObject's: the whole-object
 	// solution seeds the comparison.
-	GranBlock
+	GranBlock = alloc.GranBlock
 )
 
-func (g Granularity) String() string {
-	if g == GranBlock {
-		return "block"
-	}
-	return "object"
-}
-
 // ParseGranularity parses "object" or "block".
-func ParseGranularity(s string) (Granularity, error) {
-	switch s {
-	case "object", "":
-		return GranObject, nil
-	case "block":
-		return GranBlock, nil
-	}
-	return GranObject, fmt.Errorf("wcetalloc: unknown granularity %q (want object or block)", s)
-}
+func ParseGranularity(s string) (Granularity, error) { return alloc.ParseGranularity(s) }
 
 // Evaluation is a pre-evaluated allocation: a placement together with the
-// bound and witness an earlier analysis certified for it. Passing one in
-// Options.PreEvaluated seeds the fixpoint without re-running the analysis.
-type Evaluation struct {
-	// InSPM names the objects placed in the scratchpad.
-	InSPM map[string]bool
-	// WCET is the analysed bound under InSPM.
-	WCET uint64
-	// Witness is the worst-case-path witness of the same analysis; it must
-	// come from a witness-enabled run (Evaluations without a witness are
-	// treated as plain Seeds and re-analysed).
-	Witness *wcet.Witness
-}
+// bound and witness an earlier analysis certified for it.
+type Evaluation = alloc.Evaluation
 
-// Options configures an allocation run.
-type Options struct {
-	// WCET configures the analysis; Cache must be nil (the paper's
-	// combined scratchpad+cache system is not modelled).
-	WCET wcet.Options
-	// Seeds are allocations to evaluate before iterating — e.g. the
-	// energy-directed allocation — so the result is never worse than the
-	// best seed. Seeds that do not fit the capacity are rejected.
-	Seeds []map[string]bool
-	// PreEvaluated are seeds whose bound and witness are already known
-	// (e.g. analysed by the measurement pipeline); they enter the loop
-	// without a link+analyse run. Capacity and object checks still apply.
-	PreEvaluated []Evaluation
-	// Energy, when non-nil, models the average-case energy of a placement
-	// and breaks ties among equal-WCET allocations: the lower-energy one
-	// is kept, making the reported placement canonical. When nil, the
-	// most recently evaluated equal-WCET allocation wins (legacy order).
-	Energy func(inSPM map[string]bool) float64
-	// EnergyKey canonically identifies the Energy function's model (e.g.
-	// energy.Model.Key()) for solve memoization: function values cannot be
-	// compared, so Directed.ConfigKey refuses to produce a key — and the
-	// pipeline runs the solve unmemoized — when Energy is set without one.
-	EnergyKey string
-	// MaxIter bounds the number of knapsack/re-analysis rounds
-	// (DefaultMaxIter when zero).
-	MaxIter int
-	// Granularity selects whole-object or basic-block placement units
-	// (GranObject when zero).
-	Granularity Granularity
-}
+// Options configures an allocation run (the engine's shared options).
+type Options = alloc.Options
 
 // Iteration is one accepted step of the fixpoint loop.
-type Iteration struct {
-	// InSPM is the allocation evaluated this step.
-	InSPM map[string]bool
-	// Used is the scratchpad occupancy in bytes (alignment-rounded).
-	Used uint32
-	// WCET is the analysed bound under this allocation.
-	WCET uint64
-}
+type Iteration = alloc.Iteration
 
 // Result is the outcome of a WCET-directed allocation.
-type Result struct {
-	// InSPM names the objects placed in the scratchpad; under a non-empty
-	// Splits partition the names refer to the split program's objects.
-	InSPM map[string]bool
-	// Used is the scratchpad occupancy in bytes (alignment-rounded).
-	Used uint32
-	// WCET is the analysed bound under InSPM.
-	WCET uint64
-	// Baseline is the bound with an empty scratchpad of the same capacity
-	// (of the *unsplit* program, so bounds at both granularities share one
-	// reference).
-	Baseline uint64
-	// Iterations traces the accepted allocations, baseline first; WCET is
-	// non-increasing along it.
-	Iterations []Iteration
-	// Converged reports that the loop stopped because the allocation
-	// repeated or stopped improving (false: MaxIter hit).
-	Converged bool
-	// Splits is the placement-unit partition the winning allocation uses:
-	// nil when whole-object placement won (always at GranObject).
-	Splits []obj.Region
-}
+type Result = alloc.Result
 
 // Directed is the WCET-directed allocation policy as a pipeline.Allocator.
-type Directed struct {
-	Opts Options
-	// Seed, when non-nil, supplies an additional seed allocation per
-	// capacity (typically the energy policy), so the interface preserves
-	// the never-worse-than-seed guarantee the fixpoint gives its seeds.
-	Seed pipeline.Allocator
-}
-
-// Name identifies the policy.
-func (Directed) Name() string { return "wcet" }
-
-// ConfigKey identifies the fixpoint's full configuration — analysis
-// options, iteration cap, tie-break model, explicit seeds and the seed
-// policy's own ConfigKey — for solve memoization. It returns "",
-// disabling memoization, when the configuration cannot be captured: an
-// Energy tie-break without an EnergyKey, per-call PreEvaluated seeds, or
-// an unkeyable seed policy.
-func (d Directed) ConfigKey() string {
-	o := d.Opts
-	if (o.Energy != nil && o.EnergyKey == "") || len(o.PreEvaluated) > 0 {
-		return ""
-	}
-	seedKey := "none"
-	if d.Seed != nil {
-		if seedKey = d.Seed.ConfigKey(); seedKey == "" {
-			return ""
-		}
-	}
-	seeds := make([]string, 0, len(o.Seeds))
-	for _, s := range o.Seeds {
-		seeds = append(seeds, strings.ReplaceAll(allocKey(s), "\x00", ","))
-	}
-	sort.Strings(seeds)
-	maxIter := o.MaxIter
-	if maxIter <= 0 {
-		maxIter = DefaultMaxIter
-	}
-	return fmt.Sprintf("wcet|gran=%s|maxiter=%d|energy=%s|stack=%d|root=%s|seeds=%s|seed=(%s)",
-		o.Granularity, maxIter, o.EnergyKey, o.WCET.StackBound, o.WCET.Root, strings.Join(seeds, ";"), seedKey)
-}
-
-// Allocate runs the fixpoint against the pipeline and converts the result
-// to the shared allocation type; Benefit is the worst-case cycles saved
-// over the empty-scratchpad baseline.
-func (d Directed) Allocate(p *pipeline.Pipeline, capacity uint32) (*pipeline.Allocation, error) {
-	opts := d.Opts
-	if d.Seed != nil {
-		// Through the pipeline's allocation stage, so the seed solve is
-		// shared with direct sweeps of the seed policy.
-		sa, err := p.Allocate(d.Seed, capacity)
-		if err != nil {
-			return nil, err
-		}
-		opts.Seeds = append(append([]map[string]bool{}, opts.Seeds...), sa.InSPM)
-	}
-	r, err := AllocateIn(p, capacity, opts)
-	if err != nil {
-		return nil, err
-	}
-	return &pipeline.Allocation{
-		InSPM:      r.InSPM,
-		Benefit:    float64(r.Baseline - r.WCET),
-		Used:       r.Used,
-		Splits:     r.Splits,
-		Iterations: len(r.Iterations),
-		Converged:  r.Converged,
-	}, nil
-}
+type Directed = alloc.Directed
 
 // Allocate runs the WCET-directed fixpoint with the branch & bound ILP
 // knapsack (the paper's solver architecture) on a private pipeline.
 func Allocate(prog *obj.Program, capacity uint32, opts Options) (*Result, error) {
-	return allocate(pipeline.New(prog), capacity, opts, spm.Knapsack)
+	return AllocateIn(pipeline.New(prog), capacity, opts)
 }
 
 // AllocateDP runs the same fixpoint with the exact dynamic-programming
 // knapsack; it exists to cross-check the ILP path.
 func AllocateDP(prog *obj.Program, capacity uint32, opts Options) (*Result, error) {
-	return allocate(pipeline.New(prog), capacity, opts, spm.KnapsackDP)
+	return alloc.Run(pipeline.New(prog), capacity, alloc.WCETObjective{}, alloc.SolverDP, opts)
 }
 
 // AllocateIn runs the ILP fixpoint against a shared pipeline, so its
 // link+analyse artifacts are shared with every other measurement made
 // through the same pipeline (and across capacities of a sweep).
 func AllocateIn(p *pipeline.Pipeline, capacity uint32, opts Options) (*Result, error) {
-	return allocate(p, capacity, opts, spm.Knapsack)
-}
-
-// allocate dispatches on the requested placement-unit granularity.
-func allocate(p *pipeline.Pipeline, capacity uint32, opts Options, solve func([]spm.Item, uint32) (*spm.Allocation, error)) (*Result, error) {
-	if opts.Granularity == GranBlock {
-		return runBlock(p, capacity, opts, solve)
-	}
-	return run(p, nil, capacity, opts, solve)
-}
-
-// runBlock is the basic-block-granularity strategy: solve at whole-object
-// granularity first, derive the hot-region partition from the baseline
-// witness, re-run the same fixpoint over the split program's units, and
-// keep whichever certified bound is lower. Seeding the unit run with the
-// whole-object winner (fragments added for split functions) and taking the
-// minimum at the end makes the block-granularity bound never worse than
-// the whole-object one, by construction.
-func runBlock(p *pipeline.Pipeline, capacity uint32, opts Options, solve func([]spm.Item, uint32) (*spm.Allocation, error)) (*Result, error) {
-	objRes, err := run(p, nil, capacity, opts, solve)
-	if err != nil {
-		return nil, err
-	}
-	wopts := opts.WCET
-	wopts.Witness = true
-	base, err := p.Analyze(capacity, nil, wopts) // cached: the fixpoint's baseline
-	if err != nil {
-		return nil, err
-	}
-	regions, err := HotRegions(p, base.Witness, capacity, opts.WCET.Root)
-	if err != nil || len(regions) == 0 {
-		return objRes, err
-	}
-	bopts := opts
-	bopts.PreEvaluated = nil
-	// The average-case energy tie-break is an object-granularity model (the
-	// profile knows nothing of fragments); the unit run stays deterministic
-	// without it.
-	bopts.Energy, bopts.EnergyKey = nil, ""
-	bopts.Seeds = []map[string]bool{expandSeed(objRes.InSPM, regions)}
-	for _, s := range opts.Seeds {
-		bopts.Seeds = append(bopts.Seeds, expandSeed(s, regions))
-	}
-	blockRes, err := run(p, regions, capacity, bopts, solve)
-	if err != nil {
-		return nil, err
-	}
-	if blockRes.WCET < objRes.WCET {
-		blockRes.Splits = regions
-		// Report bounds at both granularities against the one canonical
-		// reference: the unsplit empty-scratchpad baseline.
-		blockRes.Baseline = objRes.Baseline
-		return blockRes, nil
-	}
-	return objRes, nil
-}
-
-// expandSeed maps a whole-object allocation onto a split program: a chosen
-// function that was split contributes its parent and its fragment, so the
-// seed covers the same bytes (modulo trampolines).
-func expandSeed(seed map[string]bool, regions []obj.Region) map[string]bool {
-	split := make(map[string]bool, len(regions))
-	for _, r := range regions {
-		split[r.Func] = true
-	}
-	out := make(map[string]bool, len(seed)+2)
-	for name, in := range seed {
-		if !in {
-			continue
-		}
-		out[name] = true
-		if split[name] {
-			out[obj.FragmentName(name)] = true
-		}
-	}
-	return out
+	return alloc.Run(p, capacity, alloc.WCETObjective{}, alloc.SolverILP, opts)
 }
 
 // HotRegions derives the placement-unit partition for a program from its
-// baseline worst-case witness: per function, the natural-loop byte range
-// with the highest worst-case fetch savings that can actually be outlined
-// (single entry, encodable fixups) and whose fragment fits the capacity.
-// Functions whose worst case never runs, or whose loops cannot be split,
-// contribute nothing. The result is canonical (sorted, one region per
-// function), so it is a stable cache-key ingredient.
+// baseline worst-case witness; see alloc.HotRegions.
 func HotRegions(p *pipeline.Pipeline, w *wcet.Witness, capacity uint32, root string) ([]obj.Region, error) {
-	exe, err := p.Link(0, nil)
-	if err != nil {
-		return nil, err
-	}
-	if root == "" {
-		root = exe.Prog.Entry
-	}
-	g, err := cfg.Build(exe, root)
-	if err != nil {
-		return nil, err
-	}
-	names := make([]string, 0, len(g.Funcs))
-	for n := range g.Funcs {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-
-	var regions []obj.Region
-	for _, fn := range names {
-		f := g.Funcs[fn]
-		counts := w.BlockCounts[fn]
-		o := exe.Placement(fn).Obj
-		if len(counts) == 0 || len(f.Loops) == 0 {
-			continue
-		}
-		type cand struct {
-			lo, hi  uint32
-			benefit int64
-		}
-		var cands []cand
-		for _, l := range f.Loops {
-			lo := l.Head.Start - f.Addr
-			var hi uint32
-			for b := range l.Blocks {
-				if b.End-f.Addr > hi {
-					hi = b.End - f.Addr
-				}
-			}
-			if hi > o.CodeSize || (lo == 0 && hi >= o.CodeSize) {
-				continue
-			}
-			// Worst-case fetch cycles recoverable by serving the region's
-			// address range from the scratchpad.
-			var benefit int64
-			for _, b := range f.Blocks {
-				if b.Start < f.Addr+lo || b.Start >= f.Addr+hi || b.Index >= len(counts) {
-					continue
-				}
-				var halfwords uint64
-				for _, ci := range b.Instrs {
-					halfwords += uint64(ci.Size / 2)
-				}
-				benefit += int64(counts[b.Index]*halfwords) * int64(mem.MainHalfCycles-mem.SPMCycles)
-			}
-			if benefit <= 0 {
-				continue
-			}
-			cands = append(cands, cand{lo: lo, hi: hi, benefit: benefit})
-		}
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].benefit != cands[j].benefit {
-				return cands[i].benefit > cands[j].benefit
-			}
-			if cands[i].lo != cands[j].lo {
-				return cands[i].lo < cands[j].lo
-			}
-			return cands[i].hi < cands[j].hi
-		})
-		for _, c := range cands {
-			r := obj.Region{Func: fn, Start: c.lo, End: c.hi}
-			// Through the pipeline's memoized split stage: repeated
-			// derivations (one HotRegions call per swept capacity) validate
-			// each candidate region once, not once per capacity.
-			sp, err := p.SplitProgram([]obj.Region{r})
-			if err != nil {
-				continue // not single-entry or not encodable: try the next loop
-			}
-			if spm.AlignedSize(sp.Object(obj.FragmentName(fn))) > capacity {
-				continue // the unit could never be placed
-			}
-			regions = append(regions, r)
-			break
-		}
-	}
-	return obj.CanonicalRegions(regions)
-}
-
-// evaluation is one linked+analysed allocation. energy memoizes the
-// Options.Energy value (NaN until computed).
-type evaluation struct {
-	inSPM   map[string]bool
-	used    uint32
-	wcet    uint64
-	witness *wcet.Witness
-	energy  float64
-}
-
-// run iterates the link → analyse → re-allocate fixpoint over the units of
-// one partition: the program's own objects when regions is nil, the split
-// program's objects (fragments included) otherwise.
-func run(p *pipeline.Pipeline, regions []obj.Region, capacity uint32, opts Options, solve func([]spm.Item, uint32) (*spm.Allocation, error)) (*Result, error) {
-	if opts.WCET.Cache != nil {
-		return nil, fmt.Errorf("wcetalloc: combined scratchpad+cache analysis is not modelled")
-	}
-	prog, err := p.SplitProgram(regions)
-	if err != nil {
-		return nil, fmt.Errorf("wcetalloc: %w", err)
-	}
-	maxIter := opts.MaxIter
-	if maxIter <= 0 {
-		maxIter = DefaultMaxIter
-	}
-	wopts := opts.WCET
-	wopts.Witness = true
-
-	usedBytes := func(inSPM map[string]bool) uint32 {
-		var used uint32
-		for name, in := range inSPM {
-			if in {
-				used += spm.AlignedSize(prog.Object(name))
-			}
-		}
-		return used
-	}
-	evaluate := func(inSPM map[string]bool) (*evaluation, error) {
-		res, err := p.AnalyzeUnits(regions, capacity, inSPM, wopts)
-		if err != nil {
-			return nil, fmt.Errorf("wcetalloc: %w", err)
-		}
-		return &evaluation{inSPM: inSPM, used: usedBytes(inSPM), wcet: res.WCET, witness: res.Witness, energy: math.NaN()}, nil
-	}
-	// modelledEnergy memoizes Options.Energy per evaluation.
-	modelledEnergy := func(ev *evaluation) float64 {
-		if math.IsNaN(ev.energy) {
-			ev.energy = opts.Energy(ev.inSPM)
-		}
-		return ev.energy
-	}
-	// better reports whether ev beats the incumbent: a strictly lower
-	// bound always wins; on an equal bound the tie-break (lower modelled
-	// energy) decides, or, without an energy model, the newcomer wins
-	// (legacy behaviour).
-	better := func(ev, incumbent *evaluation) bool {
-		if ev.wcet != incumbent.wcet {
-			return ev.wcet < incumbent.wcet
-		}
-		if opts.Energy == nil {
-			return true
-		}
-		return modelledEnergy(ev) < modelledEnergy(incumbent)
-	}
-
-	base, err := evaluate(map[string]bool{})
-	if err != nil {
-		return nil, err
-	}
-	r := &Result{
-		Baseline:   base.wcet,
-		Iterations: []Iteration{{InSPM: base.inSPM, Used: 0, WCET: base.wcet}},
-	}
-	best := base
-	seen := map[string]bool{allocKey(base.inSPM): true}
-
-	// Seeds (e.g. the energy-directed allocation): the result can only be
-	// at least as good as the best of them. Seeds naming unknown objects
-	// or exceeding the capacity are rejected, not errors. Pre-evaluated
-	// seeds carry their bound and witness and skip the analysis.
-	accept := func(ev *evaluation) {
-		if ev.wcet <= best.wcet && better(ev, best) {
-			best = ev
-			r.Iterations = append(r.Iterations, Iteration{InSPM: ev.inSPM, Used: ev.used, WCET: ev.wcet})
-		}
-	}
-	for _, pre := range opts.PreEvaluated {
-		if pre.Witness == nil {
-			opts.Seeds = append(opts.Seeds, pre.InSPM)
-			continue
-		}
-		seed := fittingSeed(prog, pre.InSPM, capacity)
-		if len(seed) == 0 || seen[allocKey(seed)] {
-			continue
-		}
-		seen[allocKey(seed)] = true
-		accept(&evaluation{inSPM: seed, used: usedBytes(seed), wcet: pre.WCET, witness: pre.Witness, energy: math.NaN()})
-	}
-	for _, seed := range opts.Seeds {
-		seed = fittingSeed(prog, seed, capacity)
-		if len(seed) == 0 || seen[allocKey(seed)] {
-			continue
-		}
-		seen[allocKey(seed)] = true
-		ev, err := evaluate(seed)
-		if err != nil {
-			return nil, err
-		}
-		accept(ev)
-	}
-
-	for i := 0; i < maxIter; i++ {
-		items := candidates(prog, best.witness, capacity)
-		alloc, err := solve(items, capacity)
-		if err != nil {
-			return nil, fmt.Errorf("wcetalloc: %w", err)
-		}
-		key := allocKey(alloc.InSPM)
-		if seen[key] {
-			// The allocation repeated: fixpoint.
-			r.Converged = true
-			break
-		}
-		seen[key] = true
-		ev, err := evaluate(alloc.InSPM)
-		if err != nil {
-			return nil, err
-		}
-		if ev.wcet > best.wcet {
-			// The first-order benefit model over-promised (the worst path
-			// moved): keep the incumbent. The accepted trace stays
-			// monotone.
-			r.Converged = true
-			break
-		}
-		stalled := ev.wcet == best.wcet
-		if better(ev, best) {
-			best = ev
-			r.Iterations = append(r.Iterations, Iteration{InSPM: ev.inSPM, Used: ev.used, WCET: ev.wcet})
-		}
-		if stalled {
-			// Equal bound under a new allocation: further rounds can only
-			// oscillate between equally worst paths. The tie-break above
-			// decided which of the two equal-WCET placements is canonical.
-			r.Converged = true
-			break
-		}
-	}
-
-	r.InSPM = best.inSPM
-	r.Used = best.used
-	r.WCET = best.wcet
-	return r, nil
-}
-
-// candidates converts the witness's per-object worst-case access counts
-// into knapsack items: the benefit is the worst-case cycles saved by
-// serving the object from the scratchpad, the weight its aligned size.
-func candidates(prog *obj.Program, w *wcet.Witness, capacity uint32) []spm.Item {
-	var items []spm.Item
-	for _, o := range prog.Objects {
-		ac := w.ObjectAccesses[o.Name]
-		if ac == nil {
-			continue
-		}
-		benefit := ac.SPMCycleBenefit()
-		if benefit <= 0 {
-			continue
-		}
-		sz := spm.AlignedSize(o)
-		if sz == 0 || sz > capacity {
-			continue
-		}
-		items = append(items, spm.Item{Name: o.Name, Size: sz, Benefit: float64(benefit)})
-	}
-	sort.Slice(items, func(i, j int) bool { return items[i].Name < items[j].Name })
-	return items
-}
-
-// fittingSeed normalises a seed allocation to its true entries, dropping
-// the whole seed (nil) if it names an unknown object or if its
-// alignment-rounded sizes exceed the capacity. Under the toolchain's
-// uniform word alignment the accepted seed is guaranteed to link (at the
-// price of rejecting a rare seed that would only fit unpadded); see
-// spm.AlignedSize for the mixed-alignment caveat.
-func fittingSeed(prog *obj.Program, seed map[string]bool, capacity uint32) map[string]bool {
-	out := make(map[string]bool, len(seed))
-	var used uint32
-	for name, in := range seed {
-		if !in {
-			continue
-		}
-		o := prog.Object(name)
-		if o == nil {
-			return nil
-		}
-		used += spm.AlignedSize(o)
-		if used > capacity {
-			return nil
-		}
-		out[name] = true
-	}
-	return out
-}
-
-// allocKey canonicalises an allocation set for fixpoint detection.
-func allocKey(inSPM map[string]bool) string {
-	names := make([]string, 0, len(inSPM))
-	for n, ok := range inSPM {
-		if ok {
-			names = append(names, n)
-		}
-	}
-	sort.Strings(names)
-	return strings.Join(names, "\x00")
+	return alloc.HotRegions(p, w, capacity, root)
 }
