@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check ci fmt vet build test test-race bench wcetlab warmstore smoke
+.PHONY: check ci fmt vet build test test-race bench bench-json wcetlab warmstore smoke
 
 # Tier-1 verification plus formatting/lint gates.
 check: fmt vet build test
@@ -28,6 +28,13 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Machine-readable benchmark report: one pass over the paper benchmarks
+# (-benchtime=1x keeps it quick), converted to BENCH_local.json by
+# cmd/benchjson (name -> ns/op, B/op, allocs/op, sorted by name).
+bench-json:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x . | $(GO) run ./cmd/benchjson > BENCH_local.json
+	@echo "bench-json: wrote BENCH_local.json"
+
 wcetlab:
 	$(GO) build -o bin/wcetlab ./cmd/wcetlab
 
@@ -54,7 +61,10 @@ warmstore: wcetlab
 # verify the streamed JSON lines carry exactly the buffered array's rows,
 # then exercise the store GC policy against the artifacts the server just
 # wrote. (The whitespace-stripping comparison is sound here because no
-# JSON string in a sweep row contains whitespace.)
+# JSON string in a sweep row contains whitespace.) The /v1/metrics scrapes
+# bracketing the requests assert the stage and HTTP counters actually
+# moved, and a traced wcetsweep run asserts -trace writes a valid Chrome
+# trace with the sweep -> cell -> stage hierarchy in it.
 smoke: wcetlab
 	@set -e; dir=$$(mktemp -d); pid=""; \
 	trap 'test -n "$$pid" && kill "$$pid" 2>/dev/null; rm -rf "$$dir"' EXIT; \
@@ -63,6 +73,8 @@ smoke: wcetlab
 		url=$$(sed -n 's#.*serving on \(http://[^ ]*\).*#\1#p' "$$dir/serve.log"); \
 		[ -n "$$url" ] && break; i=$$((i+1)); sleep 0.1; done; \
 	[ -n "$$url" ] || { echo "smoke: server did not start"; cat "$$dir/serve.log"; exit 1; }; \
+	curl -fsS "$$url/v1/metrics" > "$$dir/m0.txt" || { \
+		echo "smoke: /v1/metrics failed"; exit 1; }; \
 	curl -fsS "$$url/v1/wcet?bench=WorstCaseSort&spm=512" | grep -q '"wcet"' || { \
 		echo "smoke: /v1/wcet failed"; exit 1; }; \
 	curl -fsS "$$url/v1/stats" | grep -q '"workers"' || { \
@@ -75,10 +87,25 @@ smoke: wcetlab
 		diff "$$dir/pareto.buf" "$$dir/pareto.str" | head -5; exit 1; }; \
 	grep -q '"kind":"' "$$dir/pareto.buf" || { \
 		echo "smoke: pareto sweep returned no points"; exit 1; }; \
+	curl -fsS "$$url/v1/metrics" > "$$dir/m1.txt"; \
+	runs0=$$(awk '/^wcetlab_stage_runs_total/{s+=$$NF} END{print s+0}' "$$dir/m0.txt"); \
+	runs1=$$(awk '/^wcetlab_stage_runs_total/{s+=$$NF} END{print s+0}' "$$dir/m1.txt"); \
+	[ "$$runs1" -gt "$$runs0" ] || { \
+		echo "smoke: stage run counters did not move ($$runs0 -> $$runs1)"; exit 1; }; \
+	sweeps=$$(grep -F 'wcetlab_http_request_seconds_count{route="/v1/sweep"}' "$$dir/m1.txt" | awk '{print $$2}'); \
+	[ -n "$$sweeps" ] && [ "$$sweeps" -gt 0 ] || { \
+		echo "smoke: /v1/sweep request histogram did not move"; exit 1; }; \
 	sleep 1.2; curl -fsS "$$url/v1/stats" | grep -q '"gc"' || { \
 		echo "smoke: /v1/stats has no periodic-gc section"; exit 1; }; \
 	./bin/wcetlab -store "$$dir/store" gc -max-age 24h | grep -q '^gc: removed 0 ' || { \
 		echo "smoke: gc -max-age removed fresh entries"; exit 1; }; \
 	./bin/wcetlab -store "$$dir/store" gc -max-bytes 1 | grep -q ' 0 entries (0 bytes) remain' || { \
 		echo "smoke: gc -max-bytes did not drain the store"; exit 1; }; \
+	./bin/wcetlab -store off -trace "$$dir/trace.json" wcetsweep MultiSort > /dev/null 2>&1 || { \
+		echo "smoke: traced wcetsweep failed"; exit 1; }; \
+	$(GO) run ./cmd/jsoncheck < "$$dir/trace.json" || { \
+		echo "smoke: trace.json is not valid JSON"; exit 1; }; \
+	for span in '"sweep"' '"cell"' '"stage:analyze"' '"solve"' '"fixpoint"'; do \
+		grep -q "$$span" "$$dir/trace.json" || { \
+			echo "smoke: trace.json missing $$span spans"; exit 1; }; done; \
 	echo "smoke: ok ($$url)"

@@ -1,0 +1,24 @@
+// Command jsoncheck exits 0 when stdin is a single well-formed JSON value
+// and 1 otherwise. The smoke target uses it to assert that trace files and
+// generated reports parse without depending on python or jq being
+// installed.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jsoncheck:", err)
+		os.Exit(1)
+	}
+	if !json.Valid(data) {
+		fmt.Fprintln(os.Stderr, "jsoncheck: stdin is not valid JSON")
+		os.Exit(1)
+	}
+}

@@ -40,17 +40,26 @@
 //	             placement-unit granularity for the WCET-directed
 //	             allocator (wcetsweep): "block" splits hot loop regions
 //	             out of functions and places the fragments independently
+//	-trace FILE  record every span of the run (sweep → cell → stage →
+//	             solve, with cache tiers and per-iteration bounds) and
+//	             write a Chrome trace-event JSON to FILE on exit; open
+//	             it in chrome://tracing or https://ui.perfetto.dev
 //
 // gc flags (after the subcommand): -max-age D removes entries older than
 // the duration, -max-bytes N evicts oldest-first beyond the byte budget.
 // serve accepts the same two flags plus -gc-interval D to apply that
-// policy periodically for as long as the server runs.
+// policy periodically for as long as the server runs, and -pprof ADDR to
+// expose net/http/pprof on a second, private listener (never on the
+// public /v1/* mux; empty disables, the default).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -67,6 +76,7 @@ import (
 	"repro/internal/link"
 	"repro/internal/mem"
 	"repro/internal/obj"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/service"
 	"repro/internal/store"
@@ -86,6 +96,7 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	addr := flag.String("addr", "localhost:8177", "serve listen address")
 	gran := flag.String("granularity", "object", "WCET-directed placement-unit granularity: object or block")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of this run to FILE (view in Perfetto)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -94,6 +105,10 @@ func main() {
 		os.Exit(2)
 	}
 	labWorkers = *workers
+	if *traceFile != "" {
+		obs.DefaultTracer.Enable()
+		defer obs.DefaultTracer.Disable()
+	}
 	var err error
 	granularity, err = wcetalloc.ParseGranularity(*gran)
 	if err != nil {
@@ -169,14 +184,39 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// The trace is written even when the subcommand failed — a trace of a
+	// failing run is exactly what the flag is for.
+	if *traceFile != "" {
+		if terr := writeTrace(*traceFile); terr != nil && err == nil {
+			err = fmt.Errorf("trace: %w", terr)
+		} else if terr != nil {
+			fmt.Fprintln(os.Stderr, "wcetlab: trace:", terr)
+		} else {
+			fmt.Fprintf(os.Stderr, "wcetlab: trace written to %s\n", *traceFile)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wcetlab:", err)
 		os.Exit(1)
 	}
 }
 
+// writeTrace drains the process tracer into a Chrome trace-event JSON file
+// (chrome://tracing or https://ui.perfetto.dev can open it directly).
+func writeTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := obs.DefaultTracer.WriteChromeTraceFile(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: wcetlab [flags] {table1|table2|fig3|fig4|fig5|fig6|precision|sweep <bench>|wcetsweep <bench>|pareto <bench>|witness <bench> [topN] [-path]|gc [-max-age D] [-max-bytes N]|serve [-gc-interval D] [-max-age D] [-max-bytes N]|all}
+	fmt.Fprintln(os.Stderr, `usage: wcetlab [flags] {table1|table2|fig3|fig4|fig5|fig6|precision|sweep <bench>|wcetsweep <bench>|pareto <bench>|witness <bench> [topN] [-path]|gc [-max-age D] [-max-bytes N]|serve [-gc-interval D] [-max-age D] [-max-bytes N] [-pprof ADDR]|all}
 
 flags:
   -store DIR   artifact store directory (default $WCETLAB_STORE or
@@ -184,7 +224,9 @@ flags:
   -workers N   sweep worker pool size (0 = GOMAXPROCS)
   -addr ADDR   serve listen address (default localhost:8177)
   -granularity object|block
-               placement-unit granularity for the WCET-directed allocator`)
+               placement-unit granularity for the WCET-directed allocator
+  -trace FILE  write a Chrome trace-event JSON of the run (any subcommand)
+               for chrome://tracing or https://ui.perfetto.dev`)
 }
 
 // gc applies a retention policy to the artifact store: entries older than
@@ -250,6 +292,7 @@ func serve(addr string, args []string) error {
 	gcInterval := fs.Duration("gc-interval", 0, "apply the retention policy to the store every interval (0 disables periodic GC)")
 	maxAge := fs.Duration("max-age", 0, "periodic GC: remove entries older than this (0 keeps all ages)")
 	maxBytes := fs.Int64("max-bytes", 0, "periodic GC: evict oldest entries beyond this store size (0 = unbounded)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on its own listener at this address (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -258,6 +301,11 @@ func serve(addr string, args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *pprofAddr != "" {
+		if err := servePprof(ctx, *pprofAddr); err != nil {
+			return err
+		}
+	}
 	srv := service.New(service.Config{
 		Store:      artifactStore,
 		Workers:    labWorkers,
@@ -276,6 +324,32 @@ func serve(addr string, args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "wcetlab: serving on http://%s (store %s%s)\n", bound, storeDesc, gcDesc)
 	})
+}
+
+// servePprof runs the net/http/pprof handlers on their own listener and
+// mux, never on the public /v1/* server, so profiling stays opt-in and
+// off the API surface. The server dies with ctx.
+func servePprof(ctx context.Context, addr string) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	fmt.Fprintf(os.Stderr, "wcetlab: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	go srv.Serve(ln)
+	go func() {
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+	}()
+	return nil
 }
 
 func header(title string) {
@@ -381,7 +455,32 @@ func all() error {
 	}
 	labs = append(labs, plab)
 	printPipelineStats(labs)
+	printStageLatency(labs)
 	return nil
+}
+
+// printStageLatency renders per-stage latency quantiles (p50/p95/max,
+// milliseconds) from the process-wide metric registry's histograms. It is
+// printed after "Pipeline statistics" so warm-store output comparisons,
+// which stop at that header, are unaffected by timing noise.
+func printStageLatency(labs []*core.Lab) {
+	header("Stage latency quantiles")
+	fmt.Printf("%-14s %-9s %7s %9s %9s %9s\n", "benchmark", "stage", "count", "p50[ms]", "p95[ms]", "max[ms]")
+	stages := []string{"link", "simulate", "analyze", "profile", "alloc"}
+	row := func(name string, lat map[string]obs.HistogramSnapshot) {
+		for _, st := range stages {
+			h, ok := lat[st]
+			if !ok || h.Count == 0 {
+				continue
+			}
+			fmt.Printf("%-14s %-9s %7d %9.2f %9.2f %9.2f\n",
+				name, st, h.Count, h.Quantile(0.5)*1000, h.Quantile(0.95)*1000, h.Max*1000)
+		}
+	}
+	for _, l := range labs {
+		row(l.Bench.Name, pipeline.StageLatency(l.Bench.Name))
+	}
+	row("total", pipeline.StageLatency(""))
 }
 
 // printPipelineStats renders per-benchmark stage counters and wall-clock,

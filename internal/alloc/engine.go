@@ -4,13 +4,24 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/cfg"
 	"repro/internal/mem"
 	"repro/internal/obj"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/wcet"
+)
+
+// Process-wide fixpoint metrics: how many knapsack/re-analyse rounds the
+// engine ran and how many produced a strictly better accepted bound.
+var (
+	mFixpointIters = obs.Default.Counter("wcetlab_alloc_fixpoint_iterations_total",
+		"Knapsack/re-analyse rounds executed by the fixpoint driver.")
+	mBoundImprovements = obs.Default.Counter("wcetlab_alloc_bound_improvements_total",
+		"Accepted allocations improving (or canonically tying) the certified bound.")
 )
 
 // DefaultMaxIter caps the re-link/re-analyse loop; the benchmarks converge
@@ -405,6 +416,15 @@ func (e *evaluator) evaluate(inSPM map[string]bool) (*evaluation, error) {
 // one partition: the program's own objects when regions is nil, the split
 // program's objects (fragments included) otherwise.
 func run(p *pipeline.Pipeline, regions []obj.Region, capacity uint32, objective Objective, solver Solver, opts Options) (*Result, error) {
+	gran := "object"
+	if len(regions) > 0 {
+		gran = "block"
+	}
+	sp := obs.StartSpan("fixpoint",
+		obs.A("capacity", capacity),
+		obs.A("objective", objective.Name()),
+		obs.A("granularity", gran))
+	defer sp.End()
 	prog, err := p.SplitProgram(regions)
 	if err != nil {
 		return nil, fmt.Errorf("alloc: %w", err)
@@ -459,6 +479,7 @@ func run(p *pipeline.Pipeline, regions []obj.Region, capacity uint32, objective 
 		if e.wcet <= best.wcet && better(e, best) {
 			best = e
 			r.Iterations = append(r.Iterations, Iteration{InSPM: e.inSPM, Used: e.used, WCET: e.wcet})
+			mBoundImprovements.Inc()
 		}
 	}
 	for _, pre := range opts.PreEvaluated {
@@ -487,6 +508,7 @@ func run(p *pipeline.Pipeline, regions []obj.Region, capacity uint32, objective 
 	}
 
 	for i := 0; i < opts.maxIter(); i++ {
+		mFixpointIters.Inc()
 		evidence.Witness = best.witness
 		items := Candidates(prog, evidence, objective, capacity)
 		alloc, err := SolveItems(items, capacity, solver)
@@ -515,6 +537,7 @@ func run(p *pipeline.Pipeline, regions []obj.Region, capacity uint32, objective 
 		if better(e, best) {
 			best = e
 			r.Iterations = append(r.Iterations, Iteration{InSPM: e.inSPM, Used: e.used, WCET: e.wcet})
+			mBoundImprovements.Inc()
 		}
 		if stalled {
 			// Equal bound under a new allocation: further rounds can only
@@ -530,6 +553,15 @@ func run(p *pipeline.Pipeline, regions []obj.Region, capacity uint32, objective 
 	r.WCET = best.wcet
 	evidence.Witness = best.witness
 	r.Benefit = placementBenefit(prog, evidence, objective, best.inSPM)
+	if sp != nil {
+		bounds := make([]string, len(r.Iterations))
+		for i, it := range r.Iterations {
+			bounds[i] = strconv.FormatUint(it.WCET, 10)
+		}
+		sp.SetAttr("bounds", strings.Join(bounds, ","))
+		sp.SetAttr("accepted", len(r.Iterations))
+		sp.SetAttr("converged", r.Converged)
+	}
 	return r, nil
 }
 

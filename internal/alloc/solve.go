@@ -6,7 +6,22 @@ import (
 
 	"repro/internal/ilp"
 	"repro/internal/lp"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
+)
+
+// Process-wide solver metrics: which back-end the front-end picked, how
+// big the DP tables were, and how often the multi-objective mode had to
+// re-solve under an ε-constraint.
+var (
+	mSolveDP = obs.Default.Counter("wcetlab_alloc_solver_solves_total",
+		"Knapsack solves by chosen back-end.", "solver", "dp")
+	mSolveILP = obs.Default.Counter("wcetlab_alloc_solver_solves_total",
+		"Knapsack solves by chosen back-end.", "solver", "ilp")
+	mDPCells = obs.Default.Counter("wcetlab_alloc_dp_cells_total",
+		"Dynamic-programming table cells filled (items × capacity+1).")
+	mEpsResolves = obs.Default.Counter("wcetlab_alloc_epsilon_resolves_total",
+		"ε-constrained knapsack re-solves in the multi-objective mode.")
 )
 
 // Allocation is the shared result type of every allocation solve (an alias
@@ -39,15 +54,21 @@ const dpCellBudget = 1 << 22
 // SolveItems is the engine's solver front-end: one 0/1 knapsack over the
 // items, dispatched to the selected back-end.
 func SolveItems(items []Item, capacity uint32, s Solver) (*Allocation, error) {
+	sp := obs.StartSpan("solve", obs.A("items", len(items)), obs.A("capacity", capacity))
+	defer sp.End()
 	switch s {
 	case SolverILP:
+		sp.SetAttr("solver", "ilp")
 		return Knapsack(items, capacity)
 	case SolverDP:
+		sp.SetAttr("solver", "dp")
 		return KnapsackDP(items, capacity)
 	default:
 		if int64(len(items))*(int64(capacity)+1) <= dpCellBudget {
+			sp.SetAttr("solver", "dp")
 			return KnapsackDP(items, capacity)
 		}
+		sp.SetAttr("solver", "ilp")
 		return Knapsack(items, capacity)
 	}
 }
@@ -60,6 +81,7 @@ func Knapsack(items []Item, capacity uint32) (*Allocation, error) {
 	if len(items) == 0 {
 		return a, nil
 	}
+	mSolveILP.Inc()
 	s, err := ilp.Solve(knapsackProblem(items, capacity, nil, 0))
 	if err != nil {
 		return nil, fmt.Errorf("alloc: knapsack: %w", err)
@@ -84,6 +106,8 @@ func KnapsackBudget(items []Item, capacity uint32, weights []float64, minWeight 
 	if len(items) == 0 {
 		return nil, ErrInfeasible
 	}
+	mEpsResolves.Inc()
+	mSolveILP.Inc()
 	s, err := ilp.Solve(knapsackProblem(items, capacity, weights, minWeight))
 	if err != nil {
 		if errors.Is(err, ilp.ErrInfeasible) {
@@ -136,6 +160,8 @@ func KnapsackDP(items []Item, capacity uint32) (*Allocation, error) {
 	if len(items) == 0 {
 		return a, nil
 	}
+	mSolveDP.Inc()
+	mDPCells.Add(uint64(len(items)) * (uint64(capacity) + 1))
 	c := int(capacity)
 	best := make([]float64, c+1)
 	take := make([][]bool, len(items))

@@ -27,6 +27,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/energy"
 	"repro/internal/obj"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/spm"
@@ -109,7 +110,7 @@ func NewLabWithStore(b benchprog.Benchmark, st *store.Store) (*Lab, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", b.Name, err)
 	}
-	pipe := pipeline.New(prog)
+	pipe := pipeline.NewNamed(prog, b.Name)
 	if st != nil {
 		pipe.SetStore(st)
 	}
@@ -164,7 +165,7 @@ func (l *Lab) WithStore(dir string) (*Lab, error) {
 // for a fully cold pipeline).
 func (l *Lab) ResetArtifacts() {
 	st := l.Pipe.Store()
-	l.Pipe = pipeline.New(l.Prog)
+	l.Pipe = pipeline.NewNamed(l.Prog, l.Bench.Name)
 	l.Pipe.PrimeProfile(l.Profile)
 	if st != nil {
 		l.Pipe.SetStore(st)
@@ -441,6 +442,9 @@ func sweepStream[T any](l *Lab, branch string, sizes []uint32, f func(uint32) (T
 	if workers > len(sizes) {
 		workers = len(sizes)
 	}
+	root := obs.StartSpan("sweep",
+		obs.A("bench", l.Bench.Name), obs.A("branch", branch), obs.A("sizes", len(sizes)))
+	defer root.End()
 	out := make([]T, len(sizes))
 	done := make([]chan error, len(sizes))
 	for i := range done {
@@ -454,8 +458,13 @@ func sweepStream[T any](l *Lab, branch string, sizes []uint32, f func(uint32) (T
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
+			// The cell span is handed the sweep root explicitly: the worker
+			// goroutine has no span stack of its own.
+			cell := obs.StartSpanUnder(root, "cell",
+				obs.A("bench", l.Bench.Name), obs.A("branch", branch), obs.A("capacity", sizes[i]))
 			var err error
 			out[i], err = f(sizes[i])
+			cell.End()
 			done[i] <- err
 		}()
 	}

@@ -11,6 +11,17 @@ import (
 	"math"
 
 	"repro/internal/lp"
+	"repro/internal/obs"
+)
+
+// Process-wide solver metrics: one solve may come from the scratchpad
+// knapsack or an IPET program — both count here; nodes measure the branch
+// & bound search effort.
+var (
+	mSolves = obs.Default.Counter("wcetlab_ilp_solves_total",
+		"Branch & bound ILP solves (knapsack and IPET programs).")
+	mNodes = obs.Default.Counter("wcetlab_ilp_nodes_total",
+		"Branch & bound nodes explored across all ILP solves.")
 )
 
 // ErrInfeasible reports that no integral point satisfies the constraints.
@@ -51,6 +62,8 @@ func Solve(p *Problem) (Solution, error) {
 	}
 	stack := []node{{prob: p.LP.Clone()}}
 	nodes := 0
+	mSolves.Inc()
+	defer func() { mNodes.Add(uint64(nodes)) }()
 	for len(stack) > 0 {
 		nodes++
 		if nodes > MaxNodes {

@@ -1,0 +1,64 @@
+// Package obs is the repository's dependency-free observability core: a
+// metrics registry and a span tracer, shared by every layer of the
+// analyse/allocate stack.
+//
+// # Metrics
+//
+// A Registry holds counters, gauges and fixed-bucket latency histograms,
+// registered by name plus label pairs (the Prometheus data model). All
+// mutation is a handful of atomic operations — safe for any number of
+// goroutines, cheap enough to leave on unconditionally — and the whole
+// registry serialises to the Prometheus text exposition format
+// (WritePrometheus), which `wcetlab serve` exposes at GET /v1/metrics.
+// Quantiles (p50/p95/p99) are derived from the histogram buckets at read
+// time; the exact maximum is tracked alongside.
+//
+// The repository's metric naming convention: every metric is prefixed
+// `wcetlab_`, counters end in `_total`, histograms of durations end in
+// `_seconds`, and labels identify the dimension being split (stage, tier,
+// result, bench, route, solver). The instrumented surfaces are the
+// pipeline stages (internal/pipeline), the artifact store (internal/store),
+// the allocation engine (internal/alloc, internal/ilp) and the HTTP
+// service (internal/service).
+//
+// # Tracing
+//
+// A Tracer records hierarchical spans — sweep → cell → stage → solve —
+// carrying structured attributes. Parenting is implicit per goroutine
+// (StartSpan nests under the goroutine's innermost open span) with
+// explicit hand-over across goroutines (StartSpanUnder), so a parallel
+// sweep's worker cells still hang off the sweep span. Recording is
+// lock-cheap: per-goroutine current-span tracking through a sync.Map and
+// completed spans appended to sharded buffers. A disabled tracer (the
+// default) reduces StartSpan to one atomic load returning nil, and every
+// Span method is nil-safe, so instrumentation costs nothing unless
+// `wcetlab -trace` (or a ?trace=1 request) turns it on.
+//
+// Completed traces export as Chrome trace-event JSON (WriteChromeTrace),
+// loadable in chrome://tracing and Perfetto; span and parent IDs travel in
+// each event's args so the hierarchy is reconstructible exactly, not just
+// by timestamp containment.
+package obs
+
+// Default is the process-wide metrics registry every instrumented package
+// records into and /v1/metrics exposes.
+var Default = NewRegistry()
+
+// DefaultTracer is the process-wide tracer behind `wcetlab -trace` and the
+// service's ?trace=1 span summaries. It is disabled until Enable is
+// called.
+var DefaultTracer = NewTracer(DefaultSpanLimit)
+
+// StartSpan opens a span on the default tracer, nested under the calling
+// goroutine's innermost open span. Returns nil (a valid no-op span) when
+// the tracer is disabled.
+func StartSpan(name string, attrs ...Attr) *Span {
+	return DefaultTracer.StartSpan(name, attrs...)
+}
+
+// StartSpanUnder opens a span on the default tracer under an explicit
+// parent — the cross-goroutine hand-over (a sweep's worker cells parent to
+// the sweep span this way).
+func StartSpanUnder(parent *Span, name string, attrs ...Attr) *Span {
+	return DefaultTracer.StartSpanUnder(parent, name, attrs...)
+}

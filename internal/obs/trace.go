@@ -1,0 +1,431 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSpanLimit bounds how many completed spans the default tracer
+// buffers before dropping (a full 8192-capacity sweep records a few
+// thousand spans; the limit is a guard against a forgotten Enable, not a
+// budget).
+const DefaultSpanLimit = 1 << 18
+
+// Attr is one structured key/value attribute on a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A is shorthand for constructing an Attr.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// SpanData is one completed span as recorded by the tracer.
+type SpanData struct {
+	ID     uint64
+	Parent uint64 // 0 for roots
+	GID    uint64 // goroutine the span ran on
+	Name   string
+	Start  time.Time
+	Dur    time.Duration
+	Attrs  []Attr
+}
+
+// Span is an open span. All methods are nil-safe: a disabled tracer
+// returns nil spans and instrumented code calls SetAttr/End on them
+// unconditionally.
+type Span struct {
+	tracer *Tracer
+	id     uint64
+	parent uint64
+	gid    uint64
+	name   string
+	start  time.Time
+	prev   *Span // the span this one shadowed on its goroutine's stack
+	mu     sync.Mutex
+	attrs  []Attr
+	ended  bool
+}
+
+// ID returns the span's identifier (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetAttr attaches (or appends) an attribute to the span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// End closes the span and records it. End must be called on the goroutine
+// that started the span (the usual defer discipline); ending twice is a
+// no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+
+	t := s.tracer
+	// Pop this goroutine's span stack. The span may not be the innermost
+	// one if a child leaked without End; restoring to prev is still the
+	// best recovery.
+	if s.prev != nil {
+		t.current.Store(s.gid, s.prev)
+	} else {
+		t.current.Delete(s.gid)
+	}
+	if !t.enabled.Load() {
+		return // disabled between start and end; drop silently
+	}
+	t.record(SpanData{
+		ID:     s.id,
+		Parent: s.parent,
+		GID:    s.gid,
+		Name:   s.name,
+		Start:  s.start,
+		Dur:    time.Since(s.start),
+		Attrs:  attrs,
+	})
+}
+
+// Tracer records hierarchical spans. The zero value is not usable; call
+// NewTracer. A tracer is disabled until Enable is called; while disabled,
+// StartSpan is a single atomic load returning nil.
+type Tracer struct {
+	enabled atomic.Bool
+	refs    int32 // guarded by bufMu; Enable nesting count
+	nextID  atomic.Uint64
+	current sync.Map // gid (uint64) -> *Span
+	limit   int
+
+	bufMu   sync.Mutex
+	shards  [spanShards]spanShard
+	dropped atomic.Uint64
+	epoch   time.Time
+}
+
+const spanShards = 16
+
+type spanShard struct {
+	mu    sync.Mutex
+	spans []SpanData
+}
+
+// NewTracer returns a disabled tracer buffering at most limit completed
+// spans (<=0 means DefaultSpanLimit).
+func NewTracer(limit int) *Tracer {
+	if limit <= 0 {
+		limit = DefaultSpanLimit
+	}
+	return &Tracer{limit: limit}
+}
+
+// Enable turns span recording on. Calls nest (each ?trace=1 request
+// enables around its work); recording stops and the buffer clears when
+// the last Disable lands.
+func (t *Tracer) Enable() {
+	t.bufMu.Lock()
+	defer t.bufMu.Unlock()
+	t.refs++
+	if t.refs == 1 {
+		t.epoch = time.Now()
+		t.enabled.Store(true)
+	}
+}
+
+// Disable undoes one Enable. When the last reference drops the tracer
+// stops recording and discards any buffered spans.
+func (t *Tracer) Disable() {
+	t.bufMu.Lock()
+	defer t.bufMu.Unlock()
+	if t.refs == 0 {
+		return
+	}
+	t.refs--
+	if t.refs == 0 {
+		t.enabled.Store(false)
+		for i := range t.shards {
+			t.shards[i].mu.Lock()
+			t.shards[i].spans = nil
+			t.shards[i].mu.Unlock()
+		}
+		t.dropped.Store(0)
+	}
+}
+
+// Enabled reports whether the tracer is currently recording.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// Dropped returns how many spans were discarded because the buffer was
+// full.
+func (t *Tracer) Dropped() uint64 { return t.dropped.Load() }
+
+var gidBufPool = sync.Pool{New: func() any { b := make([]byte, 64); return &b }}
+
+// goid returns the current goroutine's id, parsed from the runtime stack
+// header ("goroutine N [running]:"). Go offers no public accessor; the
+// parse costs ~1µs, paid only while tracing is enabled.
+func goid() uint64 {
+	bp := gidBufPool.Get().(*[]byte)
+	b := (*bp)[:runtime.Stack(*bp, false)]
+	b = bytes.TrimPrefix(b, []byte("goroutine "))
+	if i := bytes.IndexByte(b, ' '); i > 0 {
+		b = b[:i]
+	}
+	n, _ := strconv.ParseUint(string(b), 10, 64)
+	gidBufPool.Put(bp)
+	return n
+}
+
+// StartSpan opens a span nested under the calling goroutine's innermost
+// open span (a root span if there is none). Returns nil when disabled.
+func (t *Tracer) StartSpan(name string, attrs ...Attr) *Span {
+	if !t.enabled.Load() {
+		return nil
+	}
+	gid := goid()
+	var parent uint64
+	var prev *Span
+	if v, ok := t.current.Load(gid); ok {
+		prev = v.(*Span)
+		parent = prev.id
+	}
+	return t.start(name, parent, prev, gid, attrs)
+}
+
+// StartSpanUnder opens a span under an explicit parent, for handing a
+// trace across goroutines (sweep → worker cell). A nil parent makes a
+// root span. Returns nil when disabled.
+func (t *Tracer) StartSpanUnder(parent *Span, name string, attrs ...Attr) *Span {
+	if !t.enabled.Load() {
+		return nil
+	}
+	gid := goid()
+	var prev *Span
+	if v, ok := t.current.Load(gid); ok {
+		prev = v.(*Span)
+	}
+	return t.start(name, parent.ID(), prev, gid, attrs)
+}
+
+func (t *Tracer) start(name string, parent uint64, prev *Span, gid uint64, attrs []Attr) *Span {
+	s := &Span{
+		tracer: t,
+		id:     t.nextID.Add(1),
+		parent: parent,
+		gid:    gid,
+		name:   name,
+		start:  time.Now(),
+		prev:   prev,
+		attrs:  attrs,
+	}
+	t.current.Store(gid, s)
+	return s
+}
+
+func (t *Tracer) record(d SpanData) {
+	sh := &t.shards[d.GID%spanShards]
+	sh.mu.Lock()
+	if len(sh.spans) >= t.limit/spanShards {
+		sh.mu.Unlock()
+		t.dropped.Add(1)
+		return
+	}
+	sh.spans = append(sh.spans, d)
+	sh.mu.Unlock()
+}
+
+// Spans copies out every buffered completed span, sorted by start time.
+func (t *Tracer) Spans() []SpanData {
+	var out []SpanData
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.spans...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Collect extracts (and removes from the buffer) the subtree rooted at
+// rootID — the per-request harvest behind ?trace=1, so concurrent traced
+// requests don't read each other's spans. The root span itself must
+// already have ended.
+func (t *Tracer) Collect(rootID uint64) []SpanData {
+	if rootID == 0 {
+		return nil
+	}
+	all := t.takeAll()
+	in := map[uint64]bool{rootID: true}
+	// Spans are recorded child-after-parent is not guaranteed across
+	// shards, so iterate to a fixpoint over the membership set.
+	for changed := true; changed; {
+		changed = false
+		for _, d := range all {
+			if !in[d.ID] && in[d.Parent] {
+				in[d.ID] = true
+				changed = true
+			}
+		}
+	}
+	var keep, rest []SpanData
+	for _, d := range all {
+		if in[d.ID] {
+			keep = append(keep, d)
+		} else {
+			rest = append(rest, d)
+		}
+	}
+	t.putBack(rest)
+	sort.Slice(keep, func(i, j int) bool { return keep[i].Start.Before(keep[j].Start) })
+	return keep
+}
+
+func (t *Tracer) takeAll() []SpanData {
+	var out []SpanData
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.spans...)
+		sh.spans = nil
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+func (t *Tracer) putBack(spans []SpanData) {
+	for _, d := range spans {
+		t.record(d)
+	}
+}
+
+// Epoch returns the time of the first Enable of the current recording
+// session (the zero of the Chrome trace's timestamp axis).
+func (t *Tracer) Epoch() time.Time {
+	t.bufMu.Lock()
+	defer t.bufMu.Unlock()
+	return t.epoch
+}
+
+// SpanSummary aggregates completed spans of one name.
+type SpanSummary struct {
+	Name    string  `json:"name"`
+	Count   int     `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+// Summarize aggregates spans per name, sorted by descending total time —
+// the compact form a sweep response returns for ?trace=1.
+func Summarize(spans []SpanData) []SpanSummary {
+	byName := map[string]*SpanSummary{}
+	for _, d := range spans {
+		s := byName[d.Name]
+		if s == nil {
+			s = &SpanSummary{Name: d.Name}
+			byName[d.Name] = s
+		}
+		s.Count++
+		ms := float64(d.Dur) / float64(time.Millisecond)
+		s.TotalMS += ms
+		if ms > s.MaxMS {
+			s.MaxMS = ms
+		}
+	}
+	out := make([]SpanSummary, 0, len(byName))
+	for _, s := range byName {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalMS != out[j].TotalMS {
+			return out[i].TotalMS > out[j].TotalMS
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// chromeEvent is one Chrome trace-event ("X" = complete event).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // µs since epoch start
+	Dur  float64        `json:"dur"` // µs
+	Pid  uint64         `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serialises spans as Chrome trace-event JSON, loadable
+// in chrome://tracing and ui.perfetto.dev. Each event's args carry the
+// span and parent IDs (the hierarchy survives exactly, not just by
+// timestamp containment) plus the span's attributes; tid is the goroutine
+// id, so per-goroutine lanes match the actual schedule. Timestamps are
+// microseconds relative to epoch.
+func WriteChromeTrace(w io.Writer, spans []SpanData, epoch time.Time) error {
+	events := make([]chromeEvent, 0, len(spans))
+	for _, d := range spans {
+		args := map[string]any{
+			"span_id":   d.ID,
+			"parent_id": d.Parent,
+		}
+		for _, a := range d.Attrs {
+			args[a.Key] = a.Value
+		}
+		events = append(events, chromeEvent{
+			Name: d.Name,
+			Ph:   "X",
+			Ts:   float64(d.Start.Sub(epoch)) / float64(time.Microsecond),
+			Dur:  float64(d.Dur) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  d.GID,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteChromeTraceFile drains the tracer's buffer and writes it as a
+// Chrome trace to w. Convenience for `wcetlab -trace out.json`.
+func (t *Tracer) WriteChromeTraceFile(w io.Writer) error {
+	spans := t.takeAll()
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	if err := WriteChromeTrace(w, spans, t.Epoch()); err != nil {
+		return err
+	}
+	if n := t.dropped.Load(); n > 0 {
+		return fmt.Errorf("trace buffer overflowed: %d spans dropped", n)
+	}
+	return nil
+}

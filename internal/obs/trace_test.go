@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestDisabledTracerIsNilSafe(t *testing.T) {
+	tr := NewTracer(0)
+	s := tr.StartSpan("anything", A("k", 1))
+	if s != nil {
+		t.Fatal("disabled tracer returned a non-nil span")
+	}
+	// Every method must be a no-op on nil.
+	s.SetAttr("k", "v")
+	s.End()
+	if s.ID() != 0 {
+		t.Fatal("nil span ID != 0")
+	}
+	if got := tr.Spans(); len(got) != 0 {
+		t.Fatalf("disabled tracer recorded %d spans", len(got))
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Enable()
+	defer tr.Disable()
+
+	sweep := tr.StartSpan("sweep", A("bench", "x"))
+	cell := tr.StartSpan("cell", A("capacity", 128))
+	stage := tr.StartSpan("stage:analyze")
+	solve := tr.StartSpan("solve")
+	solve.End()
+	stage.End()
+	cell.End()
+	sweep.End()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("recorded %d spans, want 4", len(spans))
+	}
+	byName := map[string]SpanData{}
+	for _, d := range spans {
+		byName[d.Name] = d
+	}
+	if byName["sweep"].Parent != 0 {
+		t.Fatal("sweep should be a root span")
+	}
+	if byName["cell"].Parent != byName["sweep"].ID {
+		t.Fatal("cell not parented to sweep")
+	}
+	if byName["stage:analyze"].Parent != byName["cell"].ID {
+		t.Fatal("stage not parented to cell")
+	}
+	if byName["solve"].Parent != byName["stage:analyze"].ID {
+		t.Fatal("solve not parented to stage")
+	}
+	// Containment: child intervals sit inside their parents.
+	st, cl := byName["stage:analyze"], byName["cell"]
+	if st.Start.Before(cl.Start) || st.Start.Add(st.Dur).After(cl.Start.Add(cl.Dur)) {
+		t.Fatal("stage span not contained in cell span")
+	}
+}
+
+func TestStartSpanUnderCrossGoroutine(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Enable()
+	defer tr.Disable()
+
+	root := tr.StartSpan("sweep")
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cell := tr.StartSpanUnder(root, "cell")
+			inner := tr.StartSpan("stage:simulate") // implicit parent = cell
+			inner.End()
+			cell.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 9 {
+		t.Fatalf("recorded %d spans, want 9", len(spans))
+	}
+	var rootID uint64
+	for _, d := range spans {
+		if d.Name == "sweep" {
+			rootID = d.ID
+		}
+	}
+	cells := map[uint64]bool{}
+	for _, d := range spans {
+		if d.Name == "cell" {
+			if d.Parent != rootID {
+				t.Fatalf("cell parent = %d, want sweep %d", d.Parent, rootID)
+			}
+			cells[d.ID] = true
+		}
+	}
+	for _, d := range spans {
+		if d.Name == "stage:simulate" && !cells[d.Parent] {
+			t.Fatalf("stage span parent %d is not a cell", d.Parent)
+		}
+	}
+}
+
+func TestCollectExtractsSubtree(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Enable()
+	defer tr.Disable()
+
+	other := tr.StartSpan("other")
+	other.End()
+	root := tr.StartSpan("request")
+	child := tr.StartSpan("work")
+	grand := tr.StartSpan("inner")
+	grand.End()
+	child.End()
+	root.End()
+
+	got := tr.Collect(root.ID())
+	if len(got) != 3 {
+		t.Fatalf("collected %d spans, want 3", len(got))
+	}
+	for _, d := range got {
+		if d.Name == "other" {
+			t.Fatal("collected a span outside the subtree")
+		}
+	}
+	rest := tr.Spans()
+	if len(rest) != 1 || rest[0].Name != "other" {
+		t.Fatalf("buffer after collect = %+v, want just other", rest)
+	}
+}
+
+func TestDisableClearsBuffer(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Enable()
+	tr.StartSpan("a").End()
+	tr.Enable() // nested enable keeps recording
+	tr.Disable()
+	if len(tr.Spans()) != 1 {
+		t.Fatal("nested disable cleared the buffer early")
+	}
+	tr.Disable()
+	if len(tr.Spans()) != 0 {
+		t.Fatal("final disable did not clear the buffer")
+	}
+	if tr.Enabled() {
+		t.Fatal("tracer still enabled")
+	}
+}
+
+func TestBufferLimitDrops(t *testing.T) {
+	tr := NewTracer(spanShards) // one span per shard
+	tr.Enable()
+	defer tr.Disable()
+	for i := 0; i < 100; i++ {
+		tr.StartSpan("s").End()
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("expected drops at tiny buffer limit")
+	}
+	if got := len(tr.Spans()); got > spanShards {
+		t.Fatalf("buffered %d spans, limit %d", got, spanShards)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Enable()
+	defer tr.Disable()
+
+	root := tr.StartSpan("sweep", A("bench", "Sort"))
+	child := tr.StartSpan("cell", A("capacity", 256))
+	child.SetAttr("bounds", "100,90,85")
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTraceFile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("trace is not valid JSON: %s", buf.String())
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  uint64         `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
+	}
+	byName := map[string]map[string]any{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			t.Fatalf("event phase %q, want X", e.Ph)
+		}
+		if e.Ts < 0 || e.Dur < 0 {
+			t.Fatalf("negative ts/dur: %+v", e)
+		}
+		byName[e.Name] = e.Args
+	}
+	if byName["sweep"]["bench"] != "Sort" {
+		t.Fatal("sweep attrs missing")
+	}
+	if byName["cell"]["bounds"] != "100,90,85" {
+		t.Fatal("cell SetAttr missing")
+	}
+	// parent_id of cell must equal span_id of sweep (JSON numbers decode
+	// as float64).
+	if byName["cell"]["parent_id"] != byName["sweep"]["span_id"] {
+		t.Fatal("parent linkage lost in export")
+	}
+	// The file drains the buffer.
+	if len(tr.Spans()) != 0 {
+		t.Fatal("WriteChromeTraceFile did not drain the buffer")
+	}
+}
+
+func TestConcurrentTracing(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Enable()
+	defer tr.Disable()
+	root := tr.StartSpan("sweep")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := tr.StartSpanUnder(root, "cell")
+				in := tr.StartSpan("stage")
+				in.SetAttr("i", i)
+				in.End()
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got, want := len(tr.Spans()), 8*200*2+1; got != want {
+		t.Fatalf("recorded %d spans, want %d", got, want)
+	}
+}

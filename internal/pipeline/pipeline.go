@@ -65,6 +65,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/link"
 	"repro/internal/obj"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/wcet"
@@ -199,8 +200,65 @@ type Pipeline struct {
 	profile  *entry[*sim.Profile]
 	stats    Stats
 
+	bench string
+	om    pipeMetrics
+
 	progOnce sync.Once
 	progKey  string
+}
+
+// stageMetrics are one stage's series in the process-wide registry,
+// resolved once per pipeline so the hot paths pay only atomic increments.
+// They mirror Stats exactly: runs = cold executions, the cache counters
+// split by tier, seconds distributes the same wall clock the *Time sums
+// accumulate.
+type stageMetrics struct {
+	runs     *obs.Counter
+	seconds  *obs.Histogram
+	memHit   *obs.Counter
+	memMiss  *obs.Counter
+	diskHit  *obs.Counter
+	diskMiss *obs.Counter
+}
+
+func newStageMetrics(stage, bench string) stageMetrics {
+	cache := func(tier, result string) *obs.Counter {
+		return obs.Default.Counter("wcetlab_stage_cache_total",
+			"Pipeline stage cache lookups by tier and result.",
+			"stage", stage, "tier", tier, "result", result, "bench", bench)
+	}
+	return stageMetrics{
+		runs: obs.Default.Counter("wcetlab_stage_runs_total",
+			"Cold pipeline stage executions.", "stage", stage, "bench", bench),
+		seconds: obs.Default.Histogram("wcetlab_stage_seconds",
+			"Wall clock per cold pipeline stage execution.", nil,
+			"stage", stage, "bench", bench),
+		memHit:   cache("memory", "hit"),
+		memMiss:  cache("memory", "miss"),
+		diskHit:  cache("disk", "hit"),
+		diskMiss: cache("disk", "miss"),
+	}
+}
+
+type pipeMetrics struct {
+	link, sim, analyze, profile, alloc stageMetrics
+
+	upgrades    *obs.Counter
+	storeErrors *obs.Counter
+}
+
+func newPipeMetrics(bench string) pipeMetrics {
+	return pipeMetrics{
+		link:    newStageMetrics("link", bench),
+		sim:     newStageMetrics("simulate", bench),
+		analyze: newStageMetrics("analyze", bench),
+		profile: newStageMetrics("profile", bench),
+		alloc:   newStageMetrics("alloc", bench),
+		upgrades: obs.Default.Counter("wcetlab_analyze_witness_upgrades_total",
+			"Re-analyses of a cached configuration to attach a witness.", "bench", bench),
+		storeErrors: obs.Default.Counter("wcetlab_store_write_errors_total",
+			"Failed best-effort artifact store writes.", "bench", bench),
+	}
 }
 
 // entry is a singleflight cache slot: the first getter computes under the
@@ -230,8 +288,16 @@ type analysisEntry struct {
 	err  error
 }
 
-// New builds an empty pipeline around a compiled program.
+// New builds an empty pipeline around a compiled program. Its metrics
+// carry an empty bench label; prefer NewNamed where the benchmark is
+// known.
 func New(prog *obj.Program) *Pipeline {
+	return NewNamed(prog, "")
+}
+
+// NewNamed builds an empty pipeline around a compiled program, labelling
+// its metrics with the benchmark name.
+func NewNamed(prog *obj.Program, bench string) *Pipeline {
 	return &Pipeline{
 		Prog:     prog,
 		splits:   make(map[string]*entry[*obj.Program]),
@@ -240,6 +306,8 @@ func New(prog *obj.Program) *Pipeline {
 		analyses: make(map[string]*analysisEntry),
 		allocs:   make(map[string]*entry[*Allocation]),
 		profile:  &entry[*sim.Profile]{},
+		bench:    bench,
+		om:       newPipeMetrics(bench),
 	}
 }
 
@@ -263,6 +331,7 @@ func (p *Pipeline) SetStore(s *store.Store) {
 	if prof.done && prof.err == nil && prof.val != nil {
 		if err := s.SaveProfile(p.programKey(), profileStageKey, prof.val); err != nil {
 			p.count(func(st *Stats) { st.StoreErrors++ })
+			p.om.storeErrors.Inc()
 		}
 	}
 }
@@ -357,6 +426,8 @@ func (p *Pipeline) Link(spmSize uint32, inSPM map[string]bool) (*link.Executable
 // objects — fragments included — in the scratchpad.
 func (p *Pipeline) LinkUnits(regions []obj.Region, spmSize uint32, inSPM map[string]bool) (*link.Executable, error) {
 	key := unitPrefix(regions) + PlacementKey(spmSize, inSPM)
+	sp := obs.StartSpan("stage:link", obs.A("tier", "memory"))
+	defer sp.End()
 	p.mu.Lock()
 	e, ok := p.links[key]
 	if !ok {
@@ -366,17 +437,23 @@ func (p *Pipeline) LinkUnits(regions []obj.Region, spmSize uint32, inSPM map[str
 	p.mu.Unlock()
 	if ok {
 		p.count(func(s *Stats) { s.LinkHits++ })
+		p.om.link.memHit.Inc()
+	} else {
+		p.om.link.memMiss.Inc()
 	}
 	return e.get(func() (*link.Executable, error) {
+		sp.SetAttr("tier", "compute")
 		prog, err := p.SplitProgram(regions)
 		if err != nil {
 			return nil, err
 		}
 		p.count(func(s *Stats) { s.Links++ })
+		p.om.link.runs.Inc()
 		t0 := time.Now()
 		defer func() {
 			d := time.Since(t0)
 			p.count(func(s *Stats) { s.LinkTime += d })
+			p.om.link.seconds.Observe(d.Seconds())
 		}()
 		if strings.HasSuffix(key, "spm=0|") {
 			// Normalised empty placement: capacity-independent.
@@ -398,6 +475,8 @@ func (p *Pipeline) Simulate(spmSize uint32, inSPM map[string]bool, ccfg *cache.C
 // SimulateUnits is Simulate under a placement-unit partition.
 func (p *Pipeline) SimulateUnits(regions []obj.Region, spmSize uint32, inSPM map[string]bool, ccfg *cache.Config) (*sim.Result, error) {
 	key := unitPrefix(regions) + PlacementKey(spmSize, inSPM) + "|" + cacheKey(ccfg)
+	sp := obs.StartSpan("stage:simulate", obs.A("tier", "memory"))
+	defer sp.End()
 	p.mu.Lock()
 	e, ok := p.sims[key]
 	if !ok {
@@ -407,16 +486,24 @@ func (p *Pipeline) SimulateUnits(regions []obj.Region, spmSize uint32, inSPM map
 	p.mu.Unlock()
 	if ok {
 		p.count(func(s *Stats) { s.SimHits++ })
+		p.om.sim.memHit.Inc()
+	} else {
+		p.om.sim.memMiss.Inc()
 	}
 	return e.get(func() (*sim.Result, error) {
 		if disk := p.diskStore(); disk != nil {
 			if r, ok := disk.LoadSim(p.programKey(), key); ok {
 				p.count(func(s *Stats) { s.SimDiskHits++ })
+				p.om.sim.diskHit.Inc()
+				sp.SetAttr("tier", "disk")
 				return r, nil
 			}
 			p.count(func(s *Stats) { s.SimDiskMisses++ })
+			p.om.sim.diskMiss.Inc()
 		}
 		p.count(func(s *Stats) { s.Sims++ })
+		p.om.sim.runs.Inc()
+		sp.SetAttr("tier", "compute")
 		exe, err := p.LinkUnits(regions, spmSize, inSPM)
 		if err != nil {
 			return nil, err
@@ -425,6 +512,7 @@ func (p *Pipeline) SimulateUnits(regions []obj.Region, spmSize uint32, inSPM map
 		res, err := sim.Run(exe, sim.Options{Cache: ccfg})
 		d := time.Since(t0)
 		p.count(func(s *Stats) { s.SimTime += d })
+		p.om.sim.seconds.Observe(d.Seconds())
 		if err == nil {
 			p.storeSave(func(disk *store.Store) error {
 				return disk.SaveSim(p.programKey(), key, res)
@@ -449,6 +537,8 @@ func (p *Pipeline) Analyze(spmSize uint32, inSPM map[string]bool, opts wcet.Opti
 // recompute nothing.
 func (p *Pipeline) AnalyzeUnits(regions []obj.Region, spmSize uint32, inSPM map[string]bool, opts wcet.Options) (*wcet.Result, error) {
 	key := analysisKey(unitPrefix(regions)+PlacementKey(spmSize, inSPM), opts)
+	sp := obs.StartSpan("stage:analyze", obs.A("tier", "memory"))
+	defer sp.End()
 	p.mu.Lock()
 	e := p.analyses[key]
 	if e == nil {
@@ -462,11 +552,14 @@ func (p *Pipeline) AnalyzeUnits(regions []obj.Region, spmSize uint32, inSPM map[
 	upgrade := false
 	switch {
 	case !e.done:
+		p.om.analyze.memMiss.Inc()
 	case e.err == nil && opts.Witness && e.res.Witness == nil:
 		upgrade = true
 		e.done = false
+		p.om.analyze.memMiss.Inc()
 	default:
 		p.count(func(s *Stats) { s.AnalyzeHits++ })
+		p.om.analyze.memHit.Inc()
 	}
 	if !e.done {
 		// Disk tier. LoadWCET treats a witness-less entry as a miss when a
@@ -475,10 +568,13 @@ func (p *Pipeline) AnalyzeUnits(regions []obj.Region, spmSize uint32, inSPM map[
 		if disk := p.diskStore(); disk != nil {
 			if r, ok := disk.LoadWCET(p.programKey(), key, opts.Witness); ok {
 				p.count(func(s *Stats) { s.AnalyzeDiskHits++ })
+				p.om.analyze.diskHit.Inc()
+				sp.SetAttr("tier", "disk")
 				e.res, e.err, e.done = r, nil, true
 				return e.res, e.err
 			}
 			p.count(func(s *Stats) { s.AnalyzeDiskMisses++ })
+			p.om.analyze.diskMiss.Inc()
 		}
 		p.count(func(s *Stats) {
 			s.Analyses++
@@ -486,6 +582,11 @@ func (p *Pipeline) AnalyzeUnits(regions []obj.Region, spmSize uint32, inSPM map[
 				s.AnalyzeUpgrades++
 			}
 		})
+		p.om.analyze.runs.Inc()
+		if upgrade {
+			p.om.upgrades.Inc()
+		}
+		sp.SetAttr("tier", "compute")
 		exe, err := p.LinkUnits(regions, spmSize, inSPM)
 		if err != nil {
 			e.res, e.err = nil, err
@@ -494,6 +595,7 @@ func (p *Pipeline) AnalyzeUnits(regions []obj.Region, spmSize uint32, inSPM map[
 			e.res, e.err = wcet.Analyze(exe, opts)
 			d := time.Since(t0)
 			p.count(func(s *Stats) { s.AnalyzeTime += d })
+			p.om.analyze.seconds.Observe(d.Seconds())
 		}
 		e.done = true
 		if e.err == nil {
@@ -509,6 +611,8 @@ func (p *Pipeline) AnalyzeUnits(regions []obj.Region, spmSize uint32, inSPM map[
 // baseline system (no scratchpad, no cache), consulting the disk tier
 // before simulating.
 func (p *Pipeline) Profile() (*sim.Profile, error) {
+	sp := obs.StartSpan("stage:profile", obs.A("tier", "memory"))
+	defer sp.End()
 	p.mu.Lock()
 	e := p.profile
 	p.mu.Unlock()
@@ -516,17 +620,24 @@ func (p *Pipeline) Profile() (*sim.Profile, error) {
 	defer e.mu.Unlock()
 	if e.done {
 		p.count(func(s *Stats) { s.ProfileHits++ })
+		p.om.profile.memHit.Inc()
 		return e.val, e.err
 	}
+	p.om.profile.memMiss.Inc()
 	if disk := p.diskStore(); disk != nil {
 		if prof, ok := disk.LoadProfile(p.programKey(), profileStageKey); ok {
 			p.count(func(s *Stats) { s.ProfileDiskHits++ })
+			p.om.profile.diskHit.Inc()
+			sp.SetAttr("tier", "disk")
 			e.val, e.err, e.done = prof, nil, true
 			return e.val, e.err
 		}
 		p.count(func(s *Stats) { s.ProfileDiskMisses++ })
+		p.om.profile.diskMiss.Inc()
 	}
 	p.count(func(s *Stats) { s.Profiles++ })
+	p.om.profile.runs.Inc()
+	sp.SetAttr("tier", "compute")
 	exe, err := p.Link(0, nil)
 	if err != nil {
 		e.val, e.err = nil, err
@@ -535,6 +646,7 @@ func (p *Pipeline) Profile() (*sim.Profile, error) {
 		e.val, e.err = sim.CollectProfile(exe, sim.Options{})
 		d := time.Since(t0)
 		p.count(func(s *Stats) { s.ProfileTime += d })
+		p.om.profile.seconds.Observe(d.Seconds())
 	}
 	e.done = true
 	if e.err == nil {
@@ -569,6 +681,8 @@ func (p *Pipeline) Allocate(a Allocator, capacity uint32) (*Allocation, error) {
 		return p.runAllocate(a, capacity)
 	}
 	key := fmt.Sprintf("alloc|%s|cap=%d", ck, capacity)
+	sp := obs.StartSpan("stage:alloc", obs.A("tier", "memory"), obs.A("capacity", capacity))
+	defer sp.End()
 	p.mu.Lock()
 	e, ok := p.allocs[key]
 	if !ok {
@@ -578,18 +692,25 @@ func (p *Pipeline) Allocate(a Allocator, capacity uint32) (*Allocation, error) {
 	p.mu.Unlock()
 	if ok {
 		p.count(func(s *Stats) { s.AllocHits++ })
+		p.om.alloc.memHit.Inc()
+	} else {
+		p.om.alloc.memMiss.Inc()
 	}
 	return e.get(func() (*Allocation, error) {
 		if disk := p.diskStore(); disk != nil {
 			if art, ok := disk.LoadAlloc(p.programKey(), key); ok {
 				p.count(func(s *Stats) { s.AllocDiskHits++ })
+				p.om.alloc.diskHit.Inc()
+				sp.SetAttr("tier", "disk")
 				return &Allocation{
 					InSPM: art.InSPM, Benefit: art.Benefit, Used: art.Used, Splits: art.Splits,
 					Iterations: int(art.Iterations), Converged: art.Converged,
 				}, nil
 			}
 			p.count(func(s *Stats) { s.AllocDiskMisses++ })
+			p.om.alloc.diskMiss.Inc()
 		}
+		sp.SetAttr("tier", "compute")
 		alloc, err := p.runAllocate(a, capacity)
 		if err == nil {
 			p.storeSave(func(disk *store.Store) error {
@@ -605,11 +726,44 @@ func (p *Pipeline) Allocate(a Allocator, capacity uint32) (*Allocation, error) {
 
 func (p *Pipeline) runAllocate(a Allocator, capacity uint32) (*Allocation, error) {
 	p.count(func(s *Stats) { s.Allocs++ })
+	p.om.alloc.runs.Inc()
 	t0 := time.Now()
 	alloc, err := a.Allocate(p, capacity)
 	d := time.Since(t0)
 	p.count(func(s *Stats) { s.AllocTime += d })
+	p.om.alloc.seconds.Observe(d.Seconds())
 	return alloc, err
+}
+
+// StageLatency reads the per-stage latency histograms back out of the
+// process-wide registry for one benchmark; bench == "" aggregates across
+// every benchmark. Keys are the stage names ("link", "simulate",
+// "analyze", "profile", "alloc"); stages that never ran cold are absent.
+func StageLatency(bench string) map[string]obs.HistogramSnapshot {
+	out := make(map[string]obs.HistogramSnapshot)
+	for _, f := range obs.Default.Snapshot() {
+		if f.Name != "wcetlab_stage_seconds" {
+			continue
+		}
+		for _, s := range f.Samples {
+			if s.Hist == nil || s.Hist.Count == 0 {
+				continue
+			}
+			if bench != "" && s.Label("bench") != bench {
+				continue
+			}
+			stage := s.Label("stage")
+			if prev, ok := out[stage]; ok {
+				prev.Merge(*s.Hist)
+				out[stage] = prev
+			} else {
+				cp := *s.Hist
+				cp.Counts = append([]uint64(nil), s.Hist.Counts...)
+				out[stage] = cp
+			}
+		}
+	}
+	return out
 }
 
 // Stats returns a snapshot of the stage counters.
@@ -640,5 +794,6 @@ func (p *Pipeline) storeSave(save func(*store.Store) error) {
 	}
 	if err := save(disk); err != nil {
 		p.count(func(s *Stats) { s.StoreErrors++ })
+		p.om.storeErrors.Inc()
 	}
 }

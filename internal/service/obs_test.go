@@ -1,0 +1,236 @@
+package service_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// scrape fetches /v1/metrics and parses every sample line into a
+// name{labels} → value map, failing on any line that does not match the
+// text exposition grammar.
+func scrape(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("malformed value in %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// sum totals the samples whose series name+labels contain every needle.
+func sum(m map[string]float64, needles ...string) float64 {
+	var total float64
+outer:
+	for k, v := range m {
+		for _, n := range needles {
+			if !strings.Contains(k, n) {
+				continue outer
+			}
+		}
+		total += v
+	}
+	return total
+}
+
+// TestMetricsEndpoint scrapes before and after a sweep and asserts the
+// exposition is well-formed, the instrumented subsystems all appear, and
+// the counters moved monotonically.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	m0 := scrape(t, ts.URL)
+	var rows []json.RawMessage
+	get(t, ts.URL+"/v1/sweep?bench=MultiSort&branch=spm", http.StatusOK, &rows)
+	if len(rows) == 0 {
+		t.Fatal("sweep returned no rows")
+	}
+	m1 := scrape(t, ts.URL)
+
+	// Stage counters: cold runs happened and every cache tier shows up.
+	for _, needles := range [][]string{
+		{"wcetlab_stage_runs_total", `bench="MultiSort"`},
+		{"wcetlab_stage_cache_total", `tier="memory"`, `bench="MultiSort"`},
+		{"wcetlab_stage_cache_total", `tier="disk"`, `bench="MultiSort"`},
+		{"wcetlab_stage_seconds_count", `bench="MultiSort"`},
+		{"wcetlab_store_writes_total"},
+		{"wcetlab_store_write_bytes_total"},
+		{"wcetlab_alloc_solver_solves_total"},
+		{"wcetlab_http_requests_total", `route="/v1/sweep"`},
+		{"wcetlab_http_request_seconds_count", `route="/v1/sweep"`},
+	} {
+		if d := sum(m1, needles...) - sum(m0, needles...); d <= 0 {
+			t.Errorf("%v moved by %g, want > 0", needles, d)
+		}
+	}
+	// Monotonicity across the scrape for every counter family.
+	for k, v0 := range m0 {
+		if strings.Contains(k, "_total") || strings.Contains(k, "_count") || strings.Contains(k, "_bucket") {
+			if v1, ok := m1[k]; ok && v1 < v0 {
+				t.Errorf("counter %s went backwards: %g -> %g", k, v0, v1)
+			}
+		}
+	}
+	// Histogram consistency: +Inf bucket equals _count for the sweep route
+	// (labels render sorted by key, le last).
+	inf := m1[`wcetlab_http_request_seconds_bucket{route="/v1/sweep",le="+Inf"}`]
+	cnt := m1[`wcetlab_http_request_seconds_count{route="/v1/sweep"}`]
+	if inf == 0 || inf != cnt {
+		t.Errorf("+Inf bucket %g != _count %g", inf, cnt)
+	}
+}
+
+// TestStatsLatencyQuantiles asserts /v1/stats carries per-stage latency
+// quantiles after a sweep, consistent with the cold-run totals.
+func TestStatsLatencyQuantiles(t *testing.T) {
+	ts, _ := newTestServer(t)
+	m0 := scrape(t, ts.URL)
+	var rows []json.RawMessage
+	get(t, ts.URL+"/v1/sweep?bench=MultiSort&branch=spm", http.StatusOK, &rows)
+
+	var stats struct {
+		Benchmarks map[string]struct {
+			Analyses uint64 `json:"analyses"`
+			Latency  map[string]struct {
+				Count uint64  `json:"count"`
+				P50MS float64 `json:"p50_ms"`
+				P95MS float64 `json:"p95_ms"`
+				MaxMS float64 `json:"max_ms"`
+			} `json:"latency"`
+		} `json:"benchmarks"`
+		Total struct {
+			Latency map[string]struct {
+				Count uint64 `json:"count"`
+			} `json:"latency"`
+		} `json:"total"`
+	}
+	get(t, ts.URL+"/v1/stats", http.StatusOK, &stats)
+	bs, ok := stats.Benchmarks["MultiSort"]
+	if !ok {
+		t.Fatal("stats missing MultiSort shard")
+	}
+	lat, ok := bs.Latency["analyze"]
+	if !ok {
+		t.Fatalf("stats missing analyze latency: %+v", bs.Latency)
+	}
+	// The registry is process-wide, so the shard's cumulative latency count
+	// is at least this server's cold analyses; the scrape delta across this
+	// test's own sweep must match them exactly.
+	if lat.Count == 0 || lat.Count < bs.Analyses {
+		t.Errorf("analyze latency count %d, want >= %d (cold analyses)", lat.Count, bs.Analyses)
+	}
+	m1 := scrape(t, ts.URL)
+	key := `wcetlab_stage_seconds_count{bench="MultiSort",stage="analyze"}`
+	if d := m1[key] - m0[key]; uint64(d) != bs.Analyses {
+		t.Errorf("analyze latency observations moved by %g, Stats says %d", d, bs.Analyses)
+	}
+	if lat.P50MS <= 0 || lat.P95MS < lat.P50MS || lat.MaxMS < 0 {
+		t.Errorf("implausible quantiles: %+v", lat)
+	}
+	if tc := stats.Total.Latency["analyze"].Count; tc < lat.Count {
+		t.Errorf("total analyze latency count %d < per-bench %d", tc, lat.Count)
+	}
+}
+
+// TestSweepTraceSummary asserts trace=1 appends a span summary as the
+// final row in both buffered and streamed modes, and that tracing does
+// not change the measurement rows.
+func TestSweepTraceSummary(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	var plain []json.RawMessage
+	get(t, ts.URL+"/v1/sweep?bench=MultiSort&branch=spm", http.StatusOK, &plain)
+
+	var traced []json.RawMessage
+	get(t, ts.URL+"/v1/sweep?bench=MultiSort&branch=spm&trace=1", http.StatusOK, &traced)
+	if len(traced) != len(plain)+1 {
+		t.Fatalf("traced sweep has %d rows, want %d (+1 summary)", len(traced), len(plain)+1)
+	}
+	for i := range plain {
+		if string(plain[i]) != string(traced[i]) {
+			t.Errorf("row %d differs under tracing:\n%s\n%s", i, plain[i], traced[i])
+		}
+	}
+	var summary struct {
+		Trace *struct {
+			Spans   int `json:"spans"`
+			Summary []struct {
+				Name    string  `json:"name"`
+				Count   int     `json:"count"`
+				TotalMS float64 `json:"total_ms"`
+			} `json:"summary"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(traced[len(traced)-1], &summary); err != nil || summary.Trace == nil {
+		t.Fatalf("final row is not a trace summary: %s (err %v)", traced[len(traced)-1], err)
+	}
+	if summary.Trace.Spans == 0 {
+		t.Fatal("trace summary recorded zero spans")
+	}
+	names := map[string]bool{}
+	for _, s := range summary.Trace.Summary {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"request", "sweep", "cell"} {
+		if !names[want] {
+			t.Errorf("trace summary missing %q spans (have %v)", want, names)
+		}
+	}
+
+	// Streamed mode: same rows, summary as the final NDJSON line.
+	resp, err := http.Get(ts.URL + "/v1/sweep?bench=MultiSort&branch=spm&stream=1&trace=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != len(traced) {
+		t.Fatalf("streamed traced sweep has %d lines, want %d", len(lines), len(traced))
+	}
+	if !strings.Contains(lines[len(lines)-1], `"trace"`) {
+		t.Fatalf("final streamed line is not a trace summary: %s", lines[len(lines)-1])
+	}
+
+	// Tracing off again: a fresh sweep appends nothing.
+	var again []json.RawMessage
+	get(t, ts.URL+"/v1/sweep?bench=MultiSort&branch=spm", http.StatusOK, &again)
+	if len(again) != len(plain) {
+		t.Fatalf("untraced sweep after tracing has %d rows, want %d", len(again), len(plain))
+	}
+}

@@ -33,9 +33,22 @@
 //	GET /v1/witness?bench=<name>[&top=<n>]
 //	    Top-n worst-case memory objects and basic blocks (IPET witness).
 //	GET /v1/stats
-//	    Server, store, periodic-GC and per-shard pipeline statistics.
+//	    Server, store, periodic-GC and per-shard pipeline statistics,
+//	    including per-stage latency quantiles from the metrics registry.
+//	GET /v1/metrics
+//	    The process-wide metrics registry (internal/obs) in Prometheus
+//	    text exposition format: stage runs/cache tiers/latency, store IO
+//	    and GC, alloc-engine solver internals, HTTP request metrics.
 //
-// All responses are JSON; errors are {"error": "..."} with 4xx/5xx codes.
+// Sweep requests additionally accept trace=1: the request runs with span
+// tracing enabled and the response carries a final per-span-name summary
+// row ({"trace": ...}); the full Chrome-trace export stays a CLI affair
+// (`wcetlab -trace`).
+//
+// All responses are JSON (except /v1/metrics); errors are
+// {"error": "..."} with 4xx/5xx codes. /v1/stats and /v1/metrics respond
+// without taking a worker slot, so the server stays observable under full
+// load.
 package service
 
 import (
@@ -54,10 +67,20 @@ import (
 	"repro/internal/benchprog"
 	"repro/internal/core"
 	"repro/internal/link"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/store"
 	"repro/internal/wcet"
 	"repro/internal/wcetalloc"
+)
+
+// Process-wide HTTP gauges: requests inside a handler, and requests
+// queued waiting for a worker slot.
+var (
+	mInFlight = obs.Default.Gauge("wcetlab_http_in_flight",
+		"HTTP requests currently being handled.")
+	mQueueDepth = obs.Default.Gauge("wcetlab_http_queue_depth",
+		"HTTP requests waiting for a worker-pool slot.")
 )
 
 // Config configures a Server.
@@ -124,12 +147,33 @@ func New(cfg Config) *Server {
 		s.names = append(s.names, b.Name)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/wcet", s.handleWCET)
-	mux.HandleFunc("GET /v1/sweep", s.handleSweep)
-	mux.HandleFunc("GET /v1/witness", s.handleWitness)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/wcet", s.instrumented("/v1/wcet", s.handleWCET))
+	mux.HandleFunc("GET /v1/sweep", s.instrumented("/v1/sweep", s.handleSweep))
+	mux.HandleFunc("GET /v1/witness", s.instrumented("/v1/witness", s.handleWitness))
+	mux.HandleFunc("GET /v1/stats", s.instrumented("/v1/stats", s.handleStats))
+	mux.HandleFunc("GET /v1/metrics", s.instrumented("/v1/metrics", s.handleMetrics))
 	s.mux = mux
 	return s
+}
+
+// instrumented wraps a handler with the per-route request counter, latency
+// histogram and the shared in-flight gauge. The route label is the
+// registered pattern, never the raw URL, so the label set stays bounded.
+func (s *Server) instrumented(route string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := obs.Default.Counter("wcetlab_http_requests_total",
+		"HTTP requests by route.", "route", route)
+	lat := obs.Default.Histogram("wcetlab_http_request_seconds",
+		"HTTP request latency by route.", nil, "route", route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		mInFlight.Add(1)
+		reqs.Inc()
+		t0 := time.Now()
+		defer func() {
+			lat.Observe(time.Since(t0).Seconds())
+			mInFlight.Add(-1)
+		}()
+		h(w, r)
+	}
 }
 
 // Handler returns the HTTP handler serving the API.
@@ -219,6 +263,8 @@ func (s *Server) lab(name string) (*core.Lab, error) {
 // acquire takes a worker slot, failing the request if it is cancelled
 // while waiting. Release the slot with release().
 func (s *Server) acquire(w http.ResponseWriter, r *http.Request) bool {
+	mQueueDepth.Add(1)
+	defer mQueueDepth.Add(-1)
 	select {
 	case s.sem <- struct{}{}:
 		return true
@@ -389,21 +435,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	stream := q.Get("stream") == "1"
+	traced := q.Get("trace") == "1"
 	if !s.acquire(w, r) {
 		return
 	}
 	defer s.release()
 	switch branch {
 	case "spm":
-		s.sweepResponse(w, stream, func(emit func(any) error) error {
+		s.sweepResponse(w, stream, traced, func(emit func(any) error) error {
 			return lab.SweepScratchpadStream(func(m core.Measurement) error { return emit(toDTO(m)) })
 		})
 	case "cache":
-		s.sweepResponse(w, stream, func(emit func(any) error) error {
+		s.sweepResponse(w, stream, traced, func(emit func(any) error) error {
 			return lab.SweepCacheStream(func(m core.Measurement) error { return emit(toDTO(m)) })
 		})
 	case "wcetalloc":
-		s.sweepResponse(w, stream, func(emit func(any) error) error {
+		s.sweepResponse(w, stream, traced, func(emit func(any) error) error {
 			return lab.SweepWCETAllocationGranStream(gran, func(c core.AllocComparison) error {
 				return emit(allocComparisonDTO{
 					SPMSize:     c.SPMSize,
@@ -417,12 +464,20 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			})
 		})
 	case "pareto":
-		s.sweepResponse(w, stream, func(emit func(any) error) error {
+		s.sweepResponse(w, stream, traced, func(emit func(any) error) error {
 			return lab.SweepParetoStream(func(f core.ParetoFrontAt) error { return emit(toParetoDTO(f)) })
 		})
 	default:
 		s.writeError(w, http.StatusBadRequest, "branch must be spm, cache, wcetalloc or pareto")
 	}
+}
+
+// traceSummaryDTO is the final row of a trace=1 sweep response.
+type traceSummaryDTO struct {
+	Trace struct {
+		Spans   int               `json:"spans"`
+		Summary []obs.SpanSummary `json:"summary"`
+	} `json:"trace"`
 }
 
 // sweepResponse renders one sweep's rows either buffered (a JSON array,
@@ -433,12 +488,34 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // failure before the first streamed row is a regular JSON error with a
 // 5xx status; mid-stream (the status line is already sent) it becomes a
 // final {"error": ...} row.
-func (s *Server) sweepResponse(w http.ResponseWriter, stream bool, run func(emit func(any) error) error) {
+//
+// With traced set, the run executes under the default tracer with a
+// per-request root span, and a successful response carries one extra
+// final row summarising the request's spans by name — in both modes, so
+// buffered and streamed responses stay row-for-row identical.
+func (s *Server) sweepResponse(w http.ResponseWriter, stream, traced bool, run func(emit func(any) error) error) {
+	var finish func() any
+	if traced {
+		obs.DefaultTracer.Enable()
+		defer obs.DefaultTracer.Disable()
+		root := obs.StartSpan("request")
+		finish = func() any {
+			root.End()
+			spans := obs.DefaultTracer.Collect(root.ID())
+			var out traceSummaryDTO
+			out.Trace.Spans = len(spans)
+			out.Trace.Summary = obs.Summarize(spans)
+			return out
+		}
+	}
 	if !stream {
 		rows := []any{}
 		if err := run(func(v any) error { rows = append(rows, v); return nil }); err != nil {
 			s.serverError(w, err)
 			return
+		}
+		if finish != nil {
+			rows = append(rows, finish())
 		}
 		s.writeJSON(w, http.StatusOK, rows)
 		return
@@ -446,7 +523,7 @@ func (s *Server) sweepResponse(w http.ResponseWriter, stream bool, run func(emit
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 	started := false
-	err := run(func(v any) error {
+	emit := func(v any) error {
 		if !started {
 			started = true
 			w.Header().Set("Content-Type", "application/x-ndjson")
@@ -459,7 +536,8 @@ func (s *Server) sweepResponse(w http.ResponseWriter, stream bool, run func(emit
 			flusher.Flush()
 		}
 		return nil
-	})
+	}
+	err := run(emit)
 	if err != nil {
 		if !started {
 			s.serverError(w, err)
@@ -467,6 +545,10 @@ func (s *Server) sweepResponse(w http.ResponseWriter, stream bool, run func(emit
 		}
 		s.failures.Add(1)
 		enc.Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	if finish != nil {
+		emit(finish())
 	}
 }
 
@@ -532,6 +614,40 @@ type stageStatsDTO struct {
 	AnalyzeMS       float64 `json:"analyze_ms"`
 	ProfileMS       float64 `json:"profile_ms"`
 	AllocMS         float64 `json:"alloc_ms"`
+	// Latency holds per-stage cold-execution latency quantiles derived
+	// from the registry's histograms (absent for stages that never ran
+	// cold in this process).
+	Latency map[string]latencyDTO `json:"latency,omitempty"`
+}
+
+// latencyDTO is one stage's latency distribution: bucket-derived
+// quantiles plus the exact maximum, in milliseconds.
+type latencyDTO struct {
+	Count uint64  `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+// stageLatency projects the registry's stage histograms for one benchmark
+// ("" for all) into the DTO form.
+func stageLatency(bench string) map[string]latencyDTO {
+	lat := pipeline.StageLatency(bench)
+	if len(lat) == 0 {
+		return nil
+	}
+	out := make(map[string]latencyDTO, len(lat))
+	for stage, h := range lat {
+		out[stage] = latencyDTO{
+			Count: h.Count,
+			P50MS: h.Quantile(0.50) * 1000,
+			P95MS: h.Quantile(0.95) * 1000,
+			P99MS: h.Quantile(0.99) * 1000,
+			MaxMS: h.Max * 1000,
+		}
+	}
+	return out
 }
 
 func toStatsDTO(st pipeline.Stats) stageStatsDTO {
@@ -608,9 +724,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for name, lab := range labs {
 		st := lab.Pipe.Stats()
 		total.Add(st)
-		out.Benchmarks[name] = toStatsDTO(st)
+		dto := toStatsDTO(st)
+		dto.Latency = stageLatency(name)
+		out.Benchmarks[name] = dto
 	}
 	out.Total = toStatsDTO(total)
+	out.Total.Latency = stageLatency("")
 	if s.cfg.Store != nil {
 		ss := &storeStatsDTO{Dir: s.cfg.Store.Dir()}
 		if entries, bytes, err := s.cfg.Store.Usage(); err == nil {
@@ -629,6 +748,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.writeJSON(w, http.StatusOK, out)
+}
+
+// handleMetrics serves the process-wide metrics registry in Prometheus
+// text exposition format. Like /v1/stats it takes no worker slot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.Default.WritePrometheus(w)
 }
 
 // shardFor resolves the bench query parameter to a built shard, writing

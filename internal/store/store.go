@@ -39,8 +39,31 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/wcet"
+)
+
+// Process-wide store metrics. Stores are shared across benchmarks and
+// server shards, so the series carry no bench label; reads split by
+// result, GC removals count corrupt heals and policy evictions alike.
+var (
+	mReadHit = obs.Default.Counter("wcetlab_store_reads_total",
+		"Artifact store reads by result.", "result", "hit")
+	mReadMiss = obs.Default.Counter("wcetlab_store_reads_total",
+		"Artifact store reads by result.", "result", "miss")
+	mReadBytes = obs.Default.Counter("wcetlab_store_read_bytes_total",
+		"Bytes read from the artifact store (verified entries).")
+	mWrites = obs.Default.Counter("wcetlab_store_writes_total",
+		"Artifact store entries written.")
+	mWriteBytes = obs.Default.Counter("wcetlab_store_write_bytes_total",
+		"Bytes written to the artifact store (header included).")
+	mHeals = obs.Default.Counter("wcetlab_store_corrupt_heals_total",
+		"Corrupt or mistyped entries deleted on read so the slot heals.")
+	mGCRemoved = obs.Default.Counter("wcetlab_store_gc_files_removed_total",
+		"Files removed by store GC/Sweep (expired, evicted, corrupt, stale temporaries).")
+	mGCFreed = obs.Default.Counter("wcetlab_store_gc_bytes_freed_total",
+		"Bytes freed by store GC.")
 )
 
 // Kind tags the artifact type of an entry. It is part of the address and
@@ -120,13 +143,18 @@ func (s *Store) read(kind Kind, progKey, stageKey string) []byte {
 	path := s.entryPath(entryName(kind, progKey, stageKey))
 	raw, err := os.ReadFile(path)
 	if err != nil {
+		mReadMiss.Inc()
 		return nil
 	}
 	payload, k, ok := parseEntry(raw)
 	if !ok || k != kind {
 		os.Remove(path)
+		mHeals.Inc()
+		mReadMiss.Inc()
 		return nil
 	}
+	mReadHit.Inc()
+	mReadBytes.Add(uint64(len(raw)))
 	return payload
 }
 
@@ -201,6 +229,8 @@ func (s *Store) write(kind Kind, progKey, stageKey string, payload []byte) error
 		os.Remove(tmp)
 		return fmt.Errorf("store: %w", err)
 	}
+	mWrites.Inc()
+	mWriteBytes.Add(uint64(len(hdr) + len(payload)))
 	return nil
 }
 
@@ -435,6 +465,8 @@ func (s *Store) GCPolicy(now time.Time, pol Policy) (removed int, freed int64, e
 		}
 		return nil
 	})
+	mGCRemoved.Add(uint64(removed))
+	mGCFreed.Add(uint64(freed))
 	return removed, freed, walkErr
 }
 
@@ -473,6 +505,7 @@ func (s *Store) clean(expired func(Entry) bool) (removed int, err error) {
 		}
 		return nil
 	})
+	mGCRemoved.Add(uint64(removed))
 	if walkErr != nil {
 		return removed, fmt.Errorf("store: clean: %w", walkErr)
 	}
