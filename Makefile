@@ -1,13 +1,19 @@
 GO ?= go
 
-.PHONY: check ci fmt vet build test test-race bench bench-json wcetlab warmstore smoke
+.PHONY: check ci fmt vet build test test-race bench bench-json bench-smoke wcetlab warmstore smoke
 
 # Tier-1 verification plus formatting/lint gates.
 check: fmt vet build test
 
 # What .github/workflows/ci.yml runs: check with the race detector on,
-# plus the warm-store determinism check and the serve smoke test.
-ci: fmt vet build test-race warmstore smoke
+# plus the single-iteration benchmark smoke (validated JSON), the
+# warm-store determinism check and the serve smoke test.
+ci: fmt vet build test-race bench-smoke warmstore smoke
+
+# The CI benchmark gate: one pass over every benchmark, output validated
+# by cmd/jsoncheck against the BENCH_local.json schema.
+bench-smoke: bench-json
+	$(GO) run ./cmd/jsoncheck < BENCH_local.json
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

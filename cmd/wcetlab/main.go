@@ -12,7 +12,9 @@
 //	wcetlab wcetsweep <bench>   WCET-directed vs energy-directed allocation
 //	wcetlab pareto <bench>      energy/WCET Pareto front per capacity
 //	                            (ε-constraint scan between the pure-energy
-//	                            and pure-WCET allocations)
+//	                            and pure-WCET allocations; -adaptive
+//	                            bisects the largest certified gap instead,
+//	                            -maxpoints N caps the adaptive front)
 //	wcetlab witness <bench> [N] top-N worst-case blocks/objects (IPET witness)
 //	                            plus the derived hot-region placement units;
 //	                            -path renders the worst-case path as a CFG
@@ -154,7 +156,13 @@ func main() {
 			usage()
 			os.Exit(2)
 		}
-		err = pareto(args[1])
+		fs := flag.NewFlagSet("pareto", flag.ContinueOnError)
+		adaptive := fs.Bool("adaptive", false, "bisect the largest certified front gap instead of the even ε-step scan")
+		maxPoints := fs.Int("maxpoints", 0, "adaptive front size cap, endpoints included (0 = the even scan's maximum)")
+		if err := fs.Parse(args[2:]); err != nil {
+			os.Exit(2)
+		}
+		err = pareto(args[1], *adaptive, *maxPoints)
 	case "witness":
 		if len(args) < 2 {
 			usage()
@@ -216,7 +224,7 @@ func writeTrace(path string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: wcetlab [flags] {table1|table2|fig3|fig4|fig5|fig6|precision|sweep <bench>|wcetsweep <bench>|pareto <bench>|witness <bench> [topN] [-path]|gc [-max-age D] [-max-bytes N]|serve [-gc-interval D] [-max-age D] [-max-bytes N] [-pprof ADDR]|all}
+	fmt.Fprintln(os.Stderr, `usage: wcetlab [flags] {table1|table2|fig3|fig4|fig5|fig6|precision|sweep <bench>|wcetsweep <bench>|pareto <bench> [-adaptive] [-maxpoints N]|witness <bench> [topN] [-path]|gc [-max-age D] [-max-bytes N]|serve [-gc-interval D] [-max-age D] [-max-bytes N] [-pprof ADDR]|all}
 
 flags:
   -store DIR   artifact store directory (default $WCETLAB_STORE or
@@ -455,8 +463,45 @@ func all() error {
 	}
 	labs = append(labs, plab)
 	printPipelineStats(labs)
+	printIncrementalStats(labs)
 	printStageLatency(labs)
 	return nil
+}
+
+// printIncrementalStats renders the incremental-analysis counters: how
+// often an analysis context was reused instead of rebuilt per benchmark,
+// and process-wide how much repricing and LP warm-starting saved over a
+// from-scratch run (repriced vs total blocks, re-solved vs total
+// functions, warm vs cold simplex pivots).
+func printIncrementalStats(labs []*core.Lab) {
+	header("Incremental analysis")
+	fmt.Printf("%-14s %12s %12s\n", "benchmark", "ctx builds", "ctx reuses")
+	var builds, reuses uint64
+	for _, l := range labs {
+		s := l.Pipe.Stats()
+		builds += s.ContextBuilds
+		reuses += s.ContextReuses
+		fmt.Printf("%-14s %12d %12d\n", l.Bench.Name, s.ContextBuilds, s.ContextReuses)
+	}
+	fmt.Printf("%-14s %12d %12d\n", "total", builds, reuses)
+	val := func(name, help string, kv ...string) uint64 {
+		return obs.Default.Counter(name, help, kv...).Value()
+	}
+	repriced := val("wcetlab_context_blocks_repriced_total", "Blocks re-priced by incremental analyses.")
+	blocks := val("wcetlab_context_blocks_total", "Blocks held by analysis contexts at each analysis.")
+	solved := val("wcetlab_context_funcs_solved_total", "Per-function IPET solves incremental analyses ran.")
+	funcs := val("wcetlab_context_funcs_total", "Functions held by analysis contexts at each analysis.")
+	warmPivots := val("wcetlab_lp_pivots_total", "Simplex pivots by solve mode.", "mode", "warm")
+	coldPivots := val("wcetlab_lp_pivots_total", "Simplex pivots by solve mode.", "mode", "cold")
+	pct := func(part, whole uint64) float64 {
+		if whole == 0 {
+			return 0
+		}
+		return 100 * float64(part) / float64(whole)
+	}
+	fmt.Printf("\nblocks re-priced:  %d of %d (%.1f%%)\n", repriced, blocks, pct(repriced, blocks))
+	fmt.Printf("functions solved:  %d of %d (%.1f%%)\n", solved, funcs, pct(solved, funcs))
+	fmt.Printf("simplex pivots:    %d warm, %d cold\n", warmPivots, coldPivots)
 }
 
 // printStageLatency renders per-stage latency quantiles (p50/p95/max,
@@ -637,17 +682,25 @@ func wcetsweep(name string) error {
 // pareto prints the energy/WCET Pareto front for every paper capacity:
 // the pure-energy and pure-WCET endpoints (bit-identical to the wcetsweep
 // allocations) plus the mutually non-dominated ε-constraint points
-// between them, every bound certified by a full re-analysis.
-func pareto(name string) error {
+// between them, every bound certified by a full re-analysis. With
+// -adaptive the interior is found by bisecting the largest certified gap
+// between adjacent front points instead of the even ε-step scan.
+func pareto(name string, adaptive bool, maxPoints int) error {
 	lab, err := newLab(name)
 	if err != nil {
 		return err
 	}
+	lab.ParetoAdaptive = adaptive
+	lab.ParetoMaxPoints = maxPoints
 	fronts, err := lab.SweepPareto()
 	if err != nil {
 		return err
 	}
-	header(fmt.Sprintf("Pareto front: %s (energy vs certified WCET bound, ε-constraint scan)", name))
+	scan := "ε-constraint scan"
+	if adaptive {
+		scan = "adaptive bisection"
+	}
+	header(fmt.Sprintf("Pareto front: %s (energy vs certified WCET bound, %s)", name, scan))
 	for _, f := range fronts {
 		fmt.Printf("\ncapacity %d B — %d point(s):\n", f.SPMSize, len(f.Points))
 		fmt.Printf("%-7s %12s %12s %12s %6s %6s  %s\n",

@@ -511,7 +511,9 @@ func run(p *pipeline.Pipeline, regions []obj.Region, capacity uint32, objective 
 		mFixpointIters.Inc()
 		evidence.Witness = best.witness
 		items := Candidates(prog, evidence, objective, capacity)
-		alloc, err := SolveItems(items, capacity, solver)
+		// Warm-start the branch & bound with the previous accepted
+		// allocation's value under the re-priced benefits.
+		alloc, err := SolveItemsSeeded(items, capacity, solver, best.inSPM)
 		if err != nil {
 			return nil, fmt.Errorf("alloc: %w", err)
 		}

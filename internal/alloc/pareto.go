@@ -149,7 +149,10 @@ func (b Budgeted) Allocate(p *pipeline.Pipeline, capacity uint32) (*Allocation, 
 			}
 		}
 		required := pseudoBase - float64(b.Budget)
-		a, err := KnapsackBudget(items, capacity, weights, required)
+		// Warm-start from the placement the model is linearised around;
+		// the seed only engages when that placement meets the ε-constraint
+		// under the refreshed weights.
+		a, err := KnapsackBudgetSeeded(items, capacity, weights, required, incumbent.inSPM)
 		if errors.Is(err, ErrInfeasible) {
 			break // no subset models within budget: fall back
 		}
@@ -224,11 +227,22 @@ type ParetoOptions struct {
 	// WCET configures the analyses; Cache must be nil.
 	WCET wcet.Options
 	// Steps is the number of ε intervals between the endpoints: up to
-	// Steps-1 interior budgets are scanned (default 8).
+	// Steps-1 interior budgets are scanned (default 8). Ignored when
+	// Adaptive is set.
 	Steps int
 	// MaxIter bounds each solve's refinement rounds (DefaultMaxIter when
 	// zero).
 	MaxIter int
+	// Adaptive replaces the even ε-step scan with bisection of the largest
+	// certified gap (in either normalised objective) between adjacent front
+	// points, concentrating solves where the front bends. Endpoints are
+	// identical to the even scan's; the front is mutually non-dominated by
+	// the same assembly.
+	Adaptive bool
+	// MaxPoints caps the adaptive front's size, endpoints included
+	// (default DefaultParetoSteps+1, matching the even scan's maximum).
+	// Ignored without Adaptive.
+	MaxPoints int
 }
 
 // DefaultParetoSteps is the default ε-constraint resolution of a front.
@@ -271,19 +285,42 @@ func ParetoFront(p *pipeline.Pipeline, capacity uint32, opts ParetoOptions) ([]P
 	}
 	wopts := opts.WCET
 	wopts.Witness = true
+	// The evidence and objective are shared by every point of the front;
+	// the per-placement energy pricing (model evaluation + benefit total)
+	// is memoized so re-certified placements — common when several budgets
+	// resolve to the same allocation — are priced once.
+	ev := Evidence{Profile: prof}
+	eo := EnergyObjective{Model: opts.Model}
+	type pricing struct {
+		energyNJ, benefit float64
+	}
+	priced := make(map[string]pricing)
+	price := func(inSPM map[string]bool) pricing {
+		key := allocKey(inSPM)
+		if pr, ok := priced[key]; ok {
+			return pr
+		}
+		pr := pricing{
+			energyNJ: opts.Model.ProgramEnergy(p.Prog, prof, inSPM),
+			benefit:  placementBenefit(p.Prog, ev, eo, inSPM),
+		}
+		priced[key] = pr
+		return pr
+	}
 	point := func(kind string, budget uint64, a *Allocation) (ParetoPoint, error) {
 		cert, err := p.Analyze(capacity, a.InSPM, wopts)
 		if err != nil {
 			return ParetoPoint{}, err
 		}
+		pr := price(a.InSPM)
 		return ParetoPoint{
 			Kind:          kind,
 			Budget:        budget,
 			InSPM:         a.InSPM,
 			Used:          a.Used,
 			WCET:          cert.WCET,
-			EnergyNJ:      opts.Model.ProgramEnergy(p.Prog, prof, a.InSPM),
-			EnergyBenefit: placementBenefit(p.Prog, Evidence{Profile: prof}, EnergyObjective{Model: opts.Model}, a.InSPM),
+			EnergyNJ:      pr.energyNJ,
+			EnergyBenefit: pr.benefit,
 			Iterations:    a.Iterations,
 			Converged:     a.Converged,
 		}, nil
@@ -331,6 +368,24 @@ func ParetoFront(p *pipeline.Pipeline, capacity uint32, opts ParetoOptions) ([]P
 		return []ParetoPoint{W}, nil
 	}
 
+	solveBudget := func(budget uint64) (ParetoPoint, error) {
+		ba, err := p.Allocate(Budgeted{
+			Budget:   budget,
+			Model:    opts.Model,
+			WCET:     opts.WCET,
+			MaxIter:  opts.MaxIter,
+			Fallback: wAllocator,
+		}, capacity)
+		if err != nil {
+			return ParetoPoint{}, err
+		}
+		return point("budget", budget, ba)
+	}
+
+	if opts.Adaptive {
+		return adaptiveFront(W, E, opts.MaxPoints, solveBudget)
+	}
+
 	span := E.WCET - W.WCET
 	var budgets []uint64
 	seen := map[uint64]bool{W.WCET: true, E.WCET: true}
@@ -343,25 +398,20 @@ func ParetoFront(p *pipeline.Pipeline, capacity uint32, opts ParetoOptions) ([]P
 	}
 	var interior []ParetoPoint
 	for _, budget := range budgets {
-		ba, err := p.Allocate(Budgeted{
-			Budget:   budget,
-			Model:    opts.Model,
-			WCET:     opts.WCET,
-			MaxIter:  opts.MaxIter,
-			Fallback: wAllocator,
-		}, capacity)
-		if err != nil {
-			return nil, err
-		}
-		pt, err := point("budget", budget, ba)
+		pt, err := solveBudget(budget)
 		if err != nil {
 			return nil, err
 		}
 		interior = append(interior, pt)
 	}
-	// Assemble the front: endpoints anchored, interior points admitted
-	// only strictly inside the endpoints' rectangle and in strictly
-	// monotone order — which is exactly mutual non-domination.
+	return assembleFront(W, E, interior), nil
+}
+
+// assembleFront anchors the endpoints and admits interior points only
+// strictly inside the endpoints' rectangle and in strictly monotone order —
+// which is exactly mutual non-domination.
+func assembleFront(W, E ParetoPoint, interior []ParetoPoint) []ParetoPoint {
+	interior = append([]ParetoPoint(nil), interior...)
 	sort.Slice(interior, func(i, j int) bool {
 		if interior[i].WCET != interior[j].WCET {
 			return interior[i].WCET < interior[j].WCET
@@ -382,5 +432,64 @@ func ParetoFront(p *pipeline.Pipeline, capacity uint32, opts ParetoOptions) ([]P
 		}
 		front = append(front, pt)
 	}
-	return append(front, E), nil
+	return append(front, E)
+}
+
+// adaptiveFront refines the front by bisection: each round re-assembles the
+// front from the certified points so far, finds the adjacent pair with the
+// largest gap in either normalised objective, and solves the ε-constraint
+// at that gap's midpoint budget. Solves concentrate where the front bends;
+// flat stretches are never subdivided beyond what certification shows. The
+// scan stops when the front reaches maxPoints, when no gap spans at least
+// two cycles, or when every midpoint budget has already been attempted
+// (each round attempts a fresh integer budget, so termination is
+// guaranteed). Endpoints are the same W and E the even scan anchors.
+func adaptiveFront(W, E ParetoPoint, maxPoints int, solveBudget func(uint64) (ParetoPoint, error)) ([]ParetoPoint, error) {
+	if maxPoints <= 0 {
+		maxPoints = DefaultParetoSteps + 1
+	}
+	spanW := float64(E.WCET - W.WCET)
+	spanE := W.EnergyNJ - E.EnergyNJ
+	attempted := map[uint64]bool{W.WCET: true, E.WCET: true}
+	var interior []ParetoPoint
+	for {
+		front := assembleFront(W, E, interior)
+		if len(front) >= maxPoints {
+			return front, nil
+		}
+		// Largest normalised gap between adjacent front points; strict >
+		// keeps the lowest-WCET pair on ties, so the scan is deterministic.
+		bestGap := 0.0
+		var lo, hi ParetoPoint
+		found := false
+		for i := 1; i < len(front); i++ {
+			a, b := front[i-1], front[i]
+			gap := float64(b.WCET-a.WCET) / spanW
+			if spanE > 0 {
+				if g := (a.EnergyNJ - b.EnergyNJ) / spanE; g > gap {
+					gap = g
+				}
+			}
+			if b.WCET-a.WCET < 2 {
+				continue // no integer budget strictly between the pair
+			}
+			mid := a.WCET + (b.WCET-a.WCET)/2
+			if attempted[mid] {
+				continue
+			}
+			if gap > bestGap {
+				bestGap, lo, hi, found = gap, a, b, true
+			}
+		}
+		if !found {
+			return front, nil
+		}
+		mid := lo.WCET + (hi.WCET-lo.WCET)/2
+		attempted[mid] = true
+		pt, err := solveBudget(mid)
+		if err != nil {
+			return nil, err
+		}
+		interior = append(interior, pt)
+	}
 }

@@ -54,12 +54,23 @@ const dpCellBudget = 1 << 22
 // SolveItems is the engine's solver front-end: one 0/1 knapsack over the
 // items, dispatched to the selected back-end.
 func SolveItems(items []Item, capacity uint32, s Solver) (*Allocation, error) {
+	return SolveItemsSeeded(items, capacity, s, nil)
+}
+
+// SolveItemsSeeded is SolveItems warm-started from a previous accepted
+// allocation: when the branch & bound back-end runs, the search is seeded
+// with the previous allocation's value under the *current* item benefits
+// (a feasible subset, so the value is achievable and only strictly-worse
+// subtrees are pruned — the solution is identical to a cold solve). The DP
+// back-end fills its whole table regardless and ignores the seed.
+func SolveItemsSeeded(items []Item, capacity uint32, s Solver, prev map[string]bool) (*Allocation, error) {
 	sp := obs.StartSpan("solve", obs.A("items", len(items)), obs.A("capacity", capacity))
 	defer sp.End()
+	opt := seedOptions(items, capacity, prev)
 	switch s {
 	case SolverILP:
 		sp.SetAttr("solver", "ilp")
-		return Knapsack(items, capacity)
+		return knapsackOpts(items, capacity, opt)
 	case SolverDP:
 		sp.SetAttr("solver", "dp")
 		return KnapsackDP(items, capacity)
@@ -69,20 +80,50 @@ func SolveItems(items []Item, capacity uint32, s Solver) (*Allocation, error) {
 			return KnapsackDP(items, capacity)
 		}
 		sp.SetAttr("solver", "ilp")
-		return Knapsack(items, capacity)
+		return knapsackOpts(items, capacity, opt)
 	}
+}
+
+// seedOptions derives the warm-start incumbent from a previous allocation:
+// the total benefit of the previous residents still on the item list,
+// provided that subset respects the capacity under the current item sizes
+// (it always does when the previous allocation fitted, but the guard keeps
+// an unachievable seed from ever pruning the optimum). The sum runs in
+// item-list order, which is sorted by name, so the seed is reproducible.
+func seedOptions(items []Item, capacity uint32, prev map[string]bool) ilp.Options {
+	if len(prev) == 0 {
+		return ilp.Options{}
+	}
+	var value float64
+	var used uint32
+	any := false
+	for _, it := range items {
+		if prev[it.Name] {
+			value += it.Benefit
+			used += it.Size
+			any = true
+		}
+	}
+	if !any || used > capacity {
+		return ilp.Options{}
+	}
+	return ilp.Options{Incumbent: value, HasIncumbent: true}
 }
 
 // Knapsack solves the 0/1 knapsack over the items with the branch & bound
 // ILP solver, mirroring the paper's CPLEX formulation: maximise
 // Σ benefit_i·y_i subject to Σ size_i·y_i ≤ capacity, y_i ∈ {0, 1}.
 func Knapsack(items []Item, capacity uint32) (*Allocation, error) {
+	return knapsackOpts(items, capacity, ilp.Options{})
+}
+
+func knapsackOpts(items []Item, capacity uint32, opt ilp.Options) (*Allocation, error) {
 	a := &Allocation{InSPM: map[string]bool{}}
 	if len(items) == 0 {
 		return a, nil
 	}
 	mSolveILP.Inc()
-	s, err := ilp.Solve(knapsackProblem(items, capacity, nil, 0))
+	s, err := ilp.SolveOpts(knapsackProblem(items, capacity, nil, 0), opt)
 	if err != nil {
 		return nil, fmt.Errorf("alloc: knapsack: %w", err)
 	}
@@ -99,16 +140,40 @@ var ErrInfeasible = errors.New("alloc: no allocation satisfies the constraint")
 // objective among allocations the secondary model says stay within budget.
 // Returns ErrInfeasible when no subset reaches minWeight.
 func KnapsackBudget(items []Item, capacity uint32, weights []float64, minWeight float64) (*Allocation, error) {
+	return KnapsackBudgetSeeded(items, capacity, weights, minWeight, nil)
+}
+
+// KnapsackBudgetSeeded is KnapsackBudget warm-started from a previous
+// allocation. The seed is used only when the previous residents still on
+// the item list satisfy the ε-constraint under the *current* weights and
+// fit the capacity — i.e. when their benefit is genuinely achievable here —
+// so the solve result is identical to the unseeded one.
+func KnapsackBudgetSeeded(items []Item, capacity uint32, weights []float64, minWeight float64, prev map[string]bool) (*Allocation, error) {
 	a := &Allocation{InSPM: map[string]bool{}}
 	if minWeight <= 0 {
-		return SolveItems(items, capacity, SolverAuto)
+		return SolveItemsSeeded(items, capacity, SolverAuto, prev)
 	}
 	if len(items) == 0 {
 		return nil, ErrInfeasible
 	}
+	opt := ilp.Options{}
+	if len(prev) > 0 {
+		var value, weight float64
+		var used uint32
+		for i, it := range items {
+			if prev[it.Name] {
+				value += it.Benefit
+				weight += weights[i]
+				used += it.Size
+			}
+		}
+		if weight >= minWeight && used <= capacity {
+			opt = ilp.Options{Incumbent: value, HasIncumbent: true}
+		}
+	}
 	mEpsResolves.Inc()
 	mSolveILP.Inc()
-	s, err := ilp.Solve(knapsackProblem(items, capacity, weights, minWeight))
+	s, err := ilp.SolveOpts(knapsackProblem(items, capacity, weights, minWeight), opt)
 	if err != nil {
 		if errors.Is(err, ilp.ErrInfeasible) {
 			return nil, ErrInfeasible

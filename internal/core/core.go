@@ -93,6 +93,12 @@ type Lab struct {
 	// Workers bounds the sweep worker pool: 0 means GOMAXPROCS, 1 runs
 	// sequentially. Output order is independent of Workers.
 	Workers int
+	// ParetoAdaptive switches the Pareto sweeps from the even ε-step scan
+	// to adaptive bisection of the largest certified front gap;
+	// ParetoMaxPoints caps the adaptive front's size, endpoints included
+	// (0: the even scan's maximum, DefaultParetoSteps+1).
+	ParetoAdaptive  bool
+	ParetoMaxPoints int
 }
 
 // NewLab compiles the benchmark and collects its baseline profile.

@@ -30,7 +30,11 @@ func (l *Lab) ParetoFront(size uint32) (ParetoFrontAt, error) {
 }
 
 func (l *Lab) paretoOptions() alloc.ParetoOptions {
-	return alloc.ParetoOptions{Model: l.Model}
+	return alloc.ParetoOptions{
+		Model:     l.Model,
+		Adaptive:  l.ParetoAdaptive,
+		MaxPoints: l.ParetoMaxPoints,
+	}
 }
 
 // SweepPareto computes the Pareto front at every paper capacity on the

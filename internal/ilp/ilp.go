@@ -54,13 +54,34 @@ func (p *Problem) integral(i int) bool {
 	return p.Integer == nil || (i < len(p.Integer) && p.Integer[i])
 }
 
+// Options tune a branch & bound solve with warm-start information carried
+// over from a previous, closely related solve.
+type Options struct {
+	// Root, when non-nil, is a phase-1-solved tableau of p.LP's constraints
+	// (lp.Prepare). The root relaxation then skips phase 1; branched nodes
+	// add constraints and still solve cold.
+	Root *lp.Prepared
+	// Incumbent seeds the bound used to prune the search. It MUST be the
+	// objective value of some feasible integral point under the CURRENT
+	// objective (e.g. the previous iteration's solution re-priced); an
+	// unachievable value can prune the optimum away. Seeding only discards
+	// subtrees whose relaxation is strictly below the seed, so the returned
+	// solution is identical to an unseeded solve.
+	Incumbent    float64
+	HasIncumbent bool
+}
+
 // Solve runs best-first branch & bound (maximisation).
-func Solve(p *Problem) (Solution, error) {
+func Solve(p *Problem) (Solution, error) { return SolveOpts(p, Options{}) }
+
+// SolveOpts is Solve with warm-start options.
+func SolveOpts(p *Problem, o Options) (Solution, error) {
 	incumbent := Solution{Status: lp.Infeasible, Obj: math.Inf(-1)}
 	type node struct {
 		prob *lp.Problem
+		root bool
 	}
-	stack := []node{{prob: p.LP.Clone()}}
+	stack := []node{{prob: p.LP.Clone(), root: true}}
 	nodes := 0
 	mSolves.Inc()
 	defer func() { mNodes.Add(uint64(nodes)) }()
@@ -71,7 +92,12 @@ func Solve(p *Problem) (Solution, error) {
 		}
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		rel := lp.Solve(nd.prob)
+		var rel lp.Solution
+		if nd.root && o.Root != nil {
+			rel = o.Root.SolveObjective(nd.prob.Objective)
+		} else {
+			rel = lp.Solve(nd.prob)
+		}
 		switch rel.Status {
 		case lp.Infeasible:
 			continue
@@ -80,6 +106,9 @@ func Solve(p *Problem) (Solution, error) {
 		}
 		if rel.Obj <= incumbent.Obj+intTol && incumbent.Status == lp.Optimal {
 			continue // bound: cannot beat the incumbent
+		}
+		if o.HasIncumbent && rel.Obj < o.Incumbent-intTol {
+			continue // bound: strictly below a known-achievable value
 		}
 		// Find the most fractional integral variable.
 		branch := -1

@@ -13,6 +13,28 @@ package lp
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
+)
+
+// Process-wide simplex metrics, split by mode: "cold" counts full two-phase
+// solves (Solve, and the phase-1 work done by Prepare); "warm" counts
+// phase-2-only re-solves from a Prepared tableau (SolveObjective). The
+// pivot counters measure actual simplex effort, so cold-vs-warm ratios
+// quantify what constraint-skeleton reuse saves.
+var (
+	mSolvesCold = obs.Default.Counter("wcetlab_lp_solves_total",
+		"Simplex solves by mode (cold = two-phase, warm = phase 2 from a prepared tableau).",
+		"mode", "cold")
+	mSolvesWarm = obs.Default.Counter("wcetlab_lp_solves_total",
+		"Simplex solves by mode (cold = two-phase, warm = phase 2 from a prepared tableau).",
+		"mode", "warm")
+	mPivotsCold = obs.Default.Counter("wcetlab_lp_pivots_total",
+		"Simplex pivots by mode (cold = two-phase, warm = phase 2 from a prepared tableau).",
+		"mode", "cold")
+	mPivotsWarm = obs.Default.Counter("wcetlab_lp_pivots_total",
+		"Simplex pivots by mode (cold = two-phase, warm = phase 2 from a prepared tableau).",
+		"mode", "warm")
 )
 
 // Rel is a constraint relation.
@@ -76,15 +98,36 @@ const eps = 1e-9
 // tableau is the dense simplex tableau. Row 0..m-1 are constraints with the
 // RHS in the last column; the objective row is stored separately.
 type tableau struct {
-	m, n  int // constraint rows, total columns (excluding RHS)
-	a     [][]float64
-	rhs   []float64
-	obj   []float64 // reduced-cost row (for maximisation)
-	objC  float64   // objective constant
-	basis []int     // basic variable of each row
+	m, n   int // constraint rows, total columns (excluding RHS)
+	nv     int // decision variables (columns 0..nv-1)
+	a      [][]float64
+	rhs    []float64
+	obj    []float64 // reduced-cost row (for maximisation)
+	objC   float64   // objective constant
+	basis  []int     // basic variable of each row
+	pivots int       // pivot operations performed on this tableau
+}
+
+// clone deep-copies the tableau so a Prepared base can be re-solved many
+// times. The pivot counter restarts at zero: each re-solve reports only its
+// own phase-2 effort.
+func (t *tableau) clone() *tableau {
+	c := &tableau{
+		m: t.m, n: t.n, nv: t.nv,
+		a:     make([][]float64, t.m),
+		rhs:   append([]float64(nil), t.rhs...),
+		obj:   append([]float64(nil), t.obj...),
+		objC:  t.objC,
+		basis: append([]int(nil), t.basis...),
+	}
+	for i, row := range t.a {
+		c.a[i] = append([]float64(nil), row...)
+	}
+	return c
 }
 
 func (t *tableau) pivot(row, col int) {
+	t.pivots++
 	p := t.a[row][col]
 	inv := 1 / p
 	for j := 0; j < t.n; j++ {
@@ -155,6 +198,22 @@ func (t *tableau) iterate() Status {
 
 // Solve solves the problem with the two-phase simplex method.
 func Solve(p *Problem) Solution {
+	mSolvesCold.Inc()
+	t, st := newTableau(p)
+	if st != Optimal {
+		return Solution{Status: st}
+	}
+	sol := t.solveObjective(p.Objective)
+	mPivotsCold.Add(uint64(t.pivots))
+	return sol
+}
+
+// newTableau builds the simplex tableau for p's constraints and runs
+// phase 1 (feasibility). The returned tableau depends only on p.NumVars and
+// p.Cons — never on p.Objective — so it can be re-solved under any
+// objective with solveObjective. A non-Optimal status means the constraints
+// are infeasible and the tableau is nil.
+func newTableau(p *Problem) (*tableau, Status) {
 	m := len(p.Cons)
 	nv := p.NumVars
 
@@ -185,7 +244,7 @@ func Solve(p *Problem) Solution {
 	}
 	n := nv + nSlack + nArt
 	t := &tableau{
-		m: m, n: n,
+		m: m, n: n, nv: nv,
 		a:     make([][]float64, m),
 		rhs:   make([]float64, m),
 		obj:   make([]float64, n),
@@ -243,12 +302,12 @@ func Solve(p *Problem) Solution {
 			}
 		}
 		if st := t.iterate(); st == Unbounded {
-			return Solution{Status: Infeasible}
+			return nil, Infeasible
 		}
 		// objC tracks the negated objective, so a positive residual means
 		// some artificial variable is still non-zero: infeasible.
 		if t.objC > 1e-6 {
-			return Solution{Status: Infeasible}
+			return nil, Infeasible
 		}
 		// Drive remaining artificials out of the basis where possible.
 		for i := 0; i < t.m; i++ {
@@ -264,7 +323,7 @@ func Solve(p *Problem) Solution {
 				}
 			}
 			if !pivoted && math.Abs(t.rhs[i]) > 1e-6 {
-				return Solution{Status: Infeasible}
+				return nil, Infeasible
 			}
 		}
 		// Forbid artificials from re-entering: zero their columns.
@@ -274,14 +333,21 @@ func Solve(p *Problem) Solution {
 			}
 		}
 	}
+	return t, Optimal
+}
 
+// solveObjective runs phase 2 of the simplex method on a phase-1-feasible
+// tableau under the given (maximisation) objective and extracts the
+// solution. It mutates the tableau, so warm-start callers must clone first.
+func (t *tableau) solveObjective(objective []float64) Solution {
+	nv := t.nv
 	// Phase 2: the real objective.
 	for j := range t.obj {
 		t.obj[j] = 0
 	}
 	t.objC = 0
-	for j := 0; j < nv && j < len(p.Objective); j++ {
-		t.obj[j] = p.Objective[j]
+	for j := 0; j < nv && j < len(objective); j++ {
+		t.obj[j] = objective[j]
 	}
 	// Price out basic variables.
 	for i := 0; i < t.m; i++ {
@@ -306,10 +372,57 @@ func Solve(p *Problem) Solution {
 		}
 	}
 	obj := 0.0
-	for j := 0; j < nv && j < len(p.Objective); j++ {
-		obj += p.Objective[j] * x[j]
+	for j := 0; j < nv && j < len(objective); j++ {
+		obj += objective[j] * x[j]
 	}
 	return Solution{Status: Optimal, X: x, Obj: obj}
+}
+
+// Prepared is a phase-1-solved constraint skeleton: the feasibility work of
+// Solve done once, re-usable under any number of objectives. It is how the
+// IPET analysis warm-starts re-priced solves — the flow constraints of a
+// function never change across placements, only the cost row does.
+//
+// SolveObjective clones the base tableau and runs phase 2 from it, which by
+// construction performs the exact pivot sequence a cold Solve would after
+// its own phase 1 — so results are bit-identical to Solve, just cheaper.
+type Prepared struct {
+	base   *tableau
+	status Status
+}
+
+// Prepare runs phase 1 on p's constraints (the objective is ignored) and
+// captures the resulting tableau. The phase-1 pivots count as cold work.
+func Prepare(p *Problem) *Prepared {
+	t, st := newTableau(p)
+	if st != Optimal {
+		return &Prepared{status: st}
+	}
+	mPivotsCold.Add(uint64(t.pivots))
+	return &Prepared{base: t, status: st}
+}
+
+// NumVars reports the decision-variable count of the prepared problem, or 0
+// if the constraints were infeasible.
+func (pr *Prepared) NumVars() int {
+	if pr.base == nil {
+		return 0
+	}
+	return pr.base.nv
+}
+
+// SolveObjective maximises the given objective over the prepared
+// constraints. The base tableau is never mutated after Prepare, so
+// concurrent calls on one Prepared are safe.
+func (pr *Prepared) SolveObjective(objective []float64) Solution {
+	mSolvesWarm.Inc()
+	if pr.status != Optimal {
+		return Solution{Status: pr.status}
+	}
+	t := pr.base.clone()
+	sol := t.solveObjective(objective)
+	mPivotsWarm.Add(uint64(t.pivots))
+	return sol
 }
 
 func flip(r Rel) Rel {

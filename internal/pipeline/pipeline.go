@@ -133,6 +133,11 @@ type Stats struct {
 	Profiles, ProfileHits uint64
 	Allocs, AllocHits     uint64
 
+	// ContextBuilds counts reusable analysis contexts built (cold: CFG +
+	// IPET skeletons + cost decomposition); ContextReuses counts cold
+	// analyses served by re-pricing an existing context instead.
+	ContextBuilds, ContextReuses uint64
+
 	SimDiskHits, SimDiskMisses         uint64
 	AnalyzeDiskHits, AnalyzeDiskMisses uint64
 	ProfileDiskHits, ProfileDiskMisses uint64
@@ -167,6 +172,8 @@ func (s *Stats) Add(o Stats) {
 	s.ProfileHits += o.ProfileHits
 	s.Allocs += o.Allocs
 	s.AllocHits += o.AllocHits
+	s.ContextBuilds += o.ContextBuilds
+	s.ContextReuses += o.ContextReuses
 	s.SimDiskHits += o.SimDiskHits
 	s.SimDiskMisses += o.SimDiskMisses
 	s.AnalyzeDiskHits += o.AnalyzeDiskHits
@@ -196,6 +203,7 @@ type Pipeline struct {
 	links    map[string]*entry[*link.Executable]
 	sims     map[string]*entry[*sim.Result]
 	analyses map[string]*analysisEntry
+	contexts map[string]*entry[*wcet.Context]
 	allocs   map[string]*entry[*Allocation]
 	profile  *entry[*sim.Profile]
 	stats    Stats
@@ -304,6 +312,7 @@ func NewNamed(prog *obj.Program, bench string) *Pipeline {
 		links:    make(map[string]*entry[*link.Executable]),
 		sims:     make(map[string]*entry[*sim.Result]),
 		analyses: make(map[string]*analysisEntry),
+		contexts: make(map[string]*entry[*wcet.Context]),
 		allocs:   make(map[string]*entry[*Allocation]),
 		profile:  &entry[*sim.Profile]{},
 		bench:    bench,
@@ -587,15 +596,45 @@ func (p *Pipeline) AnalyzeUnits(regions []obj.Region, spmSize uint32, inSPM map[
 			p.om.upgrades.Inc()
 		}
 		sp.SetAttr("tier", "compute")
-		exe, err := p.LinkUnits(regions, spmSize, inSPM)
-		if err != nil {
-			e.res, e.err = nil, err
+		if opts.Cache == nil {
+			// Cache-less analyses share a reusable context per partition:
+			// the CFG and IPET skeletons are built once, each placement only
+			// re-prices its delta. Results are bit-identical to the
+			// from-scratch path below.
+			ctx, built, err := p.contextFor(regions, opts)
+			if err != nil {
+				e.res, e.err = nil, err
+			} else {
+				p.count(func(s *Stats) {
+					if built {
+						s.ContextBuilds++
+					} else {
+						s.ContextReuses++
+					}
+				})
+				// Mirror LinkUnits' key normalisation: the empty placement
+				// analyses identically at every capacity, including
+				// capacities the linker would reject.
+				if PlacementKey(spmSize, inSPM) == "spm=0|" {
+					spmSize, inSPM = 0, nil
+				}
+				t0 := time.Now()
+				e.res, e.err = ctx.Analyze(spmSize, inSPM, opts.Witness)
+				d := time.Since(t0)
+				p.count(func(s *Stats) { s.AnalyzeTime += d })
+				p.om.analyze.seconds.Observe(d.Seconds())
+			}
 		} else {
-			t0 := time.Now()
-			e.res, e.err = wcet.Analyze(exe, opts)
-			d := time.Since(t0)
-			p.count(func(s *Stats) { s.AnalyzeTime += d })
-			p.om.analyze.seconds.Observe(d.Seconds())
+			exe, err := p.LinkUnits(regions, spmSize, inSPM)
+			if err != nil {
+				e.res, e.err = nil, err
+			} else {
+				t0 := time.Now()
+				e.res, e.err = wcet.Analyze(exe, opts)
+				d := time.Since(t0)
+				p.count(func(s *Stats) { s.AnalyzeTime += d })
+				p.om.analyze.seconds.Observe(d.Seconds())
+			}
 		}
 		e.done = true
 		if e.err == nil {
@@ -605,6 +644,31 @@ func (p *Pipeline) AnalyzeUnits(regions []obj.Region, spmSize uint32, inSPM map[
 		}
 	}
 	return e.res, e.err
+}
+
+// contextFor returns (memoized, singleflight) the reusable analysis
+// context for one partition and analysis configuration, built from the
+// partition's scratchpad-less base link. built reports whether this call
+// did the cold build.
+func (p *Pipeline) contextFor(regions []obj.Region, opts wcet.Options) (*wcet.Context, bool, error) {
+	key := fmt.Sprintf("%sstack=%d|root=%s", unitPrefix(regions), opts.StackBound, opts.Root)
+	p.mu.Lock()
+	e, ok := p.contexts[key]
+	if !ok {
+		e = &entry[*wcet.Context]{}
+		p.contexts[key] = e
+	}
+	p.mu.Unlock()
+	built := false
+	ctx, err := e.get(func() (*wcet.Context, error) {
+		base, err := p.LinkUnits(regions, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		built = true
+		return wcet.NewContext(base, opts)
+	})
+	return ctx, built, err
 }
 
 // Profile collects (memoized) the typical-input access profile on the

@@ -73,8 +73,13 @@ func TestMemoization(t *testing.T) {
 		}
 	}
 	s := p.Stats()
-	if s.Links != 1 || s.Sims != 1 || s.Analyses != 1 {
-		t.Errorf("cold runs: links=%d sims=%d analyses=%d, want 1 each", s.Links, s.Sims, s.Analyses)
+	// Two cold links: the requested placement plus the scratchpad-less base
+	// link the analysis context is built from.
+	if s.Links != 2 || s.Sims != 1 || s.Analyses != 1 {
+		t.Errorf("cold runs: links=%d sims=%d analyses=%d, want 2/1/1", s.Links, s.Sims, s.Analyses)
+	}
+	if s.ContextBuilds != 1 {
+		t.Errorf("context builds = %d, want 1", s.ContextBuilds)
 	}
 	if s.SimHits != 2 || s.AnalyzeHits != 2 {
 		t.Errorf("hits: sim=%d analyze=%d, want 2 each", s.SimHits, s.AnalyzeHits)

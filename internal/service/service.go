@@ -25,7 +25,9 @@
 //	    branch=pareto serves the energy/WCET Pareto front per capacity:
 //	    the pure-energy and pure-WCET endpoints plus the mutually
 //	    non-dominated ε-constraint points between them, every bound
-//	    certified by a full re-analysis. stream=1 switches the response to
+//	    certified by a full re-analysis; adaptive=1 switches the front scan
+//	    to bisection of the largest certified gap and maxpoints=<n> caps
+//	    the adaptive front's size. stream=1 switches the response to
 //	    chunked JSON lines (application/x-ndjson): one row per line,
 //	    flushed in capacity order as soon as each row's computation
 //	    finishes, with the same rows a buffered response would hold. A
@@ -464,8 +466,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			})
 		})
 	case "pareto":
+		// Adaptive scan options apply to this request only: the shard's lab
+		// is shared, so the overrides go on a shallow per-request copy (the
+		// pipeline behind it — and with it all memoization — stays shared).
+		pl := *lab
+		pl.ParetoAdaptive = q.Get("adaptive") == "1"
+		if mp := q.Get("maxpoints"); mp != "" {
+			n, perr := strconv.Atoi(mp)
+			if perr != nil || n < 2 {
+				s.writeError(w, http.StatusBadRequest, "maxpoints must be an integer ≥ 2")
+				return
+			}
+			pl.ParetoMaxPoints = n
+		}
 		s.sweepResponse(w, stream, traced, func(emit func(any) error) error {
-			return lab.SweepParetoStream(func(f core.ParetoFrontAt) error { return emit(toParetoDTO(f)) })
+			return pl.SweepParetoStream(func(f core.ParetoFrontAt) error { return emit(toParetoDTO(f)) })
 		})
 	default:
 		s.writeError(w, http.StatusBadRequest, "branch must be spm, cache, wcetalloc or pareto")
@@ -606,6 +621,8 @@ type stageStatsDTO struct {
 	ProfileHits     uint64  `json:"profile_hits"`
 	Allocs          uint64  `json:"allocs"`
 	AllocHits       uint64  `json:"alloc_hits"`
+	ContextBuilds   uint64  `json:"context_builds"`
+	ContextReuses   uint64  `json:"context_reuses"`
 	DiskHits        uint64  `json:"disk_hits"`
 	DiskMisses      uint64  `json:"disk_misses"`
 	StoreErrors     uint64  `json:"store_errors"`
@@ -664,6 +681,8 @@ func toStatsDTO(st pipeline.Stats) stageStatsDTO {
 		ProfileHits:     st.ProfileHits,
 		Allocs:          st.Allocs,
 		AllocHits:       st.AllocHits,
+		ContextBuilds:   st.ContextBuilds,
+		ContextReuses:   st.ContextReuses,
 		DiskHits:        st.DiskHits(),
 		DiskMisses:      st.DiskMisses(),
 		StoreErrors:     st.StoreErrors,

@@ -21,48 +21,56 @@ type ipetSolution struct {
 	edges map[*cfg.Edge]uint64
 }
 
-// ipet computes a function's WCET by implicit path enumeration: maximise
-// Σ cost(b)·x(b) + Σ penalty(e)·x(e) over the flow polytope
+// ipetEdge is one CFG edge with its IPET variable index (block variables
+// occupy indices 0..nb-1, edge variables follow).
+type ipetEdge struct {
+	e   *cfg.Edge
+	idx int
+}
+
+// ipetProgram is the placement-independent part of a function's IPET
+// program: variable layout, flow-conservation and loop-bound constraints,
+// and the edge-penalty objective template. Only the block cost coefficients
+// of the objective depend on placement, so a built program can be re-solved
+// under any placement without reconstructing the constraint matrix — the
+// substrate of the incremental analysis Context.
+type ipetProgram struct {
+	f     *cfg.Function
+	nb, n int // block variables, total variables
+	edges []ipetEdge
+	cons  []lp.Constraint
+	// template is the objective with every block coefficient zero and the
+	// conditional-branch taken penalties on the edge variables.
+	template []float64
+}
+
+// newIPETProgram builds the constraint skeleton of f's IPET program:
 //
 //	x(entry source) = 1
 //	x(b) = Σ in-edges(b) (+1 for the entry block)
 //	x(b) = Σ out-edges(b)            for blocks with successors
 //	Σ back-edges(L) ≤ bound(L) · Σ entry-edges(L)
-//
-// solved as an ILP (the relaxation of these network-flow programs is
-// integral in practice; branch & bound guards the corner cases). The
-// solution vector is returned rather than discarded: its x(b) values are
-// the block execution counts on the worst-case path, which the
-// WCET-directed scratchpad allocator weighs objects by.
-func ipet(f *cfg.Function, blockCost map[*cfg.Block]int64, callExtra map[*cfg.Block]int64) (*ipetSolution, error) {
+func newIPETProgram(f *cfg.Function) (*ipetProgram, error) {
 	nb := len(f.Blocks)
-	// Edge indexing.
-	type edgeVar struct {
-		e   *cfg.Edge
-		idx int
-	}
-	var edges []edgeVar
+	ip := &ipetProgram{f: f, nb: nb}
 	edgeIdx := map[*cfg.Edge]int{}
 	for _, b := range f.Blocks {
 		for _, e := range b.Succs {
-			idx := nb + len(edges)
+			idx := nb + len(ip.edges)
 			edgeIdx[e] = idx
-			edges = append(edges, edgeVar{e: e, idx: idx})
+			ip.edges = append(ip.edges, ipetEdge{e: e, idx: idx})
 		}
 	}
-	n := nb + len(edges)
-	p := &ilp.Problem{LP: lp.Problem{NumVars: n, Objective: make([]float64, n)}}
+	n := nb + len(ip.edges)
+	ip.n = n
 
-	for _, b := range f.Blocks {
-		c := float64(blockCost[b] + callExtra[b])
-		p.LP.Objective[b.Index] = c
-	}
-	for _, ev := range edges {
+	ip.template = make([]float64, n)
+	for _, ev := range ip.edges {
 		// Conditional-branch taken penalty.
 		from := ev.e.From
 		last := from.Instrs[len(from.Instrs)-1]
 		if ev.e.Taken && last.In.Op == arm.OpBCond {
-			p.LP.Objective[ev.idx] = float64(arm.CyclesBranchTaken)
+			ip.template[ev.idx] = float64(arm.CyclesBranchTaken)
 		}
 	}
 
@@ -77,7 +85,7 @@ func ipet(f *cfg.Function, blockCost map[*cfg.Block]int64, callExtra map[*cfg.Bl
 		if b == f.Entry {
 			rhs = 1
 		}
-		p.LP.AddConstraint(inRow, lp.EQ, rhs)
+		ip.cons = append(ip.cons, lp.Constraint{Coef: inRow, Rel: lp.EQ, RHS: rhs})
 
 		if len(b.Succs) > 0 {
 			outRow := make([]float64, n)
@@ -85,7 +93,7 @@ func ipet(f *cfg.Function, blockCost map[*cfg.Block]int64, callExtra map[*cfg.Bl
 			for _, e := range b.Succs {
 				outRow[edgeIdx[e]] -= 1
 			}
-			p.LP.AddConstraint(outRow, lp.EQ, 0)
+			ip.cons = append(ip.cons, lp.Constraint{Coef: outRow, Rel: lp.EQ, RHS: 0})
 		}
 	}
 
@@ -101,7 +109,7 @@ func ipet(f *cfg.Function, blockCost map[*cfg.Block]int64, callExtra map[*cfg.Bl
 		for _, e := range l.EntryEdges() {
 			row[edgeIdx[e]] -= float64(l.Bound)
 		}
-		p.LP.AddConstraint(row, lp.LE, 0)
+		ip.cons = append(ip.cons, lp.Constraint{Coef: row, Rel: lp.LE, RHS: 0})
 		if l.BoundTotal > 0 {
 			// Global flow fact: total back-edge executions per invocation
 			// of this function (the function body executes exactly once in
@@ -110,27 +118,57 @@ func ipet(f *cfg.Function, blockCost map[*cfg.Block]int64, callExtra map[*cfg.Bl
 			for _, e := range l.BackEdges {
 				trow[edgeIdx[e]] = 1
 			}
-			p.LP.AddConstraint(trow, lp.LE, float64(l.BoundTotal))
+			ip.cons = append(ip.cons, lp.Constraint{Coef: trow, Rel: lp.LE, RHS: float64(l.BoundTotal)})
 		}
 	}
+	return ip, nil
+}
 
-	s, err := ilp.Solve(p)
+// objective instantiates the objective for the given per-block costs:
+// the edge-penalty template plus cost(b)+callExtra(b) on each block.
+func (ip *ipetProgram) objective(blockCost, callExtra map[*cfg.Block]int64) []float64 {
+	obj := append([]float64(nil), ip.template...)
+	for _, b := range ip.f.Blocks {
+		obj[b.Index] = float64(blockCost[b] + callExtra[b])
+	}
+	return obj
+}
+
+// solve maximises the given objective over the program's flow polytope as
+// an ILP (the relaxation of these network-flow programs is integral in
+// practice; branch & bound guards the corner cases). The solution vector is
+// returned rather than discarded: its x(b) values are the block execution
+// counts on the worst-case path, which the WCET-directed scratchpad
+// allocator weighs objects by.
+func (ip *ipetProgram) solve(objective []float64, opt ilp.Options) (*ipetSolution, error) {
+	p := &ilp.Problem{LP: lp.Problem{NumVars: ip.n, Objective: objective, Cons: ip.cons}}
+	s, err := ilp.SolveOpts(p, opt)
 	if err != nil {
-		return nil, fmt.Errorf("wcet: %s: path analysis: %w", f.Name, err)
+		return nil, fmt.Errorf("wcet: %s: path analysis: %w", ip.f.Name, err)
 	}
 	if s.Obj < -1e-6 {
-		return nil, fmt.Errorf("wcet: %s: negative WCET %f", f.Name, s.Obj)
+		return nil, fmt.Errorf("wcet: %s: negative WCET %f", ip.f.Name, s.Obj)
 	}
 	sol := &ipetSolution{
 		wcet:   uint64(math.Round(s.Obj)),
-		blocks: make([]uint64, nb),
-		edges:  make(map[*cfg.Edge]uint64, len(edges)),
+		blocks: make([]uint64, ip.nb),
+		edges:  make(map[*cfg.Edge]uint64, len(ip.edges)),
 	}
-	for _, b := range f.Blocks {
+	for _, b := range ip.f.Blocks {
 		sol.blocks[b.Index] = uint64(math.Round(s.X[b.Index]))
 	}
-	for _, ev := range edges {
+	for _, ev := range ip.edges {
 		sol.edges[ev.e] = uint64(math.Round(s.X[ev.idx]))
 	}
 	return sol, nil
+}
+
+// ipet computes a function's WCET by implicit path enumeration: maximise
+// Σ cost(b)·x(b) + Σ penalty(e)·x(e) over the flow polytope, solved cold.
+func ipet(f *cfg.Function, blockCost map[*cfg.Block]int64, callExtra map[*cfg.Block]int64) (*ipetSolution, error) {
+	ip, err := newIPETProgram(f)
+	if err != nil {
+		return nil, err
+	}
+	return ip.solve(ip.objective(blockCost, callExtra), ilp.Options{})
 }
