@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check ci fmt vet build test test-race bench bench-json bench-smoke wcetlab warmstore smoke
+.PHONY: check ci fmt vet build test test-race bench bench-json bench-smoke bench-diff wcetlab warmstore smoke
 
 # Tier-1 verification plus formatting/lint gates.
 check: fmt vet build test
@@ -14,6 +14,16 @@ ci: fmt vet build test-race bench-smoke warmstore smoke
 # by cmd/jsoncheck against the BENCH_local.json schema.
 bench-smoke: bench-json
 	$(GO) run ./cmd/jsoncheck < BENCH_local.json
+
+# Advisory perf comparison: stash the checked-in BENCH_local.json as the
+# baseline, regenerate it, and diff the two with cmd/benchdiff. Single-
+# iteration numbers are noisy, so CI runs this report-only; run it
+# locally with more -benchtime for a real verdict.
+bench-diff:
+	@set -e; base=$$(mktemp); trap 'rm -f "$$base"' EXIT; \
+	cp BENCH_local.json "$$base"; \
+	$(MAKE) bench-json; \
+	$(GO) run ./cmd/benchdiff "$$base" BENCH_local.json
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -70,15 +80,29 @@ warmstore: wcetlab
 # JSON string in a sweep row contains whitespace.) The /v1/metrics scrapes
 # bracketing the requests assert the stage and HTTP counters actually
 # moved, and a traced wcetsweep run asserts -trace writes a valid Chrome
-# trace with the sweep -> cell -> stage hierarchy in it.
+# trace with the sweep -> cell -> stage hierarchy in it. The health
+# checks assert liveness answers immediately, readiness flips to 200
+# once the background warmup builds every shard, and the access log the
+# server wrote is line-by-line valid JSON carrying request ids.
 smoke: wcetlab
 	@set -e; dir=$$(mktemp -d); pid=""; \
 	trap 'test -n "$$pid" && kill "$$pid" 2>/dev/null; rm -rf "$$dir"' EXIT; \
 	./bin/wcetlab -store "$$dir/store" -addr 127.0.0.1:0 serve -gc-interval 1s 2> "$$dir/serve.log" & pid=$$!; \
 	url=""; i=0; while [ $$i -lt 100 ]; do \
-		url=$$(sed -n 's#.*serving on \(http://[^ ]*\).*#\1#p' "$$dir/serve.log"); \
+		url=$$(sed -n 's#.*"addr":"\(http://[^"]*\)".*#\1#p' "$$dir/serve.log" | head -1); \
 		[ -n "$$url" ] && break; i=$$((i+1)); sleep 0.1; done; \
 	[ -n "$$url" ] || { echo "smoke: server did not start"; cat "$$dir/serve.log"; exit 1; }; \
+	curl -fsS "$$url/v1/healthz" | grep -q '"status": *"ok"' || { \
+		echo "smoke: /v1/healthz failed"; exit 1; }; \
+	ready=""; i=0; while [ $$i -lt 240 ]; do \
+		if curl -fsS "$$url/v1/readyz" > "$$dir/ready.json" 2>/dev/null; then ready=1; break; fi; \
+		i=$$((i+1)); sleep 0.5; done; \
+	[ -n "$$ready" ] && grep -q '"ready": *true' "$$dir/ready.json" || { \
+		echo "smoke: /v1/readyz never became ready"; \
+		curl -sS "$$url/v1/readyz" || true; exit 1; }; \
+	curl -fsS -D "$$dir/hdrs.txt" -H 'X-Request-ID: smoke-rid-1' "$$url/v1/healthz" > /dev/null; \
+	grep -qi '^x-request-id: smoke-rid-1' "$$dir/hdrs.txt" || { \
+		echo "smoke: inbound X-Request-ID not echoed"; cat "$$dir/hdrs.txt"; exit 1; }; \
 	curl -fsS "$$url/v1/metrics" > "$$dir/m0.txt" || { \
 		echo "smoke: /v1/metrics failed"; exit 1; }; \
 	curl -fsS "$$url/v1/wcet?bench=WorstCaseSort&spm=512" | grep -q '"wcet"' || { \
@@ -114,4 +138,11 @@ smoke: wcetlab
 	for span in '"sweep"' '"cell"' '"stage:analyze"' '"solve"' '"fixpoint"'; do \
 		grep -q "$$span" "$$dir/trace.json" || { \
 			echo "smoke: trace.json missing $$span spans"; exit 1; }; done; \
+	grep '"msg":"request"' "$$dir/serve.log" > "$$dir/access.log" || { \
+		echo "smoke: serve wrote no access-log records"; exit 1; }; \
+	grep -q '"req":"smoke-rid-1"' "$$dir/access.log" || { \
+		echo "smoke: access log did not carry the inbound request id"; exit 1; }; \
+	head -5 "$$dir/access.log" | while IFS= read -r line; do \
+		printf '%s' "$$line" | $(GO) run ./cmd/jsoncheck || { \
+			echo "smoke: access-log line is not valid JSON: $$line"; exit 1; }; done; \
 	echo "smoke: ok ($$url)"

@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/benchprog"
@@ -81,7 +82,7 @@ func BenchmarkTable2Benchmarks(b *testing.B) {
 func sweepSPM(b *testing.B, name string) []core.Measurement {
 	b.Helper()
 	l := labFor(b, name)
-	ms, err := l.SweepScratchpad()
+	ms, err := l.SweepScratchpad(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func sweepSPM(b *testing.B, name string) []core.Measurement {
 func sweepCache(b *testing.B, name string) []core.Measurement {
 	b.Helper()
 	l := labFor(b, name)
-	ms, err := l.SweepCache()
+	ms, err := l.SweepCache(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -213,11 +214,11 @@ func BenchmarkAblationSetAssociative(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows = rows[:0]
 		for _, size := range core.PaperSizes {
-			dm, err := l.WithCache(size, 1)
+			dm, err := l.WithCache(context.Background(), size, 1)
 			if err != nil {
 				b.Fatal(err)
 			}
-			sa, err := l.WithCache(size, 2)
+			sa, err := l.WithCache(context.Background(), size, 2)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -244,11 +245,11 @@ func BenchmarkAblationInstructionCache(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows = rows[:0]
 		for _, size := range core.PaperSizes {
-			uni, err := l.WithCache(size, 1)
+			uni, err := l.WithCache(context.Background(), size, 1)
 			if err != nil {
 				b.Fatal(err)
 			}
-			ic, err := l.WithInstructionCache(size)
+			ic, err := l.WithInstructionCache(context.Background(), size)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -270,7 +271,7 @@ func BenchmarkAblationKnapsackILPvsDP(b *testing.B) {
 	l := labFor(b, "G.721")
 	for i := 0; i < b.N; i++ {
 		for _, size := range core.PaperSizes {
-			if _, err := l.WithScratchpad(size); err != nil {
+			if _, err := l.WithScratchpad(context.Background(), size); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -289,7 +290,7 @@ func BenchmarkWCETDirectedAllocation(b *testing.B) {
 		var cs []core.AllocComparison
 		for i := 0; i < b.N; i++ {
 			var err error
-			cs, err = l.SweepWCETAllocation()
+			cs, err = l.SweepWCETAllocation(context.Background())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -321,10 +322,10 @@ func benchColdSweep(b *testing.B, name string, workers int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		l.ResetArtifacts()
-		if _, err := l.SweepScratchpad(); err != nil {
+		if _, err := l.SweepScratchpad(context.Background()); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := l.SweepCache(); err != nil {
+		if _, err := l.SweepCache(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -354,7 +355,7 @@ func BenchmarkFixpointCold(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				l.ResetArtifacts()
-				if _, err := l.SweepWCETAllocation(); err != nil {
+				if _, err := l.SweepWCETAllocation(context.Background()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -376,7 +377,7 @@ func BenchmarkParetoFrontCold(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				l.ResetArtifacts()
-				if _, err := l.SweepPareto(); err != nil {
+				if _, err := l.SweepPareto(context.Background()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -390,10 +391,10 @@ func BenchmarkParetoFrontCold(b *testing.B) {
 func BenchmarkSweepMemoized(b *testing.B) {
 	l := labFor(b, "G.721")
 	for i := 0; i < b.N; i++ {
-		if _, err := l.SweepScratchpad(); err != nil {
+		if _, err := l.SweepScratchpad(context.Background()); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := l.SweepCache(); err != nil {
+		if _, err := l.SweepCache(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -404,7 +405,7 @@ func BenchmarkSweepMemoized(b *testing.B) {
 // benchmarks in parallel, each with its own artifact pipeline.
 func BenchmarkSweepAllBenchmarks(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := core.SweepAllBenchmarks(0); err != nil {
+		if _, err := core.SweepAllBenchmarks(context.Background(), 0); err != nil {
 			b.Fatal(err)
 		}
 	}

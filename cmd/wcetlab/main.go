@@ -45,7 +45,14 @@
 //	-trace FILE  record every span of the run (sweep → cell → stage →
 //	             solve, with cache tiers and per-iteration bounds) and
 //	             write a Chrome trace-event JSON to FILE on exit; open
-//	             it in chrome://tracing or https://ui.perfetto.dev
+//	             it in chrome://tracing or https://ui.perfetto.dev.
+//	             During serve a SIGINT/SIGTERM additionally snapshots
+//	             the spans recorded so far to FILE before the graceful
+//	             drain, so a hung shutdown cannot lose the trace.
+//	-log LEVEL   structured-log level: off, error, warn, info or debug
+//	             (default info for serve, off for one-shot subcommands).
+//	             Records are single-line JSON on stderr, carrying the
+//	             request id of the work they describe.
 //
 // gc flags (after the subcommand): -max-age D removes entries older than
 // the duration, -max-bytes N evicts oldest-first beyond the byte budget.
@@ -99,6 +106,7 @@ func main() {
 	addr := flag.String("addr", "localhost:8177", "serve listen address")
 	gran := flag.String("granularity", "object", "WCET-directed placement-unit granularity: object or block")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of this run to FILE (view in Perfetto)")
+	logLevel := flag.String("log", "", "log level: off, error, warn, info or debug (default info for serve, off otherwise)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -106,6 +114,20 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	lvlStr := *logLevel
+	if lvlStr == "" {
+		if args[0] == "serve" {
+			lvlStr = "info"
+		} else {
+			lvlStr = "off"
+		}
+	}
+	lvl, lerr := obs.ParseLevel(lvlStr)
+	if lerr != nil {
+		fmt.Fprintln(os.Stderr, "wcetlab:", lerr)
+		os.Exit(2)
+	}
+	obs.DefaultLogger.SetLevel(lvl)
 	labWorkers = *workers
 	if *traceFile != "" {
 		obs.DefaultTracer.Enable()
@@ -119,7 +141,7 @@ func main() {
 	}
 	artifactStore, err = openStore(*storeDir)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "wcetlab: artifact store disabled: %v\n", err)
+		obs.Warn(context.Background(), "artifact store disabled", obs.A("err", err.Error()))
 		artifactStore, err = nil, nil
 	}
 	switch args[0] {
@@ -185,7 +207,7 @@ func main() {
 		}
 		err = witness(args[1], topN, *path)
 	case "serve":
-		err = serve(*addr, args[1:])
+		err = serve(*addr, *traceFile, args[1:])
 	case "gc":
 		err = gc(args[1:])
 	default:
@@ -198,9 +220,9 @@ func main() {
 		if terr := writeTrace(*traceFile); terr != nil && err == nil {
 			err = fmt.Errorf("trace: %w", terr)
 		} else if terr != nil {
-			fmt.Fprintln(os.Stderr, "wcetlab: trace:", terr)
+			obs.Error(context.Background(), "trace write failed", obs.A("err", terr.Error()))
 		} else {
-			fmt.Fprintf(os.Stderr, "wcetlab: trace written to %s\n", *traceFile)
+			obs.Info(context.Background(), "trace written", obs.A("file", *traceFile))
 		}
 	}
 	if err != nil {
@@ -234,7 +256,9 @@ flags:
   -granularity object|block
                placement-unit granularity for the WCET-directed allocator
   -trace FILE  write a Chrome trace-event JSON of the run (any subcommand)
-               for chrome://tracing or https://ui.perfetto.dev`)
+               for chrome://tracing or https://ui.perfetto.dev
+  -log LEVEL   structured-log level: off, error, warn, info or debug
+               (default info for serve, off for one-shot subcommands)`)
 }
 
 // gc applies a retention policy to the artifact store: entries older than
@@ -295,7 +319,7 @@ func newLab(name string) (*core.Lab, error) {
 // serve runs the HTTP API; -gc-interval (with the gc subcommand's
 // -max-age/-max-bytes policy flags) applies the store retention policy
 // periodically so a long-running server's artifact store stays bounded.
-func serve(addr string, args []string) error {
+func serve(addr, traceFile string, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	gcInterval := fs.Duration("gc-interval", 0, "apply the retention policy to the store every interval (0 disables periodic GC)")
 	maxAge := fs.Duration("max-age", 0, "periodic GC: remove entries older than this (0 keeps all ages)")
@@ -314,6 +338,20 @@ func serve(addr string, args []string) error {
 			return err
 		}
 	}
+	if traceFile != "" {
+		// Snapshot the spans recorded so far the moment a signal lands:
+		// the graceful drain can take seconds (or hang), and a trace that
+		// dies with the process is exactly what -trace must not lose. The
+		// authoritative (draining) write still happens in main on return.
+		go func() {
+			<-ctx.Done()
+			if err := snapshotTrace(traceFile); err != nil {
+				obs.Warn(context.Background(), "trace snapshot failed", obs.A("err", err.Error()))
+			} else {
+				obs.Info(context.Background(), "trace snapshot written", obs.A("file", traceFile))
+			}
+		}()
+	}
 	srv := service.New(service.Config{
 		Store:      artifactStore,
 		Workers:    labWorkers,
@@ -321,17 +359,38 @@ func serve(addr string, args []string) error {
 		GCInterval: *gcInterval,
 		GCPolicy:   store.Policy{MaxAge: *maxAge, MaxBytes: *maxBytes},
 	})
-	return srv.Run(ctx, addr, func(bound string) {
+	t0 := time.Now()
+	err := srv.Run(ctx, addr, func(bound string) {
 		storeDesc := "off"
 		if artifactStore != nil {
 			storeDesc = artifactStore.Dir()
 		}
 		gcDesc := ""
 		if *gcInterval > 0 {
-			gcDesc = fmt.Sprintf(", gc every %s", *gcInterval)
+			gcDesc = (*gcInterval).String()
 		}
-		fmt.Fprintf(os.Stderr, "wcetlab: serving on http://%s (store %s%s)\n", bound, storeDesc, gcDesc)
+		obs.Info(context.Background(), "serving",
+			obs.A("addr", "http://"+bound), obs.A("store", storeDesc), obs.A("gc", gcDesc))
 	})
+	requests, failures := srv.RequestTotals()
+	obs.Info(context.Background(), "shutdown",
+		obs.A("uptime_s", time.Since(t0).Seconds()),
+		obs.A("requests", requests), obs.A("failures", failures))
+	return err
+}
+
+// snapshotTrace writes a Chrome trace of the spans recorded so far
+// without draining the tracer's buffer (unlike writeTrace).
+func snapshotTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := obs.WriteChromeTrace(f, obs.DefaultTracer.Spans(), obs.DefaultTracer.Epoch())
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // servePprof runs the net/http/pprof handlers on their own listener and
@@ -349,7 +408,7 @@ func servePprof(ctx context.Context, addr string) error {
 		return fmt.Errorf("pprof: %w", err)
 	}
 	srv := &http.Server{Handler: mux}
-	fmt.Fprintf(os.Stderr, "wcetlab: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	obs.Info(ctx, "pprof listening", obs.A("addr", fmt.Sprintf("http://%s/debug/pprof/", ln.Addr())))
 	go srv.Serve(ln)
 	go func() {
 		<-ctx.Done()
@@ -402,11 +461,12 @@ func sweepData(name string) ([]core.Measurement, []core.Measurement, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	spms, err := lab.SweepScratchpad()
+	ctx := context.Background()
+	spms, err := lab.SweepScratchpad(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
-	caches, err := lab.SweepCache()
+	caches, err := lab.SweepCache(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -432,7 +492,7 @@ func printSweep(spms, caches []core.Measurement) {
 func all() error {
 	table1()
 	table2()
-	sweeps, err := core.SweepAllBenchmarksWithStore(labWorkers, artifactStore)
+	sweeps, err := core.SweepAllBenchmarksWithStore(context.Background(), labWorkers, artifactStore)
 	if err != nil {
 		return err
 	}
@@ -621,7 +681,7 @@ func precision() error {
 // printPrecision runs the §4 experiment through the lab's pipeline, so a
 // warm store serves both the simulation and the analysis.
 func printPrecision(lab *core.Lab) error {
-	m, err := lab.Baseline()
+	m, err := lab.Baseline(context.Background())
 	if err != nil {
 		return err
 	}
@@ -652,7 +712,7 @@ func wcetsweep(name string) error {
 	if err != nil {
 		return err
 	}
-	cs, err := lab.SweepWCETAllocationGran(granularity)
+	cs, err := lab.SweepWCETAllocationGran(context.Background(), granularity)
 	if err != nil {
 		return err
 	}
@@ -692,7 +752,7 @@ func pareto(name string, adaptive bool, maxPoints int) error {
 	}
 	lab.ParetoAdaptive = adaptive
 	lab.ParetoMaxPoints = maxPoints
-	fronts, err := lab.SweepPareto()
+	fronts, err := lab.SweepPareto(context.Background())
 	if err != nil {
 		return err
 	}
@@ -734,7 +794,7 @@ func witness(name string, topN int, path bool) error {
 	if err != nil {
 		return err
 	}
-	res, err := lab.Pipe.Analyze(0, nil, wcet.Options{Witness: true})
+	res, err := lab.Pipe.Analyze(context.Background(), 0, nil, wcet.Options{Witness: true})
 	if err != nil {
 		return err
 	}
@@ -759,7 +819,7 @@ func witness(name string, topN int, path bool) error {
 
 	// The hot regions those counts imply: the placement units the
 	// block-granularity allocator (-granularity block) would split out.
-	regions, err := wcetalloc.HotRegions(lab.Pipe, w, link.SPMMax, "")
+	regions, err := wcetalloc.HotRegions(context.Background(), lab.Pipe, w, link.SPMMax, "")
 	if err != nil {
 		return err
 	}
@@ -787,11 +847,11 @@ func witness(name string, topN int, path bool) error {
 // across — and the long-branch trampolines that stitch them — are
 // visible on the path itself.
 func witnessPath(lab *core.Lab, regions []obj.Region) error {
-	res, err := lab.Pipe.AnalyzeUnits(regions, 0, nil, wcet.Options{Witness: true})
+	res, err := lab.Pipe.AnalyzeUnits(context.Background(), regions, 0, nil, wcet.Options{Witness: true})
 	if err != nil {
 		return err
 	}
-	exe, err := lab.Pipe.LinkUnits(regions, 0, nil)
+	exe, err := lab.Pipe.LinkUnits(context.Background(), regions, 0, nil)
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,11 +24,11 @@ func main() {
 	}
 	const capacity = 1024
 
-	spmRun, err := lab.WithScratchpad(capacity)
+	spmRun, err := lab.WithScratchpad(context.Background(), capacity)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cacheRun, err := lab.WithCache(capacity, 1)
+	cacheRun, err := lab.WithCache(context.Background(), capacity, 1)
 	if err != nil {
 		log.Fatal(err)
 	}

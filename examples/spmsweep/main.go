@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +18,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := lab.Baseline()
+	base, err := lab.Baseline(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func main() {
 
 	fmt.Printf("%8s | %10s %10s %7s | %8s %7s | %12s\n",
 		"SPM [B]", "sim", "WCET", "ratio", "used [B]", "objects", "energy [nJ]")
-	ms, err := lab.SweepScratchpad()
+	ms, err := lab.SweepScratchpad(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,11 +22,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
 	fmt.Println("MultiSort: energy-directed vs WCET-directed scratchpad allocation")
 	fmt.Printf("%8s | %12s %12s | %8s %5s\n",
 		"SPM [B]", "energy WCET", "wcet WCET", "Δ WCET", "iters")
-	cs, err := lab.SweepWCETAllocation()
+	cs, err := lab.SweepWCETAllocation(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +46,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := wcetalloc.AllocateIn(lab.Pipe, size, wcetalloc.Options{
+	res, err := wcetalloc.AllocateIn(ctx, lab.Pipe, size, wcetalloc.Options{
 		Seeds: []map[string]bool{ealloc.InSPM},
 	})
 	if err != nil {
@@ -66,11 +68,11 @@ func main() {
 	fmt.Println("\nObject vs block placement-unit granularity (WCET-directed bound):")
 	fmt.Printf("%8s | %12s %12s | %7s %7s\n", "SPM [B]", "object", "block", "Δ", "splits")
 	for _, capacity := range []uint32{64, 128, 256, 512} {
-		objRes, err := wcetalloc.AllocateIn(lab.Pipe, capacity, wcetalloc.Options{})
+		objRes, err := wcetalloc.AllocateIn(ctx, lab.Pipe, capacity, wcetalloc.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		blkRes, err := wcetalloc.AllocateIn(lab.Pipe, capacity, wcetalloc.Options{Granularity: wcetalloc.GranBlock})
+		blkRes, err := wcetalloc.AllocateIn(ctx, lab.Pipe, capacity, wcetalloc.Options{Granularity: wcetalloc.GranBlock})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -86,7 +88,7 @@ func main() {
 	// *certified* WCET bound. Every point's bound comes from a full
 	// re-analysis, and all points are mutually non-dominated — each trades
 	// worst-case cycles for average-case energy.
-	front, err := lab.ParetoFront(2048)
+	front, err := lab.ParetoFront(ctx, 2048)
 	if err != nil {
 		log.Fatal(err)
 	}

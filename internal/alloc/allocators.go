@@ -1,6 +1,7 @@
 package alloc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -31,8 +32,8 @@ func (a EnergyAllocator) ConfigKey() string { return "energy|auto|" + a.Model.Ke
 
 // Allocate solves the energy knapsack at one capacity using the pipeline's
 // profile artifact.
-func (a EnergyAllocator) Allocate(p *pipeline.Pipeline, capacity uint32) (*Allocation, error) {
-	r, err := Run(p, capacity, EnergyObjective{Model: a.Model}, SolverAuto, Options{})
+func (a EnergyAllocator) Allocate(ctx context.Context, p *pipeline.Pipeline, capacity uint32) (*Allocation, error) {
+	r, err := Run(ctx, p, capacity, EnergyObjective{Model: a.Model}, SolverAuto, Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -82,18 +83,18 @@ func (d Directed) ConfigKey() string {
 // Allocate runs the fixpoint against the pipeline and converts the result
 // to the shared allocation type; Benefit is the worst-case cycles saved
 // over the empty-scratchpad baseline.
-func (d Directed) Allocate(p *pipeline.Pipeline, capacity uint32) (*Allocation, error) {
+func (d Directed) Allocate(ctx context.Context, p *pipeline.Pipeline, capacity uint32) (*Allocation, error) {
 	opts := d.Opts
 	if d.Seed != nil {
 		// Through the pipeline's allocation stage, so the seed solve is
 		// shared with direct sweeps of the seed policy.
-		sa, err := p.Allocate(d.Seed, capacity)
+		sa, err := p.Allocate(ctx, d.Seed, capacity)
 		if err != nil {
 			return nil, err
 		}
 		opts.Seeds = append(append([]map[string]bool{}, opts.Seeds...), sa.InSPM)
 	}
-	r, err := Run(p, capacity, WCETObjective{}, SolverILP, opts)
+	r, err := Run(ctx, p, capacity, WCETObjective{}, SolverILP, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package alloc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -170,7 +171,7 @@ type Result struct {
 // memoized: the capacity-independent empty-scratchpad baseline is analysed
 // once per program, already-evaluated allocations are never re-analysed,
 // and pre-evaluated seeds enter the loop without any analysis at all.
-func Run(p *pipeline.Pipeline, capacity uint32, objective Objective, solver Solver, opts Options) (*Result, error) {
+func Run(ctx context.Context, p *pipeline.Pipeline, capacity uint32, objective Objective, solver Solver, opts Options) (*Result, error) {
 	if opts.WCET.Cache != nil {
 		return nil, fmt.Errorf("alloc: combined scratchpad+cache analysis is not modelled")
 	}
@@ -178,27 +179,27 @@ func Run(p *pipeline.Pipeline, capacity uint32, objective Objective, solver Solv
 		if opts.Granularity == GranBlock {
 			return nil, fmt.Errorf("alloc: block granularity requires a witness-priced objective (%s is static)", objective.Name())
 		}
-		return runStatic(p, capacity, objective, solver)
+		return runStatic(ctx, p, capacity, objective, solver)
 	}
 	if opts.Granularity == GranBlock {
-		return runBlock(p, capacity, objective, solver, opts)
+		return runBlock(ctx, p, capacity, objective, solver, opts)
 	}
-	return run(p, nil, capacity, objective, solver, opts)
+	return run(ctx, p, nil, capacity, objective, solver, opts)
 }
 
 // runStatic solves a static objective: evidence is capacity-independent
 // (the profile), so one knapsack is exact and no analysis runs.
-func runStatic(p *pipeline.Pipeline, capacity uint32, objective Objective, solver Solver) (*Result, error) {
+func runStatic(ctx context.Context, p *pipeline.Pipeline, capacity uint32, objective Objective, solver Solver) (*Result, error) {
 	var ev Evidence
 	if objective.NeedsProfile() {
-		prof, err := p.Profile()
+		prof, err := p.Profile(ctx)
 		if err != nil {
 			return nil, err
 		}
 		ev.Profile = prof
 	}
 	items := Candidates(p.Prog, ev, objective, capacity)
-	a, err := SolveItems(items, capacity, solver)
+	a, err := SolveItems(ctx, items, capacity, solver)
 	if err != nil {
 		return nil, err
 	}
@@ -218,18 +219,18 @@ func runStatic(p *pipeline.Pipeline, capacity uint32, objective Objective, solve
 // whole-object winner (fragments added for split functions) and taking the
 // minimum at the end makes the block-granularity bound never worse than
 // the whole-object one, by construction.
-func runBlock(p *pipeline.Pipeline, capacity uint32, objective Objective, solver Solver, opts Options) (*Result, error) {
-	objRes, err := run(p, nil, capacity, objective, solver, opts)
+func runBlock(ctx context.Context, p *pipeline.Pipeline, capacity uint32, objective Objective, solver Solver, opts Options) (*Result, error) {
+	objRes, err := run(ctx, p, nil, capacity, objective, solver, opts)
 	if err != nil {
 		return nil, err
 	}
 	wopts := opts.WCET
 	wopts.Witness = true
-	base, err := p.Analyze(capacity, nil, wopts) // cached: the fixpoint's baseline
+	base, err := p.Analyze(ctx, capacity, nil, wopts) // cached: the fixpoint's baseline
 	if err != nil {
 		return nil, err
 	}
-	regions, err := HotRegions(p, base.Witness, capacity, opts.WCET.Root)
+	regions, err := HotRegions(ctx, p, base.Witness, capacity, opts.WCET.Root)
 	if err != nil || len(regions) == 0 {
 		return objRes, err
 	}
@@ -243,7 +244,7 @@ func runBlock(p *pipeline.Pipeline, capacity uint32, objective Objective, solver
 	for _, s := range opts.Seeds {
 		bopts.Seeds = append(bopts.Seeds, expandSeed(s, regions))
 	}
-	blockRes, err := run(p, regions, capacity, objective, solver, bopts)
+	blockRes, err := run(ctx, p, regions, capacity, objective, solver, bopts)
 	if err != nil {
 		return nil, err
 	}
@@ -285,8 +286,8 @@ func expandSeed(seed map[string]bool, regions []obj.Region) map[string]bool {
 // Functions whose worst case never runs, or whose loops cannot be split,
 // contribute nothing. The result is canonical (sorted, one region per
 // function), so it is a stable cache-key ingredient.
-func HotRegions(p *pipeline.Pipeline, w *wcet.Witness, capacity uint32, root string) ([]obj.Region, error) {
-	exe, err := p.Link(0, nil)
+func HotRegions(ctx context.Context, p *pipeline.Pipeline, w *wcet.Witness, capacity uint32, root string) ([]obj.Region, error) {
+	exe, err := p.Link(ctx, 0, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -404,8 +405,8 @@ func (e *evaluator) usedBytes(inSPM map[string]bool) uint32 {
 	return used
 }
 
-func (e *evaluator) evaluate(inSPM map[string]bool) (*evaluation, error) {
-	res, err := e.p.AnalyzeUnits(e.regions, e.cap, inSPM, e.wopts)
+func (e *evaluator) evaluate(ctx context.Context, inSPM map[string]bool) (*evaluation, error) {
+	res, err := e.p.AnalyzeUnits(ctx, e.regions, e.cap, inSPM, e.wopts)
 	if err != nil {
 		return nil, fmt.Errorf("alloc: %w", err)
 	}
@@ -415,12 +416,12 @@ func (e *evaluator) evaluate(inSPM map[string]bool) (*evaluation, error) {
 // run iterates the link → analyse → re-allocate fixpoint over the units of
 // one partition: the program's own objects when regions is nil, the split
 // program's objects (fragments included) otherwise.
-func run(p *pipeline.Pipeline, regions []obj.Region, capacity uint32, objective Objective, solver Solver, opts Options) (*Result, error) {
+func run(ctx context.Context, p *pipeline.Pipeline, regions []obj.Region, capacity uint32, objective Objective, solver Solver, opts Options) (*Result, error) {
 	gran := "object"
 	if len(regions) > 0 {
 		gran = "block"
 	}
-	sp := obs.StartSpan("fixpoint",
+	ctx, sp := obs.Start(ctx, "fixpoint",
 		obs.A("capacity", capacity),
 		obs.A("objective", objective.Name()),
 		obs.A("granularity", gran))
@@ -434,7 +435,7 @@ func run(p *pipeline.Pipeline, regions []obj.Region, capacity uint32, objective 
 	ev := &evaluator{p: p, prog: prog, regions: regions, cap: capacity, wopts: wopts}
 	var evidence Evidence
 	if objective.NeedsProfile() {
-		if evidence.Profile, err = p.Profile(); err != nil {
+		if evidence.Profile, err = p.Profile(ctx); err != nil {
 			return nil, err
 		}
 	}
@@ -460,7 +461,7 @@ func run(p *pipeline.Pipeline, regions []obj.Region, capacity uint32, objective 
 		return modelledEnergy(cand) < modelledEnergy(incumbent)
 	}
 
-	base, err := ev.evaluate(map[string]bool{})
+	base, err := ev.evaluate(ctx, map[string]bool{})
 	if err != nil {
 		return nil, err
 	}
@@ -500,7 +501,7 @@ func run(p *pipeline.Pipeline, regions []obj.Region, capacity uint32, objective 
 			continue
 		}
 		seen[allocKey(seed)] = true
-		e, err := ev.evaluate(seed)
+		e, err := ev.evaluate(ctx, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -513,7 +514,7 @@ func run(p *pipeline.Pipeline, regions []obj.Region, capacity uint32, objective 
 		items := Candidates(prog, evidence, objective, capacity)
 		// Warm-start the branch & bound with the previous accepted
 		// allocation's value under the re-priced benefits.
-		alloc, err := SolveItemsSeeded(items, capacity, solver, best.inSPM)
+		alloc, err := SolveItemsSeeded(ctx, items, capacity, solver, best.inSPM)
 		if err != nil {
 			return nil, fmt.Errorf("alloc: %w", err)
 		}
@@ -524,7 +525,7 @@ func run(p *pipeline.Pipeline, regions []obj.Region, capacity uint32, objective 
 			break
 		}
 		seen[key] = true
-		e, err := ev.evaluate(alloc.InSPM)
+		e, err := ev.evaluate(ctx, alloc.InSPM)
 		if err != nil {
 			return nil, err
 		}

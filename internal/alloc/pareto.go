@@ -1,6 +1,7 @@
 package alloc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -66,17 +67,17 @@ func (b Budgeted) ConfigKey() string {
 // Allocation's Benefit is the energy benefit (nJ per run) of the chosen
 // placement; its certified bound is the pipeline's memoized analysis of
 // the placement (re-derivable by any caller at zero cost).
-func (b Budgeted) Allocate(p *pipeline.Pipeline, capacity uint32) (*Allocation, error) {
+func (b Budgeted) Allocate(ctx context.Context, p *pipeline.Pipeline, capacity uint32) (*Allocation, error) {
 	if b.WCET.Cache != nil {
 		return nil, fmt.Errorf("alloc: combined scratchpad+cache analysis is not modelled")
 	}
-	prof, err := p.Profile()
+	prof, err := p.Profile(ctx)
 	if err != nil {
 		return nil, err
 	}
 	wopts := b.WCET
 	wopts.Witness = true
-	base, err := p.Analyze(capacity, nil, wopts)
+	base, err := p.Analyze(ctx, capacity, nil, wopts)
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +107,7 @@ func (b Budgeted) Allocate(p *pipeline.Pipeline, capacity uint32) (*Allocation, 
 	}
 
 	if b.Fallback != nil {
-		fa, err := p.Allocate(b.Fallback, capacity)
+		fa, err := p.Allocate(ctx, b.Fallback, capacity)
 		if err != nil {
 			return nil, err
 		}
@@ -116,7 +117,7 @@ func (b Budgeted) Allocate(p *pipeline.Pipeline, capacity uint32) (*Allocation, 
 			// consistently with the ε-solves it anchors.
 			return nil, fmt.Errorf("alloc: pareto: fallback %q produced a block-granularity allocation; use an object-granularity policy", b.Fallback.Name())
 		}
-		cert, err := p.Analyze(capacity, fa.InSPM, wopts)
+		cert, err := p.Analyze(ctx, capacity, fa.InSPM, wopts)
 		if err != nil {
 			return nil, err
 		}
@@ -152,7 +153,7 @@ func (b Budgeted) Allocate(p *pipeline.Pipeline, capacity uint32) (*Allocation, 
 		// Warm-start from the placement the model is linearised around;
 		// the seed only engages when that placement meets the ε-constraint
 		// under the refreshed weights.
-		a, err := KnapsackBudgetSeeded(items, capacity, weights, required, incumbent.inSPM)
+		a, err := KnapsackBudgetSeeded(ctx, items, capacity, weights, required, incumbent.inSPM)
 		if errors.Is(err, ErrInfeasible) {
 			break // no subset models within budget: fall back
 		}
@@ -164,7 +165,7 @@ func (b Budgeted) Allocate(p *pipeline.Pipeline, capacity uint32) (*Allocation, 
 			break // the model stopped producing new placements
 		}
 		seen[key] = true
-		cert, err := p.Analyze(capacity, a.InSPM, wopts)
+		cert, err := p.Analyze(ctx, capacity, a.InSPM, wopts)
 		if err != nil {
 			return nil, err
 		}
@@ -261,11 +262,11 @@ const DefaultParetoSteps = 8
 // All solves and analyses go through the pipeline's memoized stages, so a
 // warm store serves a whole front (endpoints, interior points and their
 // certifications) with zero recomputation.
-func ParetoFront(p *pipeline.Pipeline, capacity uint32, opts ParetoOptions) ([]ParetoPoint, error) {
+func ParetoFront(ctx context.Context, p *pipeline.Pipeline, capacity uint32, opts ParetoOptions) ([]ParetoPoint, error) {
 	if opts.WCET.Cache != nil {
 		return nil, fmt.Errorf("alloc: combined scratchpad+cache analysis is not modelled")
 	}
-	prof, err := p.Profile()
+	prof, err := p.Profile(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -308,7 +309,7 @@ func ParetoFront(p *pipeline.Pipeline, capacity uint32, opts ParetoOptions) ([]P
 		return pr
 	}
 	point := func(kind string, budget uint64, a *Allocation) (ParetoPoint, error) {
-		cert, err := p.Analyze(capacity, a.InSPM, wopts)
+		cert, err := p.Analyze(ctx, capacity, a.InSPM, wopts)
 		if err != nil {
 			return ParetoPoint{}, err
 		}
@@ -326,14 +327,14 @@ func ParetoFront(p *pipeline.Pipeline, capacity uint32, opts ParetoOptions) ([]P
 		}, nil
 	}
 
-	ea, err := p.Allocate(eAllocator, capacity)
+	ea, err := p.Allocate(ctx, eAllocator, capacity)
 	if err != nil {
 		return nil, err
 	}
 	// The WCET endpoint stays at object granularity: the energy axis is an
 	// object-granularity model (fragments are not profiled objects), so
 	// every point of one front prices identically.
-	wa, err := p.Allocate(wAllocator, capacity)
+	wa, err := p.Allocate(ctx, wAllocator, capacity)
 	if err != nil {
 		return nil, err
 	}
@@ -369,7 +370,7 @@ func ParetoFront(p *pipeline.Pipeline, capacity uint32, opts ParetoOptions) ([]P
 	}
 
 	solveBudget := func(budget uint64) (ParetoPoint, error) {
-		ba, err := p.Allocate(Budgeted{
+		ba, err := p.Allocate(ctx, Budgeted{
 			Budget:   budget,
 			Model:    opts.Model,
 			WCET:     opts.WCET,

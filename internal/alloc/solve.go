@@ -1,6 +1,7 @@
 package alloc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -53,8 +54,8 @@ const dpCellBudget = 1 << 22
 
 // SolveItems is the engine's solver front-end: one 0/1 knapsack over the
 // items, dispatched to the selected back-end.
-func SolveItems(items []Item, capacity uint32, s Solver) (*Allocation, error) {
-	return SolveItemsSeeded(items, capacity, s, nil)
+func SolveItems(ctx context.Context, items []Item, capacity uint32, s Solver) (*Allocation, error) {
+	return SolveItemsSeeded(ctx, items, capacity, s, nil)
 }
 
 // SolveItemsSeeded is SolveItems warm-started from a previous accepted
@@ -63,8 +64,8 @@ func SolveItems(items []Item, capacity uint32, s Solver) (*Allocation, error) {
 // (a feasible subset, so the value is achievable and only strictly-worse
 // subtrees are pruned — the solution is identical to a cold solve). The DP
 // back-end fills its whole table regardless and ignores the seed.
-func SolveItemsSeeded(items []Item, capacity uint32, s Solver, prev map[string]bool) (*Allocation, error) {
-	sp := obs.StartSpan("solve", obs.A("items", len(items)), obs.A("capacity", capacity))
+func SolveItemsSeeded(ctx context.Context, items []Item, capacity uint32, s Solver, prev map[string]bool) (*Allocation, error) {
+	_, sp := obs.Start(ctx, "solve", obs.A("items", len(items)), obs.A("capacity", capacity))
 	defer sp.End()
 	opt := seedOptions(items, capacity, prev)
 	switch s {
@@ -139,8 +140,8 @@ var ErrInfeasible = errors.New("alloc: no allocation satisfies the constraint")
 // Σ weight_i·y_i ≥ minWeight, y_i ∈ {0, 1} — maximise the primary
 // objective among allocations the secondary model says stay within budget.
 // Returns ErrInfeasible when no subset reaches minWeight.
-func KnapsackBudget(items []Item, capacity uint32, weights []float64, minWeight float64) (*Allocation, error) {
-	return KnapsackBudgetSeeded(items, capacity, weights, minWeight, nil)
+func KnapsackBudget(ctx context.Context, items []Item, capacity uint32, weights []float64, minWeight float64) (*Allocation, error) {
+	return KnapsackBudgetSeeded(ctx, items, capacity, weights, minWeight, nil)
 }
 
 // KnapsackBudgetSeeded is KnapsackBudget warm-started from a previous
@@ -148,10 +149,10 @@ func KnapsackBudget(items []Item, capacity uint32, weights []float64, minWeight 
 // the item list satisfy the ε-constraint under the *current* weights and
 // fit the capacity — i.e. when their benefit is genuinely achievable here —
 // so the solve result is identical to the unseeded one.
-func KnapsackBudgetSeeded(items []Item, capacity uint32, weights []float64, minWeight float64, prev map[string]bool) (*Allocation, error) {
+func KnapsackBudgetSeeded(ctx context.Context, items []Item, capacity uint32, weights []float64, minWeight float64, prev map[string]bool) (*Allocation, error) {
 	a := &Allocation{InSPM: map[string]bool{}}
 	if minWeight <= 0 {
-		return SolveItemsSeeded(items, capacity, SolverAuto, prev)
+		return SolveItemsSeeded(ctx, items, capacity, SolverAuto, prev)
 	}
 	if len(items) == 0 {
 		return nil, ErrInfeasible
@@ -173,6 +174,8 @@ func KnapsackBudgetSeeded(items []Item, capacity uint32, weights []float64, minW
 	}
 	mEpsResolves.Inc()
 	mSolveILP.Inc()
+	_, sp := obs.Start(ctx, "solve", obs.A("items", len(items)), obs.A("capacity", capacity), obs.A("solver", "ilp"))
+	defer sp.End()
 	s, err := ilp.SolveOpts(knapsackProblem(items, capacity, weights, minWeight), opt)
 	if err != nil {
 		if errors.Is(err, ilp.ErrInfeasible) {

@@ -1,6 +1,7 @@
 package alloc
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -50,7 +51,7 @@ func TestSolversAgree(t *testing.T) {
 	for capacity := uint32(0); capacity <= 100; capacity += 4 {
 		want := bruteForce(testItems, capacity, nil, 0)
 		for _, s := range []Solver{SolverAuto, SolverILP, SolverDP} {
-			a, err := SolveItems(testItems, capacity, s)
+			a, err := SolveItems(context.Background(), testItems, capacity, s)
 			if err != nil {
 				t.Fatalf("cap %d solver %d: %v", capacity, s, err)
 			}
@@ -82,7 +83,7 @@ func TestKnapsackBudget(t *testing.T) {
 		{40, 0}, {40, 15}, {40, 30}, {60, 45}, {100, 70}, {24, 25},
 	} {
 		want := bruteForce(testItems, tc.capacity, weights, tc.minWeight)
-		a, err := KnapsackBudget(testItems, tc.capacity, weights, tc.minWeight)
+		a, err := KnapsackBudget(context.Background(), testItems, tc.capacity, weights, tc.minWeight)
 		if math.IsInf(want, -1) {
 			if !errors.Is(err, ErrInfeasible) {
 				t.Errorf("cap %d min %v: want ErrInfeasible, got %v (alloc %+v)", tc.capacity, tc.minWeight, err, a)
@@ -111,7 +112,7 @@ func TestKnapsackBudget(t *testing.T) {
 		}
 	}
 	// No items at a positive floor is infeasible, not an empty solution.
-	if _, err := KnapsackBudget(nil, 64, nil, 1); !errors.Is(err, ErrInfeasible) {
+	if _, err := KnapsackBudget(context.Background(), nil, 64, nil, 1); !errors.Is(err, ErrInfeasible) {
 		t.Errorf("empty items: want ErrInfeasible, got %v", err)
 	}
 }
@@ -120,11 +121,11 @@ func TestKnapsackBudget(t *testing.T) {
 // plain knapsack (the auto solver path).
 func TestKnapsackBudgetNoFloor(t *testing.T) {
 	weights := make([]float64, len(testItems))
-	a, err := KnapsackBudget(testItems, 48, weights, 0)
+	a, err := KnapsackBudget(context.Background(), testItems, 48, weights, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := SolveItems(testItems, 48, SolverAuto)
+	plain, err := SolveItems(context.Background(), testItems, 48, SolverAuto)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -120,7 +121,7 @@ func NewLabWithStore(b benchprog.Benchmark, st *store.Store) (*Lab, error) {
 	if st != nil {
 		pipe.SetStore(st)
 	}
-	prof, err := pipe.Profile()
+	prof, err := pipe.Profile(context.Background())
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: profiling: %w", b.Name, err)
 	}
@@ -208,33 +209,33 @@ func (l *Lab) placementEnergy(inSPM map[string]bool) float64 {
 }
 
 // Baseline measures the system with neither scratchpad nor cache.
-func (l *Lab) Baseline() (Measurement, error) {
-	return l.measure(nil, 0, nil, nil, nil)
+func (l *Lab) Baseline(ctx context.Context) (Measurement, error) {
+	return l.measure(ctx, nil, 0, nil, nil, nil)
 }
 
 // WithScratchpad runs the scratchpad branch for one capacity.
-func (l *Lab) WithScratchpad(size uint32) (Measurement, error) {
-	return l.WithAllocator(l.EnergyAllocator(), size)
+func (l *Lab) WithScratchpad(ctx context.Context, size uint32) (Measurement, error) {
+	return l.WithAllocator(ctx, l.EnergyAllocator(), size)
 }
 
 // WithAllocator runs the scratchpad branch for one capacity under any
 // allocation policy. The solve goes through the pipeline's allocation
 // stage, so repeated sweeps under the same policy configuration reuse the
 // memoized allocation instead of re-running the knapsack/fixpoint.
-func (l *Lab) WithAllocator(a pipeline.Allocator, size uint32) (Measurement, error) {
-	alloc, err := l.Pipe.Allocate(a, size)
+func (l *Lab) WithAllocator(ctx context.Context, a pipeline.Allocator, size uint32) (Measurement, error) {
+	alloc, err := l.Pipe.Allocate(ctx, a, size)
 	if err != nil {
 		return Measurement{}, err
 	}
-	return l.measureAllocation(size, alloc)
+	return l.measureAllocation(ctx, size, alloc)
 }
 
 // measureAllocation links one scratchpad allocation and measures it. Both
 // the link and the analysis are pipeline artifacts: if the placement was
 // already analysed (e.g. by the wcetalloc fixpoint), the bound is reused.
 // The allocation's unit partition (if any) flows into every stage key.
-func (l *Lab) measureAllocation(size uint32, alloc *spm.Allocation) (Measurement, error) {
-	m, err := l.measure(alloc.Splits, size, alloc.InSPM, nil, alloc)
+func (l *Lab) measureAllocation(ctx context.Context, size uint32, alloc *spm.Allocation) (Measurement, error) {
+	m, err := l.measure(ctx, alloc.Splits, size, alloc.InSPM, nil, alloc)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -271,18 +272,18 @@ func energyPlacement(alloc *spm.Allocation) map[string]bool {
 // lines — the paper's configuration). assoc > 1 selects the paper's §5
 // future-work set-associative LRU configuration, analysed with the aging
 // MUST domain.
-func (l *Lab) WithCache(size uint32, assoc int) (Measurement, error) {
-	return l.withCacheConfig(cache.Config{Size: size, Assoc: assoc})
+func (l *Lab) WithCache(ctx context.Context, size uint32, assoc int) (Measurement, error) {
+	return l.withCacheConfig(ctx, cache.Config{Size: size, Assoc: assoc})
 }
 
 // WithInstructionCache runs the §5 future-work instruction-cache
 // configuration: fetches are cached, data pays main-memory cost.
-func (l *Lab) WithInstructionCache(size uint32) (Measurement, error) {
-	return l.withCacheConfig(cache.Config{Size: size, InstructionOnly: true})
+func (l *Lab) WithInstructionCache(ctx context.Context, size uint32) (Measurement, error) {
+	return l.withCacheConfig(ctx, cache.Config{Size: size, InstructionOnly: true})
 }
 
-func (l *Lab) withCacheConfig(ccfg cache.Config) (Measurement, error) {
-	m, err := l.measure(nil, 0, nil, &ccfg, nil)
+func (l *Lab) withCacheConfig(ctx context.Context, ccfg cache.Config) (Measurement, error) {
+	m, err := l.measure(ctx, nil, 0, nil, &ccfg, nil)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -292,8 +293,8 @@ func (l *Lab) withCacheConfig(ccfg cache.Config) (Measurement, error) {
 
 // measure simulates and analyses one configuration through the pipeline,
 // under an optional placement-unit partition.
-func (l *Lab) measure(splits []obj.Region, spmSize uint32, inSPM map[string]bool, ccfg *cache.Config, alloc *spm.Allocation) (Measurement, error) {
-	res, err := l.Pipe.SimulateUnits(splits, spmSize, inSPM, ccfg)
+func (l *Lab) measure(ctx context.Context, splits []obj.Region, spmSize uint32, inSPM map[string]bool, ccfg *cache.Config, alloc *spm.Allocation) (Measurement, error) {
+	res, err := l.Pipe.SimulateUnits(ctx, splits, spmSize, inSPM, ccfg)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -305,7 +306,7 @@ func (l *Lab) measure(splits []obj.Region, spmSize uint32, inSPM map[string]bool
 		wopts.Cache = ccfg
 		wopts.StackBound = l.StackBound
 	}
-	wres, err := l.Pipe.AnalyzeUnits(splits, spmSize, inSPM, wopts)
+	wres, err := l.Pipe.AnalyzeUnits(ctx, splits, spmSize, inSPM, wopts)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -363,8 +364,8 @@ type AllocComparison struct {
 
 // WithWCETAllocation runs both allocators at one capacity and measures the
 // resulting systems side by side, placing whole objects.
-func (l *Lab) WithWCETAllocation(size uint32) (AllocComparison, error) {
-	return l.WithWCETAllocationGran(size, wcetalloc.GranObject)
+func (l *Lab) WithWCETAllocation(ctx context.Context, size uint32) (AllocComparison, error) {
+	return l.WithWCETAllocationGran(ctx, size, wcetalloc.GranObject)
 }
 
 // WithWCETAllocationGran is WithWCETAllocation at an explicit placement-
@@ -376,20 +377,20 @@ func (l *Lab) WithWCETAllocation(size uint32) (AllocComparison, error) {
 // first, so the measurements below are pure cache hits. At block
 // granularity the fixpoint additionally runs over the hot-region unit
 // partition and keeps the better certified bound.
-func (l *Lab) WithWCETAllocationGran(size uint32, g wcetalloc.Granularity) (AllocComparison, error) {
-	walloc, err := l.Pipe.Allocate(l.WCETAllocatorGran(g), size)
+func (l *Lab) WithWCETAllocationGran(ctx context.Context, size uint32, g wcetalloc.Granularity) (AllocComparison, error) {
+	walloc, err := l.Pipe.Allocate(ctx, l.WCETAllocatorGran(g), size)
 	if err != nil {
 		return AllocComparison{}, err
 	}
-	ealloc, err := l.Pipe.Allocate(l.EnergyAllocator(), size)
+	ealloc, err := l.Pipe.Allocate(ctx, l.EnergyAllocator(), size)
 	if err != nil {
 		return AllocComparison{}, err
 	}
-	em, err := l.measureAllocation(size, ealloc)
+	em, err := l.measureAllocation(ctx, size, ealloc)
 	if err != nil {
 		return AllocComparison{}, err
 	}
-	wm, err := l.measureAllocation(size, walloc)
+	wm, err := l.measureAllocation(ctx, size, walloc)
 	if err != nil {
 		return AllocComparison{}, err
 	}
@@ -440,7 +441,7 @@ func forEach(n, workers int, f func(int) error) []error {
 // indistinguishable to callers; branch names the sweep in error messages
 // ("spm", "cache", "wcetalloc", "pareto"). All workers are drained
 // before returning.
-func sweepStream[T any](l *Lab, branch string, sizes []uint32, f func(uint32) (T, error), emit func(int, T) error) error {
+func sweepStream[T any](ctx context.Context, l *Lab, branch string, sizes []uint32, f func(context.Context, uint32) (T, error), emit func(int, T) error) error {
 	workers := l.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -448,7 +449,7 @@ func sweepStream[T any](l *Lab, branch string, sizes []uint32, f func(uint32) (T
 	if workers > len(sizes) {
 		workers = len(sizes)
 	}
-	root := obs.StartSpan("sweep",
+	sctx, root := obs.Start(ctx, "sweep",
 		obs.A("bench", l.Bench.Name), obs.A("branch", branch), obs.A("sizes", len(sizes)))
 	defer root.End()
 	out := make([]T, len(sizes))
@@ -464,12 +465,13 @@ func sweepStream[T any](l *Lab, branch string, sizes []uint32, f func(uint32) (T
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			// The cell span is handed the sweep root explicitly: the worker
-			// goroutine has no span stack of its own.
-			cell := obs.StartSpanUnder(root, "cell",
+			// Each worker opens its cell under the sweep's context, so the
+			// cell parents to the sweep span (and carries its request id)
+			// across the goroutine hop.
+			cctx, cell := obs.Start(sctx, "cell",
 				obs.A("bench", l.Bench.Name), obs.A("branch", branch), obs.A("capacity", sizes[i]))
 			var err error
-			out[i], err = f(sizes[i])
+			out[i], err = f(cctx, sizes[i])
 			cell.End()
 			done[i] <- err
 		}()
@@ -491,9 +493,9 @@ func sweepStream[T any](l *Lab, branch string, sizes []uint32, f func(uint32) (T
 
 // sweep is the buffered form of sweepStream: f over the sizes on the
 // lab's worker pool, results in size order.
-func sweep[T any](l *Lab, branch string, sizes []uint32, f func(uint32) (T, error)) ([]T, error) {
+func sweep[T any](ctx context.Context, l *Lab, branch string, sizes []uint32, f func(context.Context, uint32) (T, error)) ([]T, error) {
 	out := make([]T, 0, len(sizes))
-	err := sweepStream(l, branch, sizes, f, func(_ int, v T) error {
+	err := sweepStream(ctx, l, branch, sizes, f, func(_ int, v T) error {
 		out = append(out, v)
 		return nil
 	})
@@ -505,50 +507,50 @@ func sweep[T any](l *Lab, branch string, sizes []uint32, f func(uint32) (T, erro
 
 // SweepWCETAllocation compares the two allocators at every paper capacity,
 // placing whole objects.
-func (l *Lab) SweepWCETAllocation() ([]AllocComparison, error) {
-	return l.SweepWCETAllocationGran(wcetalloc.GranObject)
+func (l *Lab) SweepWCETAllocation(ctx context.Context) ([]AllocComparison, error) {
+	return l.SweepWCETAllocationGran(ctx, wcetalloc.GranObject)
 }
 
 // SweepWCETAllocationGran is SweepWCETAllocation at an explicit placement-
 // unit granularity.
-func (l *Lab) SweepWCETAllocationGran(g wcetalloc.Granularity) ([]AllocComparison, error) {
-	return sweep(l, "wcetalloc", PaperSizes, func(size uint32) (AllocComparison, error) {
-		return l.WithWCETAllocationGran(size, g)
+func (l *Lab) SweepWCETAllocationGran(ctx context.Context, g wcetalloc.Granularity) ([]AllocComparison, error) {
+	return sweep(ctx, l, "wcetalloc", PaperSizes, func(ctx context.Context, size uint32) (AllocComparison, error) {
+		return l.WithWCETAllocationGran(ctx, size, g)
 	})
 }
 
 // SweepWCETAllocationGranStream is SweepWCETAllocationGran delivering
 // each comparison to emit in capacity order as soon as it is ready.
-func (l *Lab) SweepWCETAllocationGranStream(g wcetalloc.Granularity, emit func(AllocComparison) error) error {
-	return sweepStream(l, "wcetalloc", PaperSizes, func(size uint32) (AllocComparison, error) {
-		return l.WithWCETAllocationGran(size, g)
+func (l *Lab) SweepWCETAllocationGranStream(ctx context.Context, g wcetalloc.Granularity, emit func(AllocComparison) error) error {
+	return sweepStream(ctx, l, "wcetalloc", PaperSizes, func(ctx context.Context, size uint32) (AllocComparison, error) {
+		return l.WithWCETAllocationGran(ctx, size, g)
 	}, func(_ int, c AllocComparison) error { return emit(c) })
 }
 
 // SweepScratchpad measures every paper scratchpad capacity.
-func (l *Lab) SweepScratchpad() ([]Measurement, error) {
-	return sweep(l, "spm", PaperSizes, l.WithScratchpad)
+func (l *Lab) SweepScratchpad(ctx context.Context) ([]Measurement, error) {
+	return sweep(ctx, l, "spm", PaperSizes, l.WithScratchpad)
 }
 
 // SweepScratchpadStream is SweepScratchpad delivering each measurement to
 // emit in capacity order as soon as it is ready.
-func (l *Lab) SweepScratchpadStream(emit func(Measurement) error) error {
-	return sweepStream(l, "spm", PaperSizes, l.WithScratchpad,
+func (l *Lab) SweepScratchpadStream(ctx context.Context, emit func(Measurement) error) error {
+	return sweepStream(ctx, l, "spm", PaperSizes, l.WithScratchpad,
 		func(_ int, m Measurement) error { return emit(m) })
 }
 
 // SweepCache measures every paper cache capacity (direct mapped).
-func (l *Lab) SweepCache() ([]Measurement, error) {
-	return sweep(l, "cache", PaperSizes, func(size uint32) (Measurement, error) {
-		return l.WithCache(size, 1)
+func (l *Lab) SweepCache(ctx context.Context) ([]Measurement, error) {
+	return sweep(ctx, l, "cache", PaperSizes, func(ctx context.Context, size uint32) (Measurement, error) {
+		return l.WithCache(ctx, size, 1)
 	})
 }
 
 // SweepCacheStream is SweepCache delivering each measurement to emit in
 // capacity order as soon as it is ready.
-func (l *Lab) SweepCacheStream(emit func(Measurement) error) error {
-	return sweepStream(l, "cache", PaperSizes, func(size uint32) (Measurement, error) {
-		return l.WithCache(size, 1)
+func (l *Lab) SweepCacheStream(ctx context.Context, emit func(Measurement) error) error {
+	return sweepStream(ctx, l, "cache", PaperSizes, func(ctx context.Context, size uint32) (Measurement, error) {
+		return l.WithCache(ctx, size, 1)
 	}, func(_ int, m Measurement) error { return emit(m) })
 }
 
@@ -564,19 +566,19 @@ type BenchmarkSweep struct {
 // both sweeps, benchmarks in parallel (each with its own pipeline and
 // worker pool). The slice follows the registry order regardless of
 // completion order; workers ≤ 0 means GOMAXPROCS.
-func SweepAllBenchmarks(workers int) ([]BenchmarkSweep, error) {
-	return SweepAllBenchmarksWithStore(workers, nil)
+func SweepAllBenchmarks(ctx context.Context, workers int) ([]BenchmarkSweep, error) {
+	return SweepAllBenchmarksWithStore(ctx, workers, nil)
 }
 
 // SweepAllBenchmarksWithStore is SweepAllBenchmarks with every lab's
 // pipeline backed by the shared artifact store (nil means memory-only):
 // against a warm store the whole sweep recomputes nothing.
-func SweepAllBenchmarksWithStore(workers int, st *store.Store) ([]BenchmarkSweep, error) {
+func SweepAllBenchmarksWithStore(ctx context.Context, workers int, st *store.Store) ([]BenchmarkSweep, error) {
 	benches := benchprog.All()
 	out := make([]BenchmarkSweep, len(benches))
 	errs := forEach(len(benches), workers, func(i int) error {
 		var err error
-		out[i], err = sweepOneBenchmark(benches[i], st)
+		out[i], err = sweepOneBenchmark(ctx, benches[i], st)
 		return err
 	})
 	for i, err := range errs {
@@ -587,16 +589,16 @@ func SweepAllBenchmarksWithStore(workers int, st *store.Store) ([]BenchmarkSweep
 	return out, nil
 }
 
-func sweepOneBenchmark(b benchprog.Benchmark, st *store.Store) (BenchmarkSweep, error) {
+func sweepOneBenchmark(ctx context.Context, b benchprog.Benchmark, st *store.Store) (BenchmarkSweep, error) {
 	lab, err := NewLabWithStore(b, st)
 	if err != nil {
 		return BenchmarkSweep{}, err
 	}
-	spms, err := lab.SweepScratchpad()
+	spms, err := lab.SweepScratchpad(ctx)
 	if err != nil {
 		return BenchmarkSweep{}, err
 	}
-	caches, err := lab.SweepCache()
+	caches, err := lab.SweepCache(ctx)
 	if err != nil {
 		return BenchmarkSweep{}, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -28,11 +29,11 @@ func labFor(t *testing.T, name string) *Lab {
 // scratchpad capacity, and the WCET/sim ratio stays near-constant.
 func TestScratchpadSweepShape(t *testing.T) {
 	l := labFor(t, "G.721")
-	ms, err := l.SweepScratchpad()
+	ms, err := l.SweepScratchpad(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := l.Baseline()
+	base, err := l.Baseline(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestScratchpadSweepShape(t *testing.T) {
 // the ratio grows with capacity.
 func TestCacheSweepShape(t *testing.T) {
 	l := labFor(t, "G.721")
-	ms, err := l.SweepCache()
+	ms, err := l.SweepCache(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,11 +104,11 @@ func TestCacheSweepShape(t *testing.T) {
 // capacity, the scratchpad system's WCET bound beats the cache system's.
 func TestScratchpadBeatsCacheOnWCET(t *testing.T) {
 	l := labFor(t, "ADPCM")
-	spms, err := l.SweepScratchpad()
+	spms, err := l.SweepScratchpad(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	caches, err := l.SweepCache()
+	caches, err := l.SweepCache(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestScratchpadBeatsCacheOnWCET(t *testing.T) {
 // reflected in the modelled energy.
 func TestEnergyDecreasesWithScratchpad(t *testing.T) {
 	l := labFor(t, "MultiSort")
-	ms, err := l.SweepScratchpad()
+	ms, err := l.SweepScratchpad(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,11 +142,11 @@ func TestEnergyDecreasesWithScratchpad(t *testing.T) {
 // so only check the baseline itself is consistent between calls).
 func TestBaselineDeterministic(t *testing.T) {
 	l := labFor(t, "MultiSort")
-	a, err := l.Baseline()
+	a, err := l.Baseline(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := l.Baseline()
+	b, err := l.Baseline(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,11 +160,11 @@ func TestBaselineDeterministic(t *testing.T) {
 // the aging MUST domain; the bound must stay sound.
 func TestSetAssociativeAblation(t *testing.T) {
 	l := labFor(t, "ADPCM")
-	dm, err := l.WithCache(256, 1)
+	dm, err := l.WithCache(context.Background(), 256, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sa, err := l.WithCache(256, 2)
+	sa, err := l.WithCache(context.Background(), 256, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,11 +181,11 @@ func TestSetAssociativeAblation(t *testing.T) {
 // than the unified cache's at the same capacity.
 func TestInstructionCacheAblation(t *testing.T) {
 	l := labFor(t, "ADPCM")
-	unified, err := l.WithCache(1024, 1)
+	unified, err := l.WithCache(context.Background(), 1024, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	icache, err := l.WithInstructionCache(1024)
+	icache, err := l.WithInstructionCache(context.Background(), 1024)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestSweepWCETAllocationNoDuplicateAnalyses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := l.SweepWCETAllocation()
+	first, err := l.SweepWCETAllocation(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestSweepWCETAllocationNoDuplicateAnalyses(t *testing.T) {
 
 	// Re-sweeping may not produce a single new artifact, and the results
 	// must be identical.
-	second, err := l.SweepWCETAllocation()
+	second, err := l.SweepWCETAllocation(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,11 +258,11 @@ func TestParallelSweepMatchesSequential(t *testing.T) {
 	}
 	par.Workers = 8
 
-	spmSeq, err := seq.SweepScratchpad()
+	spmSeq, err := seq.SweepScratchpad(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	spmPar, err := par.SweepScratchpad()
+	spmPar, err := par.SweepScratchpad(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,11 +270,11 @@ func TestParallelSweepMatchesSequential(t *testing.T) {
 		t.Errorf("scratchpad sweep differs: sequential %+v parallel %+v", spmSeq, spmPar)
 	}
 
-	cacheSeq, err := seq.SweepCache()
+	cacheSeq, err := seq.SweepCache(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	cachePar, err := par.SweepCache()
+	cachePar, err := par.SweepCache(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,11 +282,11 @@ func TestParallelSweepMatchesSequential(t *testing.T) {
 		t.Errorf("cache sweep differs: sequential %+v parallel %+v", cacheSeq, cachePar)
 	}
 
-	wSeq, err := seq.SweepWCETAllocation()
+	wSeq, err := seq.SweepWCETAllocation(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	wPar, err := par.SweepWCETAllocation()
+	wPar, err := par.SweepWCETAllocation(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +298,7 @@ func TestParallelSweepMatchesSequential(t *testing.T) {
 // TestSweepAllBenchmarksMatchesPerLab: the all-benchmarks parallel sweep
 // must equal per-benchmark sequential sweeps, in registry order.
 func TestSweepAllBenchmarksMatchesPerLab(t *testing.T) {
-	sweeps, err := SweepAllBenchmarks(0)
+	sweeps, err := SweepAllBenchmarks(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +312,7 @@ func TestSweepAllBenchmarksMatchesPerLab(t *testing.T) {
 		}
 		l := labFor(t, b.Name)
 		l.Workers = 1
-		spms, err := l.SweepScratchpad()
+		spms, err := l.SweepScratchpad(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -328,11 +329,11 @@ func TestSweepAllBenchmarksMatchesPerLab(t *testing.T) {
 func TestWithAllocatorWCETNotWorse(t *testing.T) {
 	l := labFor(t, "MultiSort")
 	for _, size := range []uint32{128, 512, 2048} {
-		em, err := l.WithAllocator(l.EnergyAllocator(), size)
+		em, err := l.WithAllocator(context.Background(), l.EnergyAllocator(), size)
 		if err != nil {
 			t.Fatal(err)
 		}
-		wm, err := l.WithAllocator(l.WCETAllocator(), size)
+		wm, err := l.WithAllocator(context.Background(), l.WCETAllocator(), size)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -353,11 +354,11 @@ func TestWCETAllocationDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ca, err := a.WithWCETAllocation(128)
+	ca, err := a.WithWCETAllocation(context.Background(), 128)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cb, err := b.WithWCETAllocation(128)
+	cb, err := b.WithWCETAllocation(context.Background(), 128)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +370,7 @@ func TestWCETAllocationDeterministic(t *testing.T) {
 func TestAllBenchmarksBaseline(t *testing.T) {
 	for _, b := range benchprog.All() {
 		l := labFor(t, b.Name)
-		m, err := l.Baseline()
+		m, err := l.Baseline(context.Background())
 		if err != nil {
 			t.Errorf("%s: %v", b.Name, err)
 			continue

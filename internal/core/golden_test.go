@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"os"
@@ -68,23 +69,23 @@ func TestAllocationGoldens(t *testing.T) {
 			}
 			var rows []goldenRow
 			for _, size := range PaperSizes {
-				c, err := lab.WithWCETAllocation(size)
+				c, err := lab.WithWCETAllocation(context.Background(), size)
 				if err != nil {
 					t.Fatal(err)
 				}
-				ealloc, err := lab.Pipe.Allocate(lab.EnergyAllocator(), size)
+				ealloc, err := lab.Pipe.Allocate(context.Background(), lab.EnergyAllocator(), size)
 				if err != nil {
 					t.Fatal(err)
 				}
-				walloc, err := lab.Pipe.Allocate(lab.WCETAllocator(), size)
+				walloc, err := lab.Pipe.Allocate(context.Background(), lab.WCETAllocator(), size)
 				if err != nil {
 					t.Fatal(err)
 				}
-				blk, err := lab.Pipe.Allocate(lab.WCETAllocatorGran(wcetalloc.GranBlock), size)
+				blk, err := lab.Pipe.Allocate(context.Background(), lab.WCETAllocatorGran(wcetalloc.GranBlock), size)
 				if err != nil {
 					t.Fatal(err)
 				}
-				bm, err := lab.measureAllocation(size, blk)
+				bm, err := lab.measureAllocation(context.Background(), size, blk)
 				if err != nil {
 					t.Fatal(err)
 				}

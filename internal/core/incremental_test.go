@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"reflect"
 	"sort"
 	"testing"
@@ -47,11 +49,11 @@ func TestIncrementalMatchesFromScratch(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res0, err := lab.Pipe.Analyze(0, nil, wcet.Options{Witness: true})
+			res0, err := lab.Pipe.Analyze(context.Background(), 0, nil, wcet.Options{Witness: true})
 			if err != nil {
 				t.Fatal(err)
 			}
-			regions, err := wcetalloc.HotRegions(lab.Pipe, res0.Witness, link.SPMMax, "")
+			regions, err := wcetalloc.HotRegions(context.Background(), lab.Pipe, res0.Witness, link.SPMMax, "")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -67,17 +69,17 @@ func TestIncrementalMatchesFromScratch(t *testing.T) {
 			}
 			for _, g := range grans {
 				t.Run(g.name, func(t *testing.T) {
-					base, err := lab.Pipe.LinkUnits(g.regions, 0, nil)
+					base, err := lab.Pipe.LinkUnits(context.Background(), g.regions, 0, nil)
 					if err != nil {
 						t.Fatal(err)
 					}
 					for _, size := range PaperSizes {
 						inSPM := greedyPlacement(base.Prog, size)
-						inc, err := lab.Pipe.AnalyzeUnits(g.regions, size, inSPM, wcet.Options{Witness: true})
+						inc, err := lab.Pipe.AnalyzeUnits(context.Background(), g.regions, size, inSPM, wcet.Options{Witness: true})
 						if err != nil {
 							t.Fatalf("cap %d: incremental: %v", size, err)
 						}
-						exe, err := lab.Pipe.LinkUnits(g.regions, size, inSPM)
+						exe, err := lab.Pipe.LinkUnits(context.Background(), g.regions, size, inSPM)
 						if err != nil {
 							t.Fatalf("cap %d: link: %v", size, err)
 						}
@@ -110,7 +112,7 @@ func TestIncrementalRepricingSavesWork(t *testing.T) {
 	for _, name := range []string{"G.721", "ADPCM"} {
 		t.Run(name, func(t *testing.T) {
 			lab := labFor(t, name)
-			base, err := lab.Pipe.LinkUnits(nil, 0, nil)
+			base, err := lab.Pipe.LinkUnits(context.Background(), nil, 0, nil)
 			if err != nil {
 				t.Fatal(err)
 			}

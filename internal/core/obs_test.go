@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/obs"
@@ -37,7 +39,7 @@ func TestMetricsMirrorStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	lab.Workers = 4
-	if _, err := lab.SweepScratchpad(); err != nil {
+	if _, err := lab.SweepScratchpad(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	st := lab.Pipe.Stats()
@@ -78,7 +80,7 @@ func TestSweepTraceHierarchy(t *testing.T) {
 	lab.Workers = 4
 	obs.DefaultTracer.Enable()
 	defer obs.DefaultTracer.Disable()
-	if _, err := lab.SweepScratchpad(); err != nil {
+	if _, err := lab.SweepScratchpad(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	spans := obs.DefaultTracer.Spans()

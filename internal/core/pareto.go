@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/alloc"
 )
 
@@ -21,8 +23,8 @@ type ParetoFrontAt struct {
 // full re-analysis, and all solves and analyses are served through the
 // pipeline's memoized stages — against a warm store a whole front
 // recomputes nothing.
-func (l *Lab) ParetoFront(size uint32) (ParetoFrontAt, error) {
-	points, err := alloc.ParetoFront(l.Pipe, size, l.paretoOptions())
+func (l *Lab) ParetoFront(ctx context.Context, size uint32) (ParetoFrontAt, error) {
+	points, err := alloc.ParetoFront(ctx, l.Pipe, size, l.paretoOptions())
 	if err != nil {
 		return ParetoFrontAt{}, err
 	}
@@ -40,13 +42,13 @@ func (l *Lab) paretoOptions() alloc.ParetoOptions {
 // SweepPareto computes the Pareto front at every paper capacity on the
 // lab's worker pool; fronts come back in capacity order regardless of
 // completion order.
-func (l *Lab) SweepPareto() ([]ParetoFrontAt, error) {
-	return sweep(l, "pareto", PaperSizes, l.ParetoFront)
+func (l *Lab) SweepPareto(ctx context.Context) ([]ParetoFrontAt, error) {
+	return sweep(ctx, l, "pareto", PaperSizes, l.ParetoFront)
 }
 
 // SweepParetoStream is SweepPareto delivering each capacity's front to
 // emit in capacity order as soon as it is ready.
-func (l *Lab) SweepParetoStream(emit func(ParetoFrontAt) error) error {
-	return sweepStream(l, "pareto", PaperSizes, l.ParetoFront,
+func (l *Lab) SweepParetoStream(ctx context.Context, emit func(ParetoFrontAt) error) error {
+	return sweepStream(ctx, l, "pareto", PaperSizes, l.ParetoFront,
 		func(_ int, f ParetoFrontAt) error { return emit(f) })
 }

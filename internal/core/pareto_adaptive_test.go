@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/alloc"
@@ -23,11 +25,11 @@ func TestAdaptiveParetoFront(t *testing.T) {
 			adaptive := *lab
 			adaptive.ParetoAdaptive = true
 			for _, size := range PaperSizes {
-				even, err := lab.ParetoFront(size)
+				even, err := lab.ParetoFront(context.Background(), size)
 				if err != nil {
 					t.Fatalf("cap %d: even: %v", size, err)
 				}
-				ad, err := adaptive.ParetoFront(size)
+				ad, err := adaptive.ParetoFront(context.Background(), size)
 				if err != nil {
 					t.Fatalf("cap %d: adaptive: %v", size, err)
 				}
@@ -74,7 +76,7 @@ func TestAdaptiveParetoMaxPoints(t *testing.T) {
 	capped.ParetoAdaptive = true
 	capped.ParetoMaxPoints = 3
 	for _, size := range PaperSizes {
-		front, err := capped.ParetoFront(size)
+		front, err := capped.ParetoFront(context.Background(), size)
 		if err != nil {
 			t.Fatalf("cap %d: %v", size, err)
 		}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"reflect"
 	"testing"
 
@@ -29,7 +31,7 @@ func TestParetoFrontProperties(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, size := range PaperSizes {
-				front, err := lab.ParetoFront(size)
+				front, err := lab.ParetoFront(context.Background(), size)
 				if err != nil {
 					t.Fatalf("cap %d: %v", size, err)
 				}
@@ -37,11 +39,11 @@ func TestParetoFrontProperties(t *testing.T) {
 				if len(pts) == 0 {
 					t.Fatalf("cap %d: empty front", size)
 				}
-				ealloc, err := lab.Pipe.Allocate(lab.EnergyAllocator(), size)
+				ealloc, err := lab.Pipe.Allocate(context.Background(), lab.EnergyAllocator(), size)
 				if err != nil {
 					t.Fatal(err)
 				}
-				walloc, err := lab.Pipe.Allocate(lab.WCETAllocator(), size)
+				walloc, err := lab.Pipe.Allocate(context.Background(), lab.WCETAllocator(), size)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -66,7 +68,7 @@ func TestParetoFrontProperties(t *testing.T) {
 				for i, pt := range pts {
 					// Certification: the reported bound is the analysed bound
 					// of the placement, never the linear model's estimate.
-					res, err := lab.Pipe.Analyze(size, pt.InSPM, wcet.Options{})
+					res, err := lab.Pipe.Analyze(context.Background(), size, pt.InSPM, wcet.Options{})
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -104,7 +106,7 @@ func TestParetoSweepDeterministic(t *testing.T) {
 					t.Fatal(err)
 				}
 				lab.Workers = workers
-				fronts, err := lab.SweepPareto()
+				fronts, err := lab.SweepPareto(context.Background())
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -135,7 +137,7 @@ func TestParetoWarmStoreZeroResolve(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			cold, err := lab1.SweepPareto()
+			cold, err := lab1.SweepPareto(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -143,7 +145,7 @@ func TestParetoWarmStoreZeroResolve(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			warm, err := lab2.SweepPareto()
+			warm, err := lab2.SweepPareto(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"reflect"
 	"testing"
 
@@ -25,15 +27,15 @@ func TestWarmStoreSweepDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	coldBase, err := cold.Baseline()
+	coldBase, err := cold.Baseline(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	coldSPM, err := cold.SweepScratchpad()
+	coldSPM, err := cold.SweepScratchpad(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	coldCache, err := cold.SweepCache()
+	coldCache, err := cold.SweepCache(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,15 +47,15 @@ func TestWarmStoreSweepDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	warmBase, err := warm.Baseline()
+	warmBase, err := warm.Baseline(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	warmSPM, err := warm.SweepScratchpad()
+	warmSPM, err := warm.SweepScratchpad(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	warmCache, err := warm.SweepCache()
+	warmCache, err := warm.SweepCache(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +103,7 @@ func TestWarmStoreBlockGranularitySweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	coldCS, err := cold.SweepWCETAllocationGran(wcetalloc.GranBlock)
+	coldCS, err := cold.SweepWCETAllocationGran(context.Background(), wcetalloc.GranBlock)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +119,7 @@ func TestWarmStoreBlockGranularitySweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	warmCS, err := warm.SweepWCETAllocationGran(wcetalloc.GranBlock)
+	warmCS, err := warm.SweepWCETAllocationGran(context.Background(), wcetalloc.GranBlock)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +161,7 @@ func TestLabWithStore(t *testing.T) {
 	if lab.Pipe.Store() == nil {
 		t.Fatal("store not attached")
 	}
-	base, err := lab.Baseline()
+	base, err := lab.Baseline(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +175,7 @@ func TestLabWithStore(t *testing.T) {
 	}
 	// The second lab profiled before the store was attached, but its
 	// measurements are served from the first lab's artifacts.
-	got, err := other.Baseline()
+	got, err := other.Baseline(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +211,7 @@ func TestRepeatedSweepMemoizesAllocations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := lab.SweepScratchpad()
+	first, err := lab.SweepScratchpad(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +219,7 @@ func TestRepeatedSweepMemoizesAllocations(t *testing.T) {
 	if s1.Allocs != uint64(len(core.PaperSizes)) {
 		t.Fatalf("first sweep solved %d allocations, want %d", s1.Allocs, len(core.PaperSizes))
 	}
-	second, err := lab.SweepScratchpad()
+	second, err := lab.SweepScratchpad(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

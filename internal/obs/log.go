@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a log severity. Records at or below the logger's level are
+// written; everything else is a single atomic load and a return.
+type Level int32
+
+const (
+	// LevelOff discards every record.
+	LevelOff Level = iota
+	// LevelError passes only error records.
+	LevelError
+	// LevelWarn passes warnings and errors.
+	LevelWarn
+	// LevelInfo passes informational records and above (the serve
+	// default: access log, lifecycle lines).
+	LevelInfo
+	// LevelDebug passes everything, including per-stage debug records.
+	LevelDebug
+)
+
+// String returns the level's lowercase name.
+func (l Level) String() string {
+	switch l {
+	case LevelOff:
+		return "off"
+	case LevelError:
+		return "error"
+	case LevelWarn:
+		return "warn"
+	case LevelInfo:
+		return "info"
+	case LevelDebug:
+		return "debug"
+	}
+	return fmt.Sprintf("level(%d)", int32(l))
+}
+
+// ParseLevel parses a -log flag value. Accepted: off, error, warn, info,
+// debug.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "off":
+		return LevelOff, nil
+	case "error":
+		return LevelError, nil
+	case "warn":
+		return LevelWarn, nil
+	case "info":
+		return LevelInfo, nil
+	case "debug":
+		return LevelDebug, nil
+	}
+	return LevelOff, fmt.Errorf("unknown log level %q (want off, error, warn, info or debug)", s)
+}
+
+// Logger writes leveled, single-line JSON records:
+//
+//	{"ts":"2026-01-02T15:04:05.999Z","level":"info","msg":"serving","addr":"http://…"}
+//
+// Records carry the request id from the context they are written under
+// ("req" key), so a log line correlates with the span tree and the
+// metric series of the same request. Writes are serialised by a mutex —
+// safe for any number of goroutines — and each record is one Write call,
+// so lines never interleave even when w is a shared file descriptor.
+// The zero value is unusable; use NewLogger.
+type Logger struct {
+	level atomic.Int32
+	mu    sync.Mutex
+	w     io.Writer
+}
+
+// NewLogger returns a logger writing records at or below level to w.
+func NewLogger(w io.Writer, level Level) *Logger {
+	l := &Logger{w: w}
+	l.level.Store(int32(level))
+	return l
+}
+
+// SetLevel changes the logger's level (atomic; callable at any time).
+func (l *Logger) SetLevel(level Level) { l.level.Store(int32(level)) }
+
+// Level returns the logger's current level.
+func (l *Logger) Level() Level { return Level(l.level.Load()) }
+
+// Enabled reports whether records at the given level would be written.
+// Nil-safe, like every Logger method.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level != LevelOff && Level(l.level.Load()) >= level
+}
+
+// Log writes one record at the given level. Attrs append after the
+// fixed keys in argument order; keys repeat verbatim if the caller
+// repeats them. A nil ctx is allowed and simply omits the request id.
+func (l *Logger) Log(ctx context.Context, level Level, msg string, attrs ...Attr) {
+	if l == nil || !l.Enabled(level) {
+		return
+	}
+	buf := make([]byte, 0, 128)
+	buf = append(buf, `{"ts":"`...)
+	buf = time.Now().UTC().AppendFormat(buf, "2006-01-02T15:04:05.000Z07:00")
+	buf = append(buf, `","level":"`...)
+	buf = append(buf, level.String()...)
+	buf = append(buf, `","msg":`...)
+	buf = appendJSON(buf, msg)
+	if req := RequestID(ctx); req != "" {
+		buf = append(buf, `,"req":`...)
+		buf = appendJSON(buf, req)
+	}
+	for _, a := range attrs {
+		buf = append(buf, ',')
+		buf = appendJSON(buf, a.Key)
+		buf = append(buf, ':')
+		buf = appendJSON(buf, a.Value)
+	}
+	buf = append(buf, '}', '\n')
+	l.mu.Lock()
+	l.w.Write(buf)
+	l.mu.Unlock()
+}
+
+// appendJSON appends v's JSON encoding. Values json refuses (NaN,
+// channels, …) degrade to their fmt representation as a JSON string, so
+// a bad attribute can never break the record's syntax.
+func appendJSON(buf []byte, v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprint(v))
+	}
+	return append(buf, b...)
+}
+
+// Error writes an error-level record.
+func (l *Logger) Error(ctx context.Context, msg string, attrs ...Attr) {
+	l.Log(ctx, LevelError, msg, attrs...)
+}
+
+// Warn writes a warn-level record.
+func (l *Logger) Warn(ctx context.Context, msg string, attrs ...Attr) {
+	l.Log(ctx, LevelWarn, msg, attrs...)
+}
+
+// Info writes an info-level record.
+func (l *Logger) Info(ctx context.Context, msg string, attrs ...Attr) {
+	l.Log(ctx, LevelInfo, msg, attrs...)
+}
+
+// Debug writes a debug-level record.
+func (l *Logger) Debug(ctx context.Context, msg string, attrs ...Attr) {
+	l.Log(ctx, LevelDebug, msg, attrs...)
+}
+
+// DefaultLogger is the process-wide logger. It writes to stderr and
+// starts at LevelOff so library consumers and one-shot subcommands emit
+// nothing unless `wcetlab -log` (or SetLevel) turns it up.
+var DefaultLogger = NewLogger(os.Stderr, LevelOff)
+
+// Error writes an error-level record to the default logger.
+func Error(ctx context.Context, msg string, attrs ...Attr) {
+	DefaultLogger.Log(ctx, LevelError, msg, attrs...)
+}
+
+// Warn writes a warn-level record to the default logger.
+func Warn(ctx context.Context, msg string, attrs ...Attr) {
+	DefaultLogger.Log(ctx, LevelWarn, msg, attrs...)
+}
+
+// Info writes an info-level record to the default logger.
+func Info(ctx context.Context, msg string, attrs ...Attr) {
+	DefaultLogger.Log(ctx, LevelInfo, msg, attrs...)
+}
+
+// Debug writes a debug-level record to the default logger.
+func Debug(ctx context.Context, msg string, attrs ...Attr) {
+	DefaultLogger.Log(ctx, LevelDebug, msg, attrs...)
+}
+
+// DebugEnabled reports whether the default logger passes debug records —
+// the guard around per-stage debug logging so formatting costs nothing
+// at lower levels.
+func DebugEnabled() bool { return DefaultLogger.Enabled(LevelDebug) }

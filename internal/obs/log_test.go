@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// syncBuffer serialises writes so the test can read concurrently-written
+// output back safely.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{
+		"off": LevelOff, "error": LevelError, "warn": LevelWarn,
+		"info": LevelInfo, "debug": LevelDebug,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", s, got, err, want)
+		}
+		if got.String() != s {
+			t.Errorf("Level(%v).String() = %q, want %q", got, got.String(), s)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	ctx := context.Background()
+	l.Debug(ctx, "hidden")
+	l.Info(ctx, "shown-info")
+	l.Warn(ctx, "shown-warn")
+	l.Error(ctx, "shown-error")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Error("debug record passed an info-level logger")
+	}
+	for _, want := range []string{"shown-info", "shown-warn", "shown-error"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output %q", want, out)
+		}
+	}
+
+	l.SetLevel(LevelOff)
+	buf.Reset()
+	l.Error(ctx, "muted")
+	if buf.Len() != 0 {
+		t.Error("off-level logger wrote a record")
+	}
+	if l.Enabled(LevelError) {
+		t.Error("Enabled(error) true at level off")
+	}
+
+	l.SetLevel(LevelDebug)
+	if !l.Enabled(LevelDebug) {
+		t.Error("Enabled(debug) false at level debug")
+	}
+	l.Debug(ctx, "now-visible")
+	if !strings.Contains(buf.String(), "now-visible") {
+		t.Error("debug record dropped at debug level")
+	}
+}
+
+func TestLoggerRecordShape(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	ctx := WithRequestID(context.Background(), "rid-1")
+	l.Info(ctx, `he said "hi"`, A("route", "/v1/wcet"), A("status", 200), A("dur_ms", 1.25))
+
+	line := strings.TrimSuffix(buf.String(), "\n")
+	if strings.Contains(line, "\n") {
+		t.Fatalf("record spans multiple lines: %q", line)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("record is not valid JSON: %q: %v", line, err)
+	}
+	if rec["level"] != "info" || rec["msg"] != `he said "hi"` || rec["req"] != "rid-1" {
+		t.Fatalf("record fields wrong: %v", rec)
+	}
+	if rec["route"] != "/v1/wcet" || rec["status"] != float64(200) || rec["dur_ms"] != 1.25 {
+		t.Fatalf("attrs wrong: %v", rec)
+	}
+	if _, ok := rec["ts"].(string); !ok {
+		t.Fatalf("missing ts: %v", rec)
+	}
+
+	// No request id in context → no req key.
+	buf.Reset()
+	l.Info(context.Background(), "plain")
+	rec = nil
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rec["req"]; ok {
+		t.Fatalf("req key present without a request id: %v", rec)
+	}
+}
+
+// TestLoggerConcurrency hammers one logger from many goroutines and
+// asserts every emitted line is intact, valid JSON (run under -race for
+// the data-race half of the guarantee).
+func TestLoggerConcurrency(t *testing.T) {
+	var buf syncBuffer
+	l := NewLogger(&buf, LevelDebug)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := WithRequestID(context.Background(), NewRequestID())
+			for i := 0; i < 200; i++ {
+				l.Info(ctx, "msg", A("worker", w), A("i", i))
+				if i%3 == 0 {
+					l.SetLevel(LevelDebug) // concurrent level changes must be safe
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 8*200 {
+		t.Fatalf("got %d lines, want %d", len(lines), 8*200)
+	}
+	for _, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("interleaved/corrupt record: %q", line)
+		}
+	}
+}
+
+func TestLoggerBadAttrDegrades(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	l.Info(context.Background(), "bad", A("ch", make(chan int)))
+	if !json.Valid(bytes.TrimSpace(buf.Bytes())) {
+		t.Fatalf("unmarshalable attr broke record syntax: %q", buf.String())
+	}
+}
+
+func TestNilLoggerSafe(t *testing.T) {
+	var l *Logger
+	l.Info(context.Background(), "into the void") // must not panic
+	if l.Enabled(LevelInfo) {
+		t.Error("nil logger reports enabled")
+	}
+}
+
+func TestRuntimeSample(t *testing.T) {
+	r := NewRegistry()
+	SampleRuntime(r)
+	SetBuildInfo(r)
+	vals := map[string]float64{}
+	for _, f := range r.Snapshot() {
+		for _, s := range f.Samples {
+			vals[f.Name] = s.Value
+		}
+	}
+	if vals["wcetlab_goroutines"] < 1 {
+		t.Errorf("goroutines gauge = %g, want >= 1", vals["wcetlab_goroutines"])
+	}
+	if vals["wcetlab_heap_inuse_bytes"] <= 0 {
+		t.Errorf("heap gauge = %g, want > 0", vals["wcetlab_heap_inuse_bytes"])
+	}
+	if vals["wcetlab_gc_pause_p99_seconds"] < 0 {
+		t.Errorf("gc pause gauge negative: %g", vals["wcetlab_gc_pause_p99_seconds"])
+	}
+	if vals["wcetlab_build_info"] != 1 {
+		t.Errorf("build info gauge = %g, want 1", vals["wcetlab_build_info"])
+	}
+	// Exposition stays well-formed with the runtime gauges present.
+	var w strings.Builder
+	if err := r.WritePrometheus(&w); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(w.String(), "wcetlab_build_info{") {
+		t.Error("build info labels missing from exposition")
+	}
+}

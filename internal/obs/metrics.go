@@ -25,19 +25,34 @@ func (c *Counter) Inc() { c.v.Add(1) }
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
 // Gauge is a metric that can go up and down (in-flight requests, queue
-// depth).
+// depth, sampled runtime state). Storage is a float64 so fractional
+// gauges (GC pause seconds) fit; the integer Set/Add/Value methods cover
+// the common counting uses.
 type Gauge struct {
-	v atomic.Int64
+	v atomic.Uint64 // float64 bits
 }
 
 // Set replaces the gauge value.
-func (g *Gauge) Set(n int64) { g.v.Store(n) }
+func (g *Gauge) Set(n int64) { g.SetFloat(float64(n)) }
+
+// SetFloat replaces the gauge value with a float64.
+func (g *Gauge) SetFloat(v float64) { g.v.Store(math.Float64bits(v)) }
 
 // Add moves the gauge by n (negative to decrease).
-func (g *Gauge) Add(n int64) { g.v.Add(n) }
+func (g *Gauge) Add(n int64) {
+	for {
+		old := g.v.Load()
+		if g.v.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+float64(n))) {
+			return
+		}
+	}
+}
 
-// Value returns the current gauge value.
-func (g *Gauge) Value() int64 { return g.v.Load() }
+// Value returns the current gauge value truncated to an integer.
+func (g *Gauge) Value() int64 { return int64(g.FloatValue()) }
+
+// FloatValue returns the current gauge value.
+func (g *Gauge) FloatValue() float64 { return math.Float64frombits(g.v.Load()) }
 
 // DefBuckets are the default latency buckets in seconds: 100µs to 10s,
 // roughly exponential — the span of one pipeline stage execution.
@@ -353,7 +368,7 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 			case typeCounter:
 				sample.Value = float64(s.c.Value())
 			case typeGauge:
-				sample.Value = float64(s.g.Value())
+				sample.Value = s.g.FloatValue()
 			case typeHistogram:
 				h := s.h.Snapshot()
 				sample.Hist = &h

@@ -1,5 +1,6 @@
 // Package obs is the repository's dependency-free observability core: a
-// metrics registry and a span tracer, shared by every layer of the
+// metrics registry, a context-propagated span tracer, a structured
+// logger and a runtime sampler, shared by every layer of the
 // analyse/allocate stack.
 //
 // # Metrics
@@ -18,27 +19,41 @@
 // `_seconds`, and labels identify the dimension being split (stage, tier,
 // result, bench, route, solver). The instrumented surfaces are the
 // pipeline stages (internal/pipeline), the artifact store (internal/store),
-// the allocation engine (internal/alloc, internal/ilp) and the HTTP
-// service (internal/service).
+// the allocation engine (internal/alloc, internal/ilp), the HTTP
+// service (internal/service) and the Go runtime itself (runtime.go).
 //
 // # Tracing
 //
-// A Tracer records hierarchical spans — sweep → cell → stage → solve —
-// carrying structured attributes. Parenting is implicit per goroutine
-// (StartSpan nests under the goroutine's innermost open span) with
-// explicit hand-over across goroutines (StartSpanUnder), so a parallel
-// sweep's worker cells still hang off the sweep span. Recording is
-// lock-cheap: per-goroutine current-span tracking through a sync.Map and
-// completed spans appended to sharded buffers. A disabled tracer (the
-// default) reduces StartSpan to one atomic load returning nil, and every
-// Span method is nil-safe, so instrumentation costs nothing unless
-// `wcetlab -trace` (or a ?trace=1 request) turns it on.
+// A Tracer records hierarchical spans — request → sweep → cell → stage →
+// solve — carrying structured attributes. Parentage propagates through
+// context.Context: Start(ctx, name) returns a derived context carrying
+// the new span, and the next Start under that context nests beneath it.
+// Handing the context to a worker goroutine hands the trace over with it,
+// so a parallel sweep's cells hang off the sweep span exactly, with no
+// goroutine-identity guessing. Every span carries the request id from its
+// context (WithRequestID / RequestID), the same id the logger stamps on
+// its records — log line ⇄ span tree ⇄ metric series correlate by it.
+// A disabled tracer (the default) reduces Start to one atomic load
+// returning a nil span, and every Span method is nil-safe, so
+// instrumentation costs nothing unless `wcetlab -trace` (or a ?trace=1
+// request) turns it on.
 //
 // Completed traces export as Chrome trace-event JSON (WriteChromeTrace),
-// loadable in chrome://tracing and Perfetto; span and parent IDs travel in
-// each event's args so the hierarchy is reconstructible exactly, not just
-// by timestamp containment.
+// loadable in chrome://tracing and Perfetto; span, parent and request IDs
+// travel in each event's args so the hierarchy is reconstructible
+// exactly, not just by timestamp containment.
+//
+// # Logging
+//
+// A Logger writes leveled, single-line JSON records (log.go). Context-
+// aware variants stamp each record with the request id carried by the
+// context. The package-level Default logger writes to stderr and starts
+// at LevelOff; `wcetlab -log {off,info,debug}` sets it (default info for
+// serve, off for one-shot subcommands, keeping golden stdout/stderr
+// byte-identical).
 package obs
+
+import "context"
 
 // Default is the process-wide metrics registry every instrumented package
 // records into and /v1/metrics exposes.
@@ -49,16 +64,10 @@ var Default = NewRegistry()
 // called.
 var DefaultTracer = NewTracer(DefaultSpanLimit)
 
-// StartSpan opens a span on the default tracer, nested under the calling
-// goroutine's innermost open span. Returns nil (a valid no-op span) when
-// the tracer is disabled.
-func StartSpan(name string, attrs ...Attr) *Span {
-	return DefaultTracer.StartSpan(name, attrs...)
-}
-
-// StartSpanUnder opens a span on the default tracer under an explicit
-// parent — the cross-goroutine hand-over (a sweep's worker cells parent to
-// the sweep span this way).
-func StartSpanUnder(parent *Span, name string, attrs ...Attr) *Span {
-	return DefaultTracer.StartSpanUnder(parent, name, attrs...)
+// Start opens a span on the default tracer nested under the innermost
+// open span carried by ctx, returning a derived context that carries the
+// new span. Returns (ctx, nil) — a valid no-op span — when the tracer is
+// disabled.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	return DefaultTracer.Start(ctx, name, attrs...)
 }

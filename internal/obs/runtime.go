@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"time"
+)
+
+// SetBuildInfo registers the wcetlab_build_info gauge (constant value 1,
+// build identity in the labels — the Prometheus build-info idiom) from
+// runtime/debug.ReadBuildInfo. Safe to call more than once.
+func SetBuildInfo(r *Registry) {
+	goVersion, path, revision := runtime.Version(), "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.GoVersion != "" {
+			goVersion = bi.GoVersion
+		}
+		if bi.Main.Path != "" {
+			path = bi.Main.Path
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				revision = s.Value
+			}
+		}
+	}
+	r.Gauge("wcetlab_build_info",
+		"Build identity (constant 1; the labels carry the information).",
+		"goversion", goVersion, "path", path, "revision", revision).Set(1)
+}
+
+// gcPauseP99 estimates the p99 GC pause from the runtime's circular
+// pause buffer (up to the last 256 cycles).
+func gcPauseP99(ms *runtime.MemStats) float64 {
+	n := int(ms.NumGC)
+	if n == 0 {
+		return 0
+	}
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	pauses := make([]uint64, n)
+	copy(pauses, ms.PauseNs[:n])
+	sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+	idx := (99*n - 1) / 100
+	if idx >= n {
+		idx = n - 1
+	}
+	return float64(pauses[idx]) / float64(time.Second)
+}
+
+// SampleRuntime takes one sample of the Go runtime into r's gauges:
+// goroutine count, heap in-use bytes and the GC pause p99 over the
+// runtime's recent-pause window.
+func SampleRuntime(r *Registry) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("wcetlab_goroutines", "Current number of goroutines.").
+		Set(int64(runtime.NumGoroutine()))
+	r.Gauge("wcetlab_heap_inuse_bytes", "Bytes in in-use heap spans.").
+		Set(int64(ms.HeapInuse))
+	r.Gauge("wcetlab_gc_pause_p99_seconds",
+		"p99 GC stop-the-world pause over the runtime's recent-pause window.").
+		SetFloat(gcPauseP99(&ms))
+}
+
+// StartRuntimeSampler samples the runtime into r every interval (<=0
+// means 10s) until the returned stop function is called. extra, when
+// non-nil, runs after each sample — the service hooks its store-bytes
+// gauge in here so every sampled series ticks on the same clock. One
+// sample is taken synchronously before the ticker starts, so the gauges
+// exist as soon as the sampler does.
+func StartRuntimeSampler(r *Registry, interval time.Duration, extra func()) (stop func()) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	sample := func() {
+		SampleRuntime(r)
+		if extra != nil {
+			extra()
+		}
+	}
+	sample()
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				sample()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if !once {
+			once = true
+			close(done)
+		}
+	}
+}

@@ -1,13 +1,14 @@
 package obs
 
 import (
-	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
-	"runtime"
 	"sort"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,7 +33,7 @@ func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
 type SpanData struct {
 	ID     uint64
 	Parent uint64 // 0 for roots
-	GID    uint64 // goroutine the span ran on
+	Req    string // request/sweep id the span belongs to
 	Name   string
 	Start  time.Time
 	Dur    time.Duration
@@ -46,10 +47,9 @@ type Span struct {
 	tracer *Tracer
 	id     uint64
 	parent uint64
-	gid    uint64
+	req    string
 	name   string
 	start  time.Time
-	prev   *Span // the span this one shadowed on its goroutine's stack
 	mu     sync.Mutex
 	attrs  []Attr
 	ended  bool
@@ -63,6 +63,14 @@ func (s *Span) ID() uint64 {
 	return s.id
 }
 
+// Req returns the request id the span belongs to ("" for a nil span).
+func (s *Span) Req() string {
+	if s == nil {
+		return ""
+	}
+	return s.req
+}
+
 // SetAttr attaches (or appends) an attribute to the span.
 func (s *Span) SetAttr(key string, value any) {
 	if s == nil {
@@ -73,9 +81,9 @@ func (s *Span) SetAttr(key string, value any) {
 	s.mu.Unlock()
 }
 
-// End closes the span and records it. End must be called on the goroutine
-// that started the span (the usual defer discipline); ending twice is a
-// no-op.
+// End closes the span and records it. Ending twice is a no-op. End may be
+// called from any goroutine: parentage was fixed at Start from the
+// context, not from goroutine identity.
 func (s *Span) End() {
 	if s == nil {
 		return
@@ -90,21 +98,13 @@ func (s *Span) End() {
 	s.mu.Unlock()
 
 	t := s.tracer
-	// Pop this goroutine's span stack. The span may not be the innermost
-	// one if a child leaked without End; restoring to prev is still the
-	// best recovery.
-	if s.prev != nil {
-		t.current.Store(s.gid, s.prev)
-	} else {
-		t.current.Delete(s.gid)
-	}
 	if !t.enabled.Load() {
 		return // disabled between start and end; drop silently
 	}
 	t.record(SpanData{
 		ID:     s.id,
 		Parent: s.parent,
-		GID:    s.gid,
+		Req:    s.req,
 		Name:   s.name,
 		Start:  s.start,
 		Dur:    time.Since(s.start),
@@ -112,14 +112,64 @@ func (s *Span) End() {
 	})
 }
 
+// spanCtxKey carries the innermost open *Span in a context.Context.
+type spanCtxKey struct{}
+
+// reqCtxKey carries the request/sweep id in a context.Context.
+type reqCtxKey struct{}
+
+// WithRequestID returns a context carrying the given request/sweep id.
+// Spans started under it (and log records written with it) share the id,
+// which is how a log line, a span tree and a metric series correlate.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, reqCtxKey{}, id)
+}
+
+// RequestID returns the request/sweep id carried by ctx: the innermost
+// open span's id if one exists, else the id set by WithRequestID, else "".
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	if s, ok := ctx.Value(spanCtxKey{}).(*Span); ok && s != nil {
+		return s.req
+	}
+	if id, ok := ctx.Value(reqCtxKey{}).(string); ok {
+		return id
+	}
+	return ""
+}
+
+// SpanFromContext returns the innermost open span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// reqCounter disambiguates request ids generated in the same process.
+var reqCounter atomic.Uint64
+
+// NewRequestID returns a fresh request id: 8 random bytes hex-encoded,
+// with a process-local counter fallback if the system randomness source
+// fails.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%d", reqCounter.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // Tracer records hierarchical spans. The zero value is not usable; call
 // NewTracer. A tracer is disabled until Enable is called; while disabled,
-// StartSpan is a single atomic load returning nil.
+// Start is a single atomic load returning (ctx, nil).
 type Tracer struct {
 	enabled atomic.Bool
 	refs    int32 // guarded by bufMu; Enable nesting count
 	nextID  atomic.Uint64
-	current sync.Map // gid (uint64) -> *Span
 	limit   int
 
 	bufMu   sync.Mutex
@@ -184,71 +234,46 @@ func (t *Tracer) Enabled() bool { return t.enabled.Load() }
 // full.
 func (t *Tracer) Dropped() uint64 { return t.dropped.Load() }
 
-var gidBufPool = sync.Pool{New: func() any { b := make([]byte, 64); return &b }}
-
-// goid returns the current goroutine's id, parsed from the runtime stack
-// header ("goroutine N [running]:"). Go offers no public accessor; the
-// parse costs ~1µs, paid only while tracing is enabled.
-func goid() uint64 {
-	bp := gidBufPool.Get().(*[]byte)
-	b := (*bp)[:runtime.Stack(*bp, false)]
-	b = bytes.TrimPrefix(b, []byte("goroutine "))
-	if i := bytes.IndexByte(b, ' '); i > 0 {
-		b = b[:i]
-	}
-	n, _ := strconv.ParseUint(string(b), 10, 64)
-	gidBufPool.Put(bp)
-	return n
-}
-
-// StartSpan opens a span nested under the calling goroutine's innermost
-// open span (a root span if there is none). Returns nil when disabled.
-func (t *Tracer) StartSpan(name string, attrs ...Attr) *Span {
+// Start opens a span nested under the innermost open span carried by ctx
+// (a root span if there is none) and returns a derived context carrying
+// the new span. Parentage travels in the context — across goroutines,
+// worker pools and channel hops — never via goroutine identity. A root
+// span adopts the request id set by WithRequestID, generating one when
+// the context has none, so every span of a request tree shares the id.
+// When the tracer is disabled, Start is one atomic load returning
+// (ctx, nil), and all Span methods are nil-safe.
+func (t *Tracer) Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
 	if !t.enabled.Load() {
-		return nil
+		return ctx, nil
 	}
-	gid := goid()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var parent uint64
-	var prev *Span
-	if v, ok := t.current.Load(gid); ok {
-		prev = v.(*Span)
-		parent = prev.id
+	var req string
+	if p, ok := ctx.Value(spanCtxKey{}).(*Span); ok && p != nil && p.tracer == t {
+		parent = p.id
+		req = p.req
+	} else {
+		req = RequestID(ctx)
+		if req == "" {
+			req = NewRequestID()
+		}
 	}
-	return t.start(name, parent, prev, gid, attrs)
-}
-
-// StartSpanUnder opens a span under an explicit parent, for handing a
-// trace across goroutines (sweep → worker cell). A nil parent makes a
-// root span. Returns nil when disabled.
-func (t *Tracer) StartSpanUnder(parent *Span, name string, attrs ...Attr) *Span {
-	if !t.enabled.Load() {
-		return nil
-	}
-	gid := goid()
-	var prev *Span
-	if v, ok := t.current.Load(gid); ok {
-		prev = v.(*Span)
-	}
-	return t.start(name, parent.ID(), prev, gid, attrs)
-}
-
-func (t *Tracer) start(name string, parent uint64, prev *Span, gid uint64, attrs []Attr) *Span {
 	s := &Span{
 		tracer: t,
 		id:     t.nextID.Add(1),
 		parent: parent,
-		gid:    gid,
+		req:    req,
 		name:   name,
 		start:  time.Now(),
-		prev:   prev,
 		attrs:  attrs,
 	}
-	t.current.Store(gid, s)
-	return s
+	return context.WithValue(ctx, spanCtxKey{}, s), s
 }
 
 func (t *Tracer) record(d SpanData) {
-	sh := &t.shards[d.GID%spanShards]
+	sh := &t.shards[d.ID%spanShards]
 	sh.mu.Lock()
 	if len(sh.spans) >= t.limit/spanShards {
 		sh.mu.Unlock()
@@ -386,18 +411,27 @@ type chromeTrace struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
+// lane maps a request id onto a stable Chrome trace tid, so each
+// request/sweep gets its own lane in the viewer.
+func lane(req string) uint64 {
+	h := fnv.New32a()
+	h.Write([]byte(req))
+	return uint64(h.Sum32())
+}
+
 // WriteChromeTrace serialises spans as Chrome trace-event JSON, loadable
 // in chrome://tracing and ui.perfetto.dev. Each event's args carry the
 // span and parent IDs (the hierarchy survives exactly, not just by
-// timestamp containment) plus the span's attributes; tid is the goroutine
-// id, so per-goroutine lanes match the actual schedule. Timestamps are
-// microseconds relative to epoch.
+// timestamp containment) plus the request id and the span's attributes;
+// tid is derived from the request id, so each request tree renders on its
+// own lane. Timestamps are microseconds relative to epoch.
 func WriteChromeTrace(w io.Writer, spans []SpanData, epoch time.Time) error {
 	events := make([]chromeEvent, 0, len(spans))
 	for _, d := range spans {
 		args := map[string]any{
 			"span_id":   d.ID,
 			"parent_id": d.Parent,
+			"req":       d.Req,
 		}
 		for _, a := range d.Attrs {
 			args[a.Key] = a.Value
@@ -408,7 +442,7 @@ func WriteChromeTrace(w io.Writer, spans []SpanData, epoch time.Time) error {
 			Ts:   float64(d.Start.Sub(epoch)) / float64(time.Microsecond),
 			Dur:  float64(d.Dur) / float64(time.Microsecond),
 			Pid:  1,
-			Tid:  d.GID,
+			Tid:  lane(d.Req),
 			Args: args,
 		})
 	}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"sync"
 	"testing"
@@ -9,15 +10,22 @@ import (
 
 func TestDisabledTracerIsNilSafe(t *testing.T) {
 	tr := NewTracer(0)
-	s := tr.StartSpan("anything", A("k", 1))
+	ctx := context.Background()
+	ctx2, s := tr.Start(ctx, "anything", A("k", 1))
 	if s != nil {
 		t.Fatal("disabled tracer returned a non-nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("disabled tracer did not return the context unchanged")
 	}
 	// Every method must be a no-op on nil.
 	s.SetAttr("k", "v")
 	s.End()
 	if s.ID() != 0 {
 		t.Fatal("nil span ID != 0")
+	}
+	if s.Req() != "" {
+		t.Fatal("nil span Req != \"\"")
 	}
 	if got := tr.Spans(); len(got) != 0 {
 		t.Fatalf("disabled tracer recorded %d spans", len(got))
@@ -29,10 +37,11 @@ func TestSpanNesting(t *testing.T) {
 	tr.Enable()
 	defer tr.Disable()
 
-	sweep := tr.StartSpan("sweep", A("bench", "x"))
-	cell := tr.StartSpan("cell", A("capacity", 128))
-	stage := tr.StartSpan("stage:analyze")
-	solve := tr.StartSpan("solve")
+	ctx := context.Background()
+	ctx, sweep := tr.Start(ctx, "sweep", A("bench", "x"))
+	ctx, cell := tr.Start(ctx, "cell", A("capacity", 128))
+	ctx, stage := tr.Start(ctx, "stage:analyze")
+	_, solve := tr.Start(ctx, "solve")
 	solve.End()
 	stage.End()
 	cell.End()
@@ -63,21 +72,74 @@ func TestSpanNesting(t *testing.T) {
 	if st.Start.Before(cl.Start) || st.Start.Add(st.Dur).After(cl.Start.Add(cl.Dur)) {
 		t.Fatal("stage span not contained in cell span")
 	}
+	// Every span of the tree shares the root's request id.
+	req := byName["sweep"].Req
+	if req == "" {
+		t.Fatal("root span has no generated request id")
+	}
+	for _, d := range spans {
+		if d.Req != req {
+			t.Fatalf("span %s has req %q, want %q", d.Name, d.Req, req)
+		}
+	}
 }
 
-func TestStartSpanUnderCrossGoroutine(t *testing.T) {
+func TestRequestIDPropagation(t *testing.T) {
 	tr := NewTracer(0)
 	tr.Enable()
 	defer tr.Disable()
 
-	root := tr.StartSpan("sweep")
+	ctx := WithRequestID(context.Background(), "req-abc")
+	if got := RequestID(ctx); got != "req-abc" {
+		t.Fatalf("RequestID = %q, want req-abc", got)
+	}
+	ctx, root := tr.Start(ctx, "request")
+	if root.Req() != "req-abc" {
+		t.Fatalf("root span req = %q, want req-abc", root.Req())
+	}
+	if got := RequestID(ctx); got != "req-abc" {
+		t.Fatalf("RequestID through span ctx = %q, want req-abc", got)
+	}
+	if SpanFromContext(ctx) != root {
+		t.Fatal("SpanFromContext did not return the open span")
+	}
+	_, child := tr.Start(ctx, "work")
+	child.End()
+	root.End()
+	for _, d := range tr.Spans() {
+		if d.Req != "req-abc" {
+			t.Fatalf("span %s req = %q, want req-abc", d.Name, d.Req)
+		}
+	}
+}
+
+func TestNewRequestIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if id == "" || seen[id] {
+			t.Fatalf("request id %q empty or repeated", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestCrossGoroutineParentage hands the sweep's context to worker
+// goroutines; cells must parent to the sweep and inner stage spans to
+// their own cell — exact parentage across the pool hop, no orphans.
+func TestCrossGoroutineParentage(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Enable()
+	defer tr.Disable()
+
+	sctx, root := tr.Start(context.Background(), "sweep")
 	var wg sync.WaitGroup
 	for i := 0; i < 4; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cell := tr.StartSpanUnder(root, "cell")
-			inner := tr.StartSpan("stage:simulate") // implicit parent = cell
+			cctx, cell := tr.Start(sctx, "cell")
+			_, inner := tr.Start(cctx, "stage:simulate")
 			inner.End()
 			cell.End()
 		}()
@@ -108,6 +170,9 @@ func TestStartSpanUnderCrossGoroutine(t *testing.T) {
 		if d.Name == "stage:simulate" && !cells[d.Parent] {
 			t.Fatalf("stage span parent %d is not a cell", d.Parent)
 		}
+		if d.ID != rootID && d.Parent == 0 {
+			t.Fatalf("span %s is an orphan root", d.Name)
+		}
 	}
 }
 
@@ -116,11 +181,11 @@ func TestCollectExtractsSubtree(t *testing.T) {
 	tr.Enable()
 	defer tr.Disable()
 
-	other := tr.StartSpan("other")
+	_, other := tr.Start(context.Background(), "other")
 	other.End()
-	root := tr.StartSpan("request")
-	child := tr.StartSpan("work")
-	grand := tr.StartSpan("inner")
+	ctx, root := tr.Start(context.Background(), "request")
+	ctx, child := tr.Start(ctx, "work")
+	_, grand := tr.Start(ctx, "inner")
 	grand.End()
 	child.End()
 	root.End()
@@ -143,7 +208,8 @@ func TestCollectExtractsSubtree(t *testing.T) {
 func TestDisableClearsBuffer(t *testing.T) {
 	tr := NewTracer(0)
 	tr.Enable()
-	tr.StartSpan("a").End()
+	_, s := tr.Start(context.Background(), "a")
+	s.End()
 	tr.Enable() // nested enable keeps recording
 	tr.Disable()
 	if len(tr.Spans()) != 1 {
@@ -163,7 +229,8 @@ func TestBufferLimitDrops(t *testing.T) {
 	tr.Enable()
 	defer tr.Disable()
 	for i := 0; i < 100; i++ {
-		tr.StartSpan("s").End()
+		_, s := tr.Start(context.Background(), "s")
+		s.End()
 	}
 	if tr.Dropped() == 0 {
 		t.Fatal("expected drops at tiny buffer limit")
@@ -178,8 +245,9 @@ func TestChromeTraceExport(t *testing.T) {
 	tr.Enable()
 	defer tr.Disable()
 
-	root := tr.StartSpan("sweep", A("bench", "Sort"))
-	child := tr.StartSpan("cell", A("capacity", 256))
+	ctx := WithRequestID(context.Background(), "trace-req")
+	ctx, root := tr.Start(ctx, "sweep", A("bench", "Sort"))
+	_, child := tr.Start(ctx, "cell", A("capacity", 256))
 	child.SetAttr("bounds", "100,90,85")
 	child.End()
 	root.End()
@@ -208,6 +276,7 @@ func TestChromeTraceExport(t *testing.T) {
 		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
 	}
 	byName := map[string]map[string]any{}
+	var tids []uint64
 	for _, e := range doc.TraceEvents {
 		if e.Ph != "X" {
 			t.Fatalf("event phase %q, want X", e.Ph)
@@ -216,12 +285,20 @@ func TestChromeTraceExport(t *testing.T) {
 			t.Fatalf("negative ts/dur: %+v", e)
 		}
 		byName[e.Name] = e.Args
+		tids = append(tids, e.Tid)
 	}
 	if byName["sweep"]["bench"] != "Sort" {
 		t.Fatal("sweep attrs missing")
 	}
 	if byName["cell"]["bounds"] != "100,90,85" {
 		t.Fatal("cell SetAttr missing")
+	}
+	// Both events carry the request id and share a lane derived from it.
+	if byName["sweep"]["req"] != "trace-req" || byName["cell"]["req"] != "trace-req" {
+		t.Fatal("request id missing from event args")
+	}
+	if tids[0] != tids[1] {
+		t.Fatalf("one request rendered on two lanes: %v", tids)
 	}
 	// parent_id of cell must equal span_id of sweep (JSON numbers decode
 	// as float64).
@@ -238,15 +315,15 @@ func TestConcurrentTracing(t *testing.T) {
 	tr := NewTracer(0)
 	tr.Enable()
 	defer tr.Disable()
-	root := tr.StartSpan("sweep")
+	rctx, root := tr.Start(context.Background(), "sweep")
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
-				s := tr.StartSpanUnder(root, "cell")
-				in := tr.StartSpan("stage")
+				cctx, s := tr.Start(rctx, "cell")
+				_, in := tr.Start(cctx, "stage")
 				in.SetAttr("i", i)
 				in.End()
 				s.End()
@@ -255,7 +332,22 @@ func TestConcurrentTracing(t *testing.T) {
 	}
 	wg.Wait()
 	root.End()
-	if got, want := len(tr.Spans()), 8*200*2+1; got != want {
+	spans := tr.Spans()
+	if got, want := len(spans), 8*200*2+1; got != want {
 		t.Fatalf("recorded %d spans, want %d", got, want)
+	}
+	// Exact parentage under concurrency: no span parented outside the
+	// tree, all sharing the root's request id.
+	ids := map[uint64]bool{}
+	for _, d := range spans {
+		ids[d.ID] = true
+	}
+	for _, d := range spans {
+		if d.Parent != 0 && !ids[d.Parent] {
+			t.Fatalf("span %d has unknown parent %d", d.ID, d.Parent)
+		}
+		if d.Req == "" {
+			t.Fatal("span lost its request id")
+		}
 	}
 }

@@ -56,6 +56,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -103,6 +104,8 @@ type Allocation struct {
 // the pipeline holding the compiled program (and, memoized, its profile
 // and analysis artifacts), choose the objects to place at one capacity.
 // internal/spm's Energy and internal/wcetalloc's Directed implement it.
+// The context carries the request's trace (and cancellation, which the
+// stages an allocator calls back into respect).
 type Allocator interface {
 	// Name identifies the allocation policy ("energy", "wcet").
 	Name() string
@@ -112,7 +115,7 @@ type Allocator interface {
 	// policy whose configuration cannot be captured returns "" and runs
 	// unmemoized.
 	ConfigKey() string
-	Allocate(p *Pipeline, capacity uint32) (*Allocation, error)
+	Allocate(ctx context.Context, p *Pipeline, capacity uint32) (*Allocation, error)
 }
 
 // Stats counts stage executions and cache hits per tier. Runs (Links,
@@ -426,16 +429,16 @@ func analysisKey(placement string, opts wcet.Options) string {
 // Link links the program under one placement, memoized. An empty placement
 // is linked once regardless of the requested capacity (key normalisation);
 // the returned executable is shared and must be treated as read-only.
-func (p *Pipeline) Link(spmSize uint32, inSPM map[string]bool) (*link.Executable, error) {
-	return p.LinkUnits(nil, spmSize, inSPM)
+func (p *Pipeline) Link(ctx context.Context, spmSize uint32, inSPM map[string]bool) (*link.Executable, error) {
+	return p.LinkUnits(ctx, nil, spmSize, inSPM)
 }
 
 // LinkUnits is Link under a placement-unit partition: the program is first
 // split at the given hot regions (memoized), then linked with the chosen
 // objects — fragments included — in the scratchpad.
-func (p *Pipeline) LinkUnits(regions []obj.Region, spmSize uint32, inSPM map[string]bool) (*link.Executable, error) {
+func (p *Pipeline) LinkUnits(ctx context.Context, regions []obj.Region, spmSize uint32, inSPM map[string]bool) (*link.Executable, error) {
 	key := unitPrefix(regions) + PlacementKey(spmSize, inSPM)
-	sp := obs.StartSpan("stage:link", obs.A("tier", "memory"))
+	_, sp := obs.Start(ctx, "stage:link", obs.A("tier", "memory"))
 	defer sp.End()
 	p.mu.Lock()
 	e, ok := p.links[key]
@@ -463,6 +466,7 @@ func (p *Pipeline) LinkUnits(regions []obj.Region, spmSize uint32, inSPM map[str
 			d := time.Since(t0)
 			p.count(func(s *Stats) { s.LinkTime += d })
 			p.om.link.seconds.Observe(d.Seconds())
+			p.debugStage(ctx, "link", key, d)
 		}()
 		if strings.HasSuffix(key, "spm=0|") {
 			// Normalised empty placement: capacity-independent.
@@ -477,14 +481,14 @@ func (p *Pipeline) LinkUnits(regions []obj.Region, spmSize uint32, inSPM map[str
 // result is shared and must be treated as read-only; a disk-served result
 // carries the run's counters but a nil Mem (the final memory image is not
 // persisted).
-func (p *Pipeline) Simulate(spmSize uint32, inSPM map[string]bool, ccfg *cache.Config) (*sim.Result, error) {
-	return p.SimulateUnits(nil, spmSize, inSPM, ccfg)
+func (p *Pipeline) Simulate(ctx context.Context, spmSize uint32, inSPM map[string]bool, ccfg *cache.Config) (*sim.Result, error) {
+	return p.SimulateUnits(ctx, nil, spmSize, inSPM, ccfg)
 }
 
 // SimulateUnits is Simulate under a placement-unit partition.
-func (p *Pipeline) SimulateUnits(regions []obj.Region, spmSize uint32, inSPM map[string]bool, ccfg *cache.Config) (*sim.Result, error) {
+func (p *Pipeline) SimulateUnits(ctx context.Context, regions []obj.Region, spmSize uint32, inSPM map[string]bool, ccfg *cache.Config) (*sim.Result, error) {
 	key := unitPrefix(regions) + PlacementKey(spmSize, inSPM) + "|" + cacheKey(ccfg)
-	sp := obs.StartSpan("stage:simulate", obs.A("tier", "memory"))
+	sctx, sp := obs.Start(ctx, "stage:simulate", obs.A("tier", "memory"))
 	defer sp.End()
 	p.mu.Lock()
 	e, ok := p.sims[key]
@@ -513,7 +517,7 @@ func (p *Pipeline) SimulateUnits(regions []obj.Region, spmSize uint32, inSPM map
 		p.count(func(s *Stats) { s.Sims++ })
 		p.om.sim.runs.Inc()
 		sp.SetAttr("tier", "compute")
-		exe, err := p.LinkUnits(regions, spmSize, inSPM)
+		exe, err := p.LinkUnits(sctx, regions, spmSize, inSPM)
 		if err != nil {
 			return nil, err
 		}
@@ -522,6 +526,7 @@ func (p *Pipeline) SimulateUnits(regions []obj.Region, spmSize uint32, inSPM map
 		d := time.Since(t0)
 		p.count(func(s *Stats) { s.SimTime += d })
 		p.om.sim.seconds.Observe(d.Seconds())
+		p.debugStage(ctx, "simulate", key, d)
 		if err == nil {
 			p.storeSave(func(disk *store.Store) error {
 				return disk.SaveSim(p.programKey(), key, res)
@@ -537,16 +542,16 @@ func (p *Pipeline) SimulateUnits(regions []obj.Region, spmSize uint32, inSPM map
 // set (counted in Stats.AnalyzeUpgrades, and the disk entry overwritten);
 // a cached result carrying a witness serves witness-less requests
 // directly. The returned result is shared; treat it as read-only.
-func (p *Pipeline) Analyze(spmSize uint32, inSPM map[string]bool, opts wcet.Options) (*wcet.Result, error) {
-	return p.AnalyzeUnits(nil, spmSize, inSPM, opts)
+func (p *Pipeline) Analyze(ctx context.Context, spmSize uint32, inSPM map[string]bool, opts wcet.Options) (*wcet.Result, error) {
+	return p.AnalyzeUnits(ctx, nil, spmSize, inSPM, opts)
 }
 
 // AnalyzeUnits is Analyze under a placement-unit partition; the partition
 // is part of the memo and disk keys, so warm runs at a fixed granularity
 // recompute nothing.
-func (p *Pipeline) AnalyzeUnits(regions []obj.Region, spmSize uint32, inSPM map[string]bool, opts wcet.Options) (*wcet.Result, error) {
+func (p *Pipeline) AnalyzeUnits(ctx context.Context, regions []obj.Region, spmSize uint32, inSPM map[string]bool, opts wcet.Options) (*wcet.Result, error) {
 	key := analysisKey(unitPrefix(regions)+PlacementKey(spmSize, inSPM), opts)
-	sp := obs.StartSpan("stage:analyze", obs.A("tier", "memory"))
+	sctx, sp := obs.Start(ctx, "stage:analyze", obs.A("tier", "memory"))
 	defer sp.End()
 	p.mu.Lock()
 	e := p.analyses[key]
@@ -601,7 +606,7 @@ func (p *Pipeline) AnalyzeUnits(regions []obj.Region, spmSize uint32, inSPM map[
 			// the CFG and IPET skeletons are built once, each placement only
 			// re-prices its delta. Results are bit-identical to the
 			// from-scratch path below.
-			ctx, built, err := p.contextFor(regions, opts)
+			wctx, built, err := p.contextFor(sctx, regions, opts)
 			if err != nil {
 				e.res, e.err = nil, err
 			} else {
@@ -619,21 +624,23 @@ func (p *Pipeline) AnalyzeUnits(regions []obj.Region, spmSize uint32, inSPM map[
 					spmSize, inSPM = 0, nil
 				}
 				t0 := time.Now()
-				e.res, e.err = ctx.Analyze(spmSize, inSPM, opts.Witness)
+				e.res, e.err = wctx.AnalyzeCtx(sctx, spmSize, inSPM, opts.Witness)
 				d := time.Since(t0)
 				p.count(func(s *Stats) { s.AnalyzeTime += d })
 				p.om.analyze.seconds.Observe(d.Seconds())
+				p.debugStage(ctx, "analyze", key, d)
 			}
 		} else {
-			exe, err := p.LinkUnits(regions, spmSize, inSPM)
+			exe, err := p.LinkUnits(sctx, regions, spmSize, inSPM)
 			if err != nil {
 				e.res, e.err = nil, err
 			} else {
 				t0 := time.Now()
-				e.res, e.err = wcet.Analyze(exe, opts)
+				e.res, e.err = wcet.AnalyzeCtx(sctx, exe, opts)
 				d := time.Since(t0)
 				p.count(func(s *Stats) { s.AnalyzeTime += d })
 				p.om.analyze.seconds.Observe(d.Seconds())
+				p.debugStage(ctx, "analyze", key, d)
 			}
 		}
 		e.done = true
@@ -650,7 +657,7 @@ func (p *Pipeline) AnalyzeUnits(regions []obj.Region, spmSize uint32, inSPM map[
 // context for one partition and analysis configuration, built from the
 // partition's scratchpad-less base link. built reports whether this call
 // did the cold build.
-func (p *Pipeline) contextFor(regions []obj.Region, opts wcet.Options) (*wcet.Context, bool, error) {
+func (p *Pipeline) contextFor(ctx context.Context, regions []obj.Region, opts wcet.Options) (*wcet.Context, bool, error) {
 	key := fmt.Sprintf("%sstack=%d|root=%s", unitPrefix(regions), opts.StackBound, opts.Root)
 	p.mu.Lock()
 	e, ok := p.contexts[key]
@@ -660,22 +667,22 @@ func (p *Pipeline) contextFor(regions []obj.Region, opts wcet.Options) (*wcet.Co
 	}
 	p.mu.Unlock()
 	built := false
-	ctx, err := e.get(func() (*wcet.Context, error) {
-		base, err := p.LinkUnits(regions, 0, nil)
+	wctx, err := e.get(func() (*wcet.Context, error) {
+		base, err := p.LinkUnits(ctx, regions, 0, nil)
 		if err != nil {
 			return nil, err
 		}
 		built = true
 		return wcet.NewContext(base, opts)
 	})
-	return ctx, built, err
+	return wctx, built, err
 }
 
 // Profile collects (memoized) the typical-input access profile on the
 // baseline system (no scratchpad, no cache), consulting the disk tier
 // before simulating.
-func (p *Pipeline) Profile() (*sim.Profile, error) {
-	sp := obs.StartSpan("stage:profile", obs.A("tier", "memory"))
+func (p *Pipeline) Profile(ctx context.Context) (*sim.Profile, error) {
+	sctx, sp := obs.Start(ctx, "stage:profile", obs.A("tier", "memory"))
 	defer sp.End()
 	p.mu.Lock()
 	e := p.profile
@@ -702,7 +709,7 @@ func (p *Pipeline) Profile() (*sim.Profile, error) {
 	p.count(func(s *Stats) { s.Profiles++ })
 	p.om.profile.runs.Inc()
 	sp.SetAttr("tier", "compute")
-	exe, err := p.Link(0, nil)
+	exe, err := p.Link(sctx, 0, nil)
 	if err != nil {
 		e.val, e.err = nil, err
 	} else {
@@ -711,6 +718,7 @@ func (p *Pipeline) Profile() (*sim.Profile, error) {
 		d := time.Since(t0)
 		p.count(func(s *Stats) { s.ProfileTime += d })
 		p.om.profile.seconds.Observe(d.Seconds())
+		p.debugStage(ctx, "profile", profileStageKey, d)
 	}
 	e.done = true
 	if e.err == nil {
@@ -739,13 +747,13 @@ func (p *Pipeline) PrimeProfile(prof *sim.Profile) {
 // unmemoized every time. Keyed solves also persist in the disk tier
 // (stage key "alloc|<ConfigKey>|cap=<n>"), so warm sweeps re-solve zero
 // knapsacks *across processes*, not just within one.
-func (p *Pipeline) Allocate(a Allocator, capacity uint32) (*Allocation, error) {
+func (p *Pipeline) Allocate(ctx context.Context, a Allocator, capacity uint32) (*Allocation, error) {
 	ck := a.ConfigKey()
 	if ck == "" {
-		return p.runAllocate(a, capacity)
+		return p.runAllocate(ctx, a, capacity)
 	}
 	key := fmt.Sprintf("alloc|%s|cap=%d", ck, capacity)
-	sp := obs.StartSpan("stage:alloc", obs.A("tier", "memory"), obs.A("capacity", capacity))
+	sctx, sp := obs.Start(ctx, "stage:alloc", obs.A("tier", "memory"), obs.A("capacity", capacity))
 	defer sp.End()
 	p.mu.Lock()
 	e, ok := p.allocs[key]
@@ -775,7 +783,7 @@ func (p *Pipeline) Allocate(a Allocator, capacity uint32) (*Allocation, error) {
 			p.om.alloc.diskMiss.Inc()
 		}
 		sp.SetAttr("tier", "compute")
-		alloc, err := p.runAllocate(a, capacity)
+		alloc, err := p.runAllocate(sctx, a, capacity)
 		if err == nil {
 			p.storeSave(func(disk *store.Store) error {
 				return disk.SaveAlloc(p.programKey(), key, &store.AllocArtifact{
@@ -788,15 +796,27 @@ func (p *Pipeline) Allocate(a Allocator, capacity uint32) (*Allocation, error) {
 	})
 }
 
-func (p *Pipeline) runAllocate(a Allocator, capacity uint32) (*Allocation, error) {
+func (p *Pipeline) runAllocate(ctx context.Context, a Allocator, capacity uint32) (*Allocation, error) {
 	p.count(func(s *Stats) { s.Allocs++ })
 	p.om.alloc.runs.Inc()
 	t0 := time.Now()
-	alloc, err := a.Allocate(p, capacity)
+	alloc, err := a.Allocate(ctx, p, capacity)
 	d := time.Since(t0)
 	p.count(func(s *Stats) { s.AllocTime += d })
 	p.om.alloc.seconds.Observe(d.Seconds())
+	p.debugStage(ctx, "alloc", fmt.Sprintf("%s|cap=%d", a.Name(), capacity), d)
 	return alloc, err
+}
+
+// debugStage emits one debug record per cold stage execution — visible
+// only at `-log debug`, and cost-free below it (one atomic load).
+func (p *Pipeline) debugStage(ctx context.Context, stage, key string, d time.Duration) {
+	if !obs.DebugEnabled() {
+		return
+	}
+	obs.Debug(ctx, "stage",
+		obs.A("stage", stage), obs.A("bench", p.bench), obs.A("key", key),
+		obs.A("dur_ms", float64(d)/float64(time.Millisecond)))
 }
 
 // StageLatency reads the per-stage latency histograms back out of the

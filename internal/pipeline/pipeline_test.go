@@ -1,6 +1,7 @@
 package pipeline_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -62,13 +63,13 @@ func TestMemoization(t *testing.T) {
 	p := compile(t)
 	in := map[string]bool{"a": true}
 	for i := 0; i < 3; i++ {
-		if _, err := p.Link(256, in); err != nil {
+		if _, err := p.Link(context.Background(), 256, in); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := p.Simulate(256, in, nil); err != nil {
+		if _, err := p.Simulate(context.Background(), 256, in, nil); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := p.Analyze(256, in, wcet.Options{}); err != nil {
+		if _, err := p.Analyze(context.Background(), 256, in, wcet.Options{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -86,7 +87,7 @@ func TestMemoization(t *testing.T) {
 	}
 
 	// A different cache configuration is a different simulation artifact.
-	if _, err := p.Simulate(256, in, &cache.Config{Size: 256, Assoc: 1}); err == nil {
+	if _, err := p.Simulate(context.Background(), 256, in, &cache.Config{Size: 256, Assoc: 1}); err == nil {
 		if got := p.Stats().Sims; got != 2 {
 			t.Errorf("cache-config simulation not keyed separately: %d runs", got)
 		}
@@ -99,7 +100,7 @@ func TestEmptyPlacementSharedAcrossCapacities(t *testing.T) {
 	p := compile(t)
 	var bounds []uint64
 	for _, size := range []uint32{0, 64, 1024, 8192} {
-		res, err := p.Analyze(size, nil, wcet.Options{Witness: true})
+		res, err := p.Analyze(context.Background(), size, nil, wcet.Options{Witness: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,14 +121,14 @@ func TestEmptyPlacementSharedAcrossCapacities(t *testing.T) {
 // witness-bearing result serves witness-less requests with the same bound.
 func TestWitnessUpgrade(t *testing.T) {
 	p := compile(t)
-	plain, err := p.Analyze(0, nil, wcet.Options{})
+	plain, err := p.Analyze(context.Background(), 0, nil, wcet.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if plain.Witness != nil {
 		t.Fatal("witness-less analysis produced a witness")
 	}
-	up, err := p.Analyze(0, nil, wcet.Options{Witness: true})
+	up, err := p.Analyze(context.Background(), 0, nil, wcet.Options{Witness: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestWitnessUpgrade(t *testing.T) {
 	if up.WCET != plain.WCET {
 		t.Fatalf("upgrade changed the bound: %d vs %d", up.WCET, plain.WCET)
 	}
-	again, err := p.Analyze(0, nil, wcet.Options{})
+	again, err := p.Analyze(context.Background(), 0, nil, wcet.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestConcurrentSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, err := p.Analyze(512, map[string]bool{"a": true}, wcet.Options{Witness: true})
+			res, err := p.Analyze(context.Background(), 512, map[string]bool{"a": true}, wcet.Options{Witness: true})
 			if err != nil {
 				t.Error(err)
 				return
@@ -184,11 +185,11 @@ func TestConcurrentSingleflight(t *testing.T) {
 // PrimeProfile seeds a fresh pipeline without re-profiling.
 func TestProfileMemoizedAndPrimable(t *testing.T) {
 	p := compile(t)
-	prof, err := p.Profile()
+	prof, err := p.Profile(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Profile(); err != nil {
+	if _, err := p.Profile(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if s := p.Stats(); s.Profiles != 1 || s.ProfileHits != 1 {
@@ -196,7 +197,7 @@ func TestProfileMemoizedAndPrimable(t *testing.T) {
 	}
 	fresh := pipeline.New(p.Prog)
 	fresh.PrimeProfile(prof)
-	got, err := fresh.Profile()
+	got, err := fresh.Profile(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

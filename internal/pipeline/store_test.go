@@ -1,6 +1,8 @@
 package pipeline_test
 
 import (
+	"context"
+
 	"sync/atomic"
 	"testing"
 
@@ -27,18 +29,18 @@ func TestDiskTierWarmPipeline(t *testing.T) {
 
 	cold := compile(t)
 	cold.SetStore(st)
-	if _, err := cold.Profile(); err != nil {
+	if _, err := cold.Profile(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	coldSim, err := cold.Simulate(256, in, nil)
+	coldSim, err := cold.Simulate(context.Background(), 256, in, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	coldRes, err := cold.Analyze(256, in, wcet.Options{})
+	coldRes, err := cold.Analyze(context.Background(), 256, in, wcet.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	coldWit, err := cold.Analyze(0, nil, wcet.Options{Witness: true})
+	coldWit, err := cold.Analyze(context.Background(), 0, nil, wcet.Options{Witness: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,18 +57,18 @@ func TestDiskTierWarmPipeline(t *testing.T) {
 
 	warm := pipeline.New(cold.Prog)
 	warm.SetStore(st)
-	if _, err := warm.Profile(); err != nil {
+	if _, err := warm.Profile(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	warmSim, err := warm.Simulate(256, in, nil)
+	warmSim, err := warm.Simulate(context.Background(), 256, in, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	warmRes, err := warm.Analyze(256, in, wcet.Options{})
+	warmRes, err := warm.Analyze(context.Background(), 256, in, wcet.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	warmWit, err := warm.Analyze(0, nil, wcet.Options{Witness: true})
+	warmWit, err := warm.Analyze(context.Background(), 0, nil, wcet.Options{Witness: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +96,7 @@ func TestDiskWitnessUpgrade(t *testing.T) {
 
 	cold := compile(t)
 	cold.SetStore(st)
-	if _, err := cold.Analyze(0, nil, wcet.Options{}); err != nil {
+	if _, err := cold.Analyze(context.Background(), 0, nil, wcet.Options{}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -102,10 +104,10 @@ func TestDiskWitnessUpgrade(t *testing.T) {
 	// an in-place upgrade that overwrites the disk entry.
 	p2 := pipeline.New(cold.Prog)
 	p2.SetStore(st)
-	if _, err := p2.Analyze(0, nil, wcet.Options{}); err != nil {
+	if _, err := p2.Analyze(context.Background(), 0, nil, wcet.Options{}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := p2.Analyze(0, nil, wcet.Options{Witness: true})
+	res, err := p2.Analyze(context.Background(), 0, nil, wcet.Options{Witness: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +125,7 @@ func TestDiskWitnessUpgrade(t *testing.T) {
 	// Third process: the witness request is now a plain disk hit.
 	p3 := pipeline.New(cold.Prog)
 	p3.SetStore(st)
-	res3, err := p3.Analyze(0, nil, wcet.Options{Witness: true})
+	res3, err := p3.Analyze(context.Background(), 0, nil, wcet.Options{Witness: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +142,7 @@ func TestDiskWitnessUpgrade(t *testing.T) {
 func TestSetStoreFlushesProfile(t *testing.T) {
 	st := openStore(t)
 	p := compile(t)
-	prof, err := p.Profile()
+	prof, err := p.Profile(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +150,7 @@ func TestSetStoreFlushesProfile(t *testing.T) {
 
 	p2 := pipeline.New(p.Prog)
 	p2.SetStore(st)
-	prof2, err := p2.Profile()
+	prof2, err := p2.Profile(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +170,7 @@ type countingAllocator struct {
 
 func (a countingAllocator) Name() string      { return "counting" }
 func (a countingAllocator) ConfigKey() string { return a.key }
-func (a countingAllocator) Allocate(p *pipeline.Pipeline, capacity uint32) (*pipeline.Allocation, error) {
+func (a countingAllocator) Allocate(_ context.Context, p *pipeline.Pipeline, capacity uint32) (*pipeline.Allocation, error) {
 	a.calls.Add(1)
 	return &pipeline.Allocation{InSPM: map[string]bool{}, Used: 0}, nil
 }
@@ -182,7 +184,7 @@ func TestAllocateMemoized(t *testing.T) {
 	a := countingAllocator{key: "counting|v=1", calls: &calls}
 
 	for i := 0; i < 3; i++ {
-		if _, err := p.Allocate(a, 256); err != nil {
+		if _, err := p.Allocate(context.Background(), a, 256); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -193,14 +195,14 @@ func TestAllocateMemoized(t *testing.T) {
 		t.Errorf("allocs=%d hits=%d, want 1/2", s.Allocs, s.AllocHits)
 	}
 
-	if _, err := p.Allocate(a, 512); err != nil {
+	if _, err := p.Allocate(context.Background(), a, 512); err != nil {
 		t.Fatal(err)
 	}
 	if calls.Load() != 2 {
 		t.Error("a different capacity must be a different solve")
 	}
 	b := countingAllocator{key: "counting|v=2", calls: &calls}
-	if _, err := p.Allocate(b, 256); err != nil {
+	if _, err := p.Allocate(context.Background(), b, 256); err != nil {
 		t.Fatal(err)
 	}
 	if calls.Load() != 3 {
@@ -210,7 +212,7 @@ func TestAllocateMemoized(t *testing.T) {
 	var unkeyed atomic.Int32
 	u := countingAllocator{key: "", calls: &unkeyed}
 	for i := 0; i < 2; i++ {
-		if _, err := p.Allocate(u, 256); err != nil {
+		if _, err := p.Allocate(context.Background(), u, 256); err != nil {
 			t.Fatal(err)
 		}
 	}

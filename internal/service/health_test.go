@@ -1,0 +1,150 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// TestHealthz: liveness is unconditional — a fresh, cold server answers
+// 200 with an uptime.
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var body struct {
+		Status  string  `json:"status"`
+		UptimeS float64 `json:"uptime_s"`
+	}
+	get(t, ts.URL+"/v1/healthz", http.StatusOK, &body)
+	if body.Status != "ok" {
+		t.Errorf("healthz status %q, want ok", body.Status)
+	}
+	if body.UptimeS < 0 {
+		t.Errorf("healthz uptime %g negative", body.UptimeS)
+	}
+}
+
+// TestReadyzTransitions: a cold server is not ready (shards warming);
+// after Warmup finishes it flips ready; losing the store flips it back.
+func TestReadyzTransitions(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := service.New(service.Config{Store: st, Workers: 4})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	var notReady struct {
+		Ready   bool     `json:"ready"`
+		Reasons []string `json:"reasons"`
+	}
+	get(t, ts.URL+"/v1/readyz", http.StatusServiceUnavailable, &notReady)
+	if notReady.Ready {
+		t.Fatal("cold server reported ready")
+	}
+	found := false
+	for _, r := range notReady.Reasons {
+		if strings.Contains(r, "warming") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cold readyz reasons %v missing warming", notReady.Reasons)
+	}
+
+	srv.Warmup(context.Background())
+	if !srv.Warmed() {
+		t.Fatal("Warmup did not mark the server warmed")
+	}
+	var ready struct {
+		Ready   bool    `json:"ready"`
+		UptimeS float64 `json:"uptime_s"`
+	}
+	get(t, ts.URL+"/v1/readyz", http.StatusOK, &ready)
+	if !ready.Ready {
+		t.Fatal("warmed server not ready")
+	}
+
+	// A store that can no longer take writes must fail readiness while
+	// liveness stays green.
+	if err := os.RemoveAll(st.Dir()); err != nil {
+		t.Fatal(err)
+	}
+	get(t, ts.URL+"/v1/readyz", http.StatusServiceUnavailable, &notReady)
+	found = false
+	for _, r := range notReady.Reasons {
+		if strings.Contains(r, "store not writable") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("readyz reasons %v missing store failure", notReady.Reasons)
+	}
+	get(t, ts.URL+"/v1/healthz", http.StatusOK, nil)
+}
+
+// TestRequestIDCorrelation: an inbound X-Request-ID is honoured and
+// echoed; without one the server generates an id; the access-log record
+// for the request carries the same id under the "req" key.
+func TestRequestIDCorrelation(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	var buf bytes.Buffer
+	old := obs.DefaultLogger
+	obs.DefaultLogger = obs.NewLogger(&buf, obs.LevelInfo)
+	defer func() { obs.DefaultLogger = old }()
+
+	req, err := http.NewRequest("GET", ts.URL+"/v1/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "rid-test-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "rid-test-42" {
+		t.Errorf("inbound request id not echoed: got %q", got)
+	}
+
+	// Generated when absent, non-empty and echoed.
+	resp2, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.Header.Get("X-Request-ID") == "" {
+		t.Error("no generated request id on response")
+	}
+
+	// The access log for the first request correlates by id.
+	var logged bool
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("access log line is not JSON: %q: %v", line, err)
+		}
+		if rec["req"] == "rid-test-42" {
+			logged = true
+			if rec["msg"] != "request" || rec["route"] != "/v1/healthz" {
+				t.Errorf("access record shape wrong: %v", rec)
+			}
+			if rec["status"] != float64(200) {
+				t.Errorf("access record status %v, want 200", rec["status"])
+			}
+		}
+	}
+	if !logged {
+		t.Error("no access-log record carried the inbound request id")
+	}
+}

@@ -41,6 +41,19 @@
 //	    The process-wide metrics registry (internal/obs) in Prometheus
 //	    text exposition format: stage runs/cache tiers/latency, store IO
 //	    and GC, alloc-engine solver internals, HTTP request metrics.
+//	GET /v1/healthz
+//	    Process liveness: 200 with uptime as long as the process serves.
+//	GET /v1/readyz
+//	    Readiness: 200 once every shard is warmed, the artifact store is
+//	    writable and the worker queue is below its bound; 503 with the
+//	    failing conditions otherwise.
+//
+// Every request carries a request id (the inbound X-Request-ID header, or
+// a generated one), echoed in the X-Request-ID response header, stamped
+// on the request's context — so spans started under the request share it
+// — and logged in the JSON access-log record the server emits per /v1/*
+// request. A response is therefore correlatable to its access-log line
+// and its trace spans by one id.
 //
 // Sweep requests additionally accept trace=1: the request runs with span
 // tracing enabled and the response carries a final per-span-name summary
@@ -83,6 +96,8 @@ var (
 		"HTTP requests currently being handled.")
 	mQueueDepth = obs.Default.Gauge("wcetlab_http_queue_depth",
 		"HTTP requests waiting for a worker-pool slot.")
+	mStoreBytes = obs.Default.Gauge("wcetlab_store_open_bytes",
+		"Bytes held by the attached artifact store (runtime-sampled).")
 )
 
 // Config configures a Server.
@@ -117,6 +132,9 @@ type Server struct {
 	benches map[string]benchprog.Benchmark
 	names   []string // registry order
 
+	start  time.Time
+	warmed atomic.Bool
+
 	requests, failures atomic.Uint64
 
 	gcRuns, gcRemoved, gcFreed, gcErrors atomic.Uint64
@@ -143,6 +161,7 @@ func New(cfg Config) *Server {
 		sem:     make(chan struct{}, workers),
 		shards:  make(map[string]*shard),
 		benches: make(map[string]benchprog.Benchmark),
+		start:   time.Now(),
 	}
 	for _, b := range append(benchprog.All(), benchprog.WorstCaseSort) {
 		s.benches[b.Name] = b
@@ -154,28 +173,84 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/witness", s.instrumented("/v1/witness", s.handleWitness))
 	mux.HandleFunc("GET /v1/stats", s.instrumented("/v1/stats", s.handleStats))
 	mux.HandleFunc("GET /v1/metrics", s.instrumented("/v1/metrics", s.handleMetrics))
+	mux.HandleFunc("GET /v1/healthz", s.instrumented("/v1/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /v1/readyz", s.instrumented("/v1/readyz", s.handleReadyz))
 	s.mux = mux
 	return s
 }
 
 // instrumented wraps a handler with the per-route request counter, latency
-// histogram and the shared in-flight gauge. The route label is the
-// registered pattern, never the raw URL, so the label set stays bounded.
+// histogram and the shared in-flight gauge, assigns the request its id
+// (inbound X-Request-ID, or generated), and emits one JSON access-log
+// record when the handler returns. The route label is the registered
+// pattern, never the raw URL, so the label set stays bounded.
 func (s *Server) instrumented(route string, h http.HandlerFunc) http.HandlerFunc {
 	reqs := obs.Default.Counter("wcetlab_http_requests_total",
 		"HTTP requests by route.", "route", route)
 	lat := obs.Default.Histogram("wcetlab_http_request_seconds",
 		"HTTP request latency by route.", nil, "route", route)
 	return func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = obs.NewRequestID()
+		}
+		ctx := obs.WithRequestID(r.Context(), rid)
+		r = r.WithContext(ctx)
+		w.Header().Set("X-Request-ID", rid)
+		sw := &statusWriter{ResponseWriter: w}
 		mInFlight.Add(1)
 		reqs.Inc()
 		t0 := time.Now()
 		defer func() {
-			lat.Observe(time.Since(t0).Seconds())
+			d := time.Since(t0)
+			lat.Observe(d.Seconds())
 			mInFlight.Add(-1)
+			obs.Info(ctx, "request",
+				obs.A("route", route), obs.A("method", r.Method),
+				obs.A("status", sw.Status()), obs.A("bytes", sw.bytes),
+				obs.A("dur_ms", float64(d)/float64(time.Millisecond)))
 		}()
-		h(w, r)
+		h(sw, r)
 	}
+}
+
+// statusWriter captures the response status and size for the access log.
+// It forwards Flush, so streamed sweep responses keep flushing through
+// the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Status is the status actually sent (200 if the handler never set one).
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
 }
 
 // Handler returns the HTTP handler serving the API.
@@ -193,6 +268,10 @@ func (s *Server) Run(ctx context.Context, addr string, ready func(boundAddr stri
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
+	obs.SetBuildInfo(obs.Default)
+	stopSampler := obs.StartRuntimeSampler(obs.Default, 10*time.Second, s.sampleStore)
+	defer stopSampler()
+	go s.Warmup(ctx)
 	if s.cfg.Store != nil && s.cfg.GCInterval > 0 {
 		go s.gcLoop(ctx)
 	}
@@ -232,6 +311,89 @@ func (s *Server) gcLoop(ctx context.Context) {
 			}
 		}
 	}
+}
+
+// Warmup builds every shard's lab (compile + profile) so first requests
+// pay no construction latency; Run launches it in the background and
+// /v1/readyz reports ready once it finishes. Build failures are logged
+// and retried on demand, not fatal: a shard whose benchmark cannot build
+// still fails its own requests with the same error.
+func (s *Server) Warmup(ctx context.Context) {
+	wctx, sp := obs.Start(obs.WithRequestID(ctx, "warmup"), "warmup", obs.A("shards", len(s.names)))
+	defer sp.End()
+	for _, name := range s.names {
+		if ctx.Err() != nil {
+			return
+		}
+		if _, err := s.lab(name); err != nil {
+			obs.Warn(wctx, "warmup shard failed", obs.A("bench", name), obs.A("err", err.Error()))
+		}
+	}
+	s.warmed.Store(true)
+	obs.Info(wctx, "warmup complete", obs.A("shards", len(s.names)),
+		obs.A("uptime_s", time.Since(s.start).Seconds()))
+}
+
+// Warmed reports whether the background warmup has built every shard.
+func (s *Server) Warmed() bool { return s.warmed.Load() }
+
+// RequestTotals reports the requests served and failed so far (the final
+// shutdown log line reports them).
+func (s *Server) RequestTotals() (requests, failures uint64) {
+	return s.requests.Load(), s.failures.Load()
+}
+
+// sampleStore refreshes the open-store gauge; the runtime sampler calls
+// it after each tick so store growth is visible between GC passes.
+func (s *Server) sampleStore() {
+	if s.cfg.Store == nil {
+		return
+	}
+	if _, bytes, err := s.cfg.Store.Usage(); err == nil {
+		mStoreBytes.Set(bytes)
+	}
+}
+
+// queueBound is the readiness bound on queued requests: four full worker
+// pools already waiting means new traffic would sit far behind current
+// work, so readiness probes should steer it elsewhere.
+func (s *Server) queueBound() int64 { return int64(4 * cap(s.sem)) }
+
+// handleHealthz is pure liveness: 200 as long as the process serves.
+// Like /v1/stats it takes no worker slot.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+// handleReadyz reports whether the server should receive measurement
+// traffic: every shard warmed, the artifact store (if any) writable, and
+// the worker queue below its bound. 503 lists the failing conditions.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var reasons []string
+	if !s.warmed.Load() {
+		reasons = append(reasons, "shards warming")
+	}
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.Writable(); err != nil {
+			reasons = append(reasons, "store not writable: "+err.Error())
+		}
+	}
+	if qd := mQueueDepth.Value(); qd >= s.queueBound() {
+		reasons = append(reasons, fmt.Sprintf("queue depth %d at bound %d", qd, s.queueBound()))
+	}
+	if len(reasons) > 0 {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reasons": reasons})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"ready":    true,
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
 }
 
 // lab returns (building on first use) the shard for a benchmark name.
@@ -338,7 +500,7 @@ func (s *Server) handleWCET(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("spm %d exceeds maximum %d", size, link.SPMMax))
 			return
 		}
-		m, err = lab.WithScratchpad(size)
+		m, err = lab.WithScratchpad(r.Context(), size)
 	case cacheStr != "":
 		size, perr := parseSize(cacheStr)
 		if perr != nil {
@@ -353,9 +515,9 @@ func (s *Server) handleWCET(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		m, err = lab.WithCache(size, assoc)
+		m, err = lab.WithCache(r.Context(), size, assoc)
 	default:
-		m, err = lab.Baseline()
+		m, err = lab.Baseline(r.Context())
 	}
 	if err != nil {
 		s.serverError(w, err)
@@ -444,16 +606,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 	switch branch {
 	case "spm":
-		s.sweepResponse(w, stream, traced, func(emit func(any) error) error {
-			return lab.SweepScratchpadStream(func(m core.Measurement) error { return emit(toDTO(m)) })
+		s.sweepResponse(r.Context(), w, stream, traced, func(ctx context.Context, emit func(any) error) error {
+			return lab.SweepScratchpadStream(ctx, func(m core.Measurement) error { return emit(toDTO(m)) })
 		})
 	case "cache":
-		s.sweepResponse(w, stream, traced, func(emit func(any) error) error {
-			return lab.SweepCacheStream(func(m core.Measurement) error { return emit(toDTO(m)) })
+		s.sweepResponse(r.Context(), w, stream, traced, func(ctx context.Context, emit func(any) error) error {
+			return lab.SweepCacheStream(ctx, func(m core.Measurement) error { return emit(toDTO(m)) })
 		})
 	case "wcetalloc":
-		s.sweepResponse(w, stream, traced, func(emit func(any) error) error {
-			return lab.SweepWCETAllocationGranStream(gran, func(c core.AllocComparison) error {
+		s.sweepResponse(r.Context(), w, stream, traced, func(ctx context.Context, emit func(any) error) error {
+			return lab.SweepWCETAllocationGranStream(ctx, gran, func(c core.AllocComparison) error {
 				return emit(allocComparisonDTO{
 					SPMSize:     c.SPMSize,
 					Granularity: c.Granularity.String(),
@@ -479,8 +641,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			}
 			pl.ParetoMaxPoints = n
 		}
-		s.sweepResponse(w, stream, traced, func(emit func(any) error) error {
-			return pl.SweepParetoStream(func(f core.ParetoFrontAt) error { return emit(toParetoDTO(f)) })
+		s.sweepResponse(r.Context(), w, stream, traced, func(ctx context.Context, emit func(any) error) error {
+			return pl.SweepParetoStream(ctx, func(f core.ParetoFrontAt) error { return emit(toParetoDTO(f)) })
 		})
 	default:
 		s.writeError(w, http.StatusBadRequest, "branch must be spm, cache, wcetalloc or pareto")
@@ -505,15 +667,18 @@ type traceSummaryDTO struct {
 // final {"error": ...} row.
 //
 // With traced set, the run executes under the default tracer with a
-// per-request root span, and a successful response carries one extra
-// final row summarising the request's spans by name — in both modes, so
-// buffered and streamed responses stay row-for-row identical.
-func (s *Server) sweepResponse(w http.ResponseWriter, stream, traced bool, run func(emit func(any) error) error) {
+// per-request root span (opened under the request's context, so every
+// span of the run carries the request id), and a successful response
+// carries one extra final row summarising the request's spans by name —
+// in both modes, so buffered and streamed responses stay row-for-row
+// identical.
+func (s *Server) sweepResponse(ctx context.Context, w http.ResponseWriter, stream, traced bool, run func(ctx context.Context, emit func(any) error) error) {
 	var finish func() any
 	if traced {
 		obs.DefaultTracer.Enable()
 		defer obs.DefaultTracer.Disable()
-		root := obs.StartSpan("request")
+		rctx, root := obs.Start(ctx, "request")
+		ctx = rctx
 		finish = func() any {
 			root.End()
 			spans := obs.DefaultTracer.Collect(root.ID())
@@ -525,7 +690,7 @@ func (s *Server) sweepResponse(w http.ResponseWriter, stream, traced bool, run f
 	}
 	if !stream {
 		rows := []any{}
-		if err := run(func(v any) error { rows = append(rows, v); return nil }); err != nil {
+		if err := run(ctx, func(v any) error { rows = append(rows, v); return nil }); err != nil {
 			s.serverError(w, err)
 			return
 		}
@@ -552,7 +717,7 @@ func (s *Server) sweepResponse(w http.ResponseWriter, stream, traced bool, run f
 		}
 		return nil
 	}
-	err := run(emit)
+	err := run(ctx, emit)
 	if err != nil {
 		if !started {
 			s.serverError(w, err)
@@ -595,7 +760,7 @@ func (s *Server) handleWitness(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
-	res, err := lab.Pipe.Analyze(0, nil, wcet.Options{Witness: true})
+	res, err := lab.Pipe.Analyze(r.Context(), 0, nil, wcet.Options{Witness: true})
 	if err != nil {
 		s.serverError(w, err)
 		return

@@ -70,7 +70,7 @@ func TestServeMatchesCLI(t *testing.T) {
 
 	var base measurement
 	get(t, ts.URL+"/v1/wcet?bench=WorstCaseSort", http.StatusOK, &base)
-	wantBase, err := lab.Baseline()
+	wantBase, err := lab.Baseline(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestServeMatchesCLI(t *testing.T) {
 
 	var spm measurement
 	get(t, ts.URL+"/v1/wcet?bench=WorstCaseSort&spm=512", http.StatusOK, &spm)
-	wantSPM, err := lab.WithScratchpad(512)
+	wantSPM, err := lab.WithScratchpad(context.Background(), 512)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestServeMatchesCLI(t *testing.T) {
 
 	var cm measurement
 	get(t, ts.URL+"/v1/wcet?bench=WorstCaseSort&cache=256", http.StatusOK, &cm)
-	wantCache, err := lab.WithCache(256, 1)
+	wantCache, err := lab.WithCache(context.Background(), 256, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -124,6 +124,20 @@ func Open(dir string) (*Store, error) {
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
 
+// Writable probes that the store directory still accepts writes by
+// creating and removing a zero-byte temp file. A read-only or vanished
+// directory surfaces here (e.g. in a readiness check) rather than as
+// scattered save errors later.
+func (s *Store) Writable() error {
+	f, err := os.CreateTemp(s.dir, tmpPrefix+"probe-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	f.Close()
+	return os.Remove(name)
+}
+
 // entryName is the content address: every component of the identity —
 // artifact kind, program content hash, canonical stage key — feeds the
 // hash, and nothing else does.

@@ -7,6 +7,7 @@ package wcetalloc
 // strictly better — the splitting machinery must actually pay for itself.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -39,11 +40,11 @@ func TestBlockGranularityNeverWorse(t *testing.T) {
 				}
 				p := pipeline.New(prog)
 				for _, capacity := range paperSizes {
-					objRes, err := AllocateIn(p, capacity, Options{})
+					objRes, err := AllocateIn(context.Background(), p, capacity, Options{})
 					if err != nil {
 						t.Fatal(err)
 					}
-					blkRes, err := AllocateIn(p, capacity, Options{Granularity: GranBlock})
+					blkRes, err := AllocateIn(context.Background(), p, capacity, Options{Granularity: GranBlock})
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -58,7 +59,7 @@ func TestBlockGranularityNeverWorse(t *testing.T) {
 					// The reported bound must be reproducible: re-analysing
 					// the winning placement under its partition certifies
 					// the same number.
-					res, err := p.AnalyzeUnits(blkRes.Splits, capacity, blkRes.InSPM, wcet.Options{})
+					res, err := p.AnalyzeUnits(context.Background(), blkRes.Splits, capacity, blkRes.InSPM, wcet.Options{})
 					if err != nil {
 						t.Fatal(err)
 					}

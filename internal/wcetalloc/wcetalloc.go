@@ -23,6 +23,8 @@
 package wcetalloc
 
 import (
+	"context"
+
 	"repro/internal/alloc"
 	"repro/internal/obj"
 	"repro/internal/pipeline"
@@ -69,25 +71,25 @@ type Directed = alloc.Directed
 
 // Allocate runs the WCET-directed fixpoint with the branch & bound ILP
 // knapsack (the paper's solver architecture) on a private pipeline.
-func Allocate(prog *obj.Program, capacity uint32, opts Options) (*Result, error) {
-	return AllocateIn(pipeline.New(prog), capacity, opts)
+func Allocate(ctx context.Context, prog *obj.Program, capacity uint32, opts Options) (*Result, error) {
+	return AllocateIn(ctx, pipeline.New(prog), capacity, opts)
 }
 
 // AllocateDP runs the same fixpoint with the exact dynamic-programming
 // knapsack; it exists to cross-check the ILP path.
-func AllocateDP(prog *obj.Program, capacity uint32, opts Options) (*Result, error) {
-	return alloc.Run(pipeline.New(prog), capacity, alloc.WCETObjective{}, alloc.SolverDP, opts)
+func AllocateDP(ctx context.Context, prog *obj.Program, capacity uint32, opts Options) (*Result, error) {
+	return alloc.Run(ctx, pipeline.New(prog), capacity, alloc.WCETObjective{}, alloc.SolverDP, opts)
 }
 
 // AllocateIn runs the ILP fixpoint against a shared pipeline, so its
 // link+analyse artifacts are shared with every other measurement made
 // through the same pipeline (and across capacities of a sweep).
-func AllocateIn(p *pipeline.Pipeline, capacity uint32, opts Options) (*Result, error) {
-	return alloc.Run(p, capacity, alloc.WCETObjective{}, alloc.SolverILP, opts)
+func AllocateIn(ctx context.Context, p *pipeline.Pipeline, capacity uint32, opts Options) (*Result, error) {
+	return alloc.Run(ctx, p, capacity, alloc.WCETObjective{}, alloc.SolverILP, opts)
 }
 
 // HotRegions derives the placement-unit partition for a program from its
 // baseline worst-case witness; see alloc.HotRegions.
-func HotRegions(p *pipeline.Pipeline, w *wcet.Witness, capacity uint32, root string) ([]obj.Region, error) {
-	return alloc.HotRegions(p, w, capacity, root)
+func HotRegions(ctx context.Context, p *pipeline.Pipeline, w *wcet.Witness, capacity uint32, root string) ([]obj.Region, error) {
+	return alloc.HotRegions(ctx, p, w, capacity, root)
 }

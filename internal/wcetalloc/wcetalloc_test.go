@@ -1,6 +1,8 @@
 package wcetalloc_test
 
 import (
+	"context"
+
 	"math/bits"
 	"reflect"
 	"sort"
@@ -123,11 +125,11 @@ func TestAllocateILPvsDP(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, size := range []uint32{64, 128, 512} {
-		ilpR, err := wcetalloc.Allocate(prog, size, wcetalloc.Options{})
+		ilpR, err := wcetalloc.Allocate(context.Background(), prog, size, wcetalloc.Options{})
 		if err != nil {
 			t.Fatalf("size %d: ILP: %v", size, err)
 		}
-		dpR, err := wcetalloc.AllocateDP(prog, size, wcetalloc.Options{})
+		dpR, err := wcetalloc.AllocateDP(context.Background(), prog, size, wcetalloc.Options{})
 		if err != nil {
 			t.Fatalf("size %d: DP: %v", size, err)
 		}
@@ -149,7 +151,7 @@ func TestFixpointTermination(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, size := range []uint32{64, 256, 1024} {
-		r, err := wcetalloc.Allocate(prog, size, wcetalloc.Options{})
+		r, err := wcetalloc.Allocate(context.Background(), prog, size, wcetalloc.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -176,7 +178,7 @@ func TestFixpointTermination(t *testing.T) {
 			t.Errorf("size %d: allocation uses %d bytes", size, r.Used)
 		}
 		// Determinism: a second run must reproduce the result.
-		r2, err := wcetalloc.Allocate(prog, size, wcetalloc.Options{})
+		r2, err := wcetalloc.Allocate(context.Background(), prog, size, wcetalloc.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -194,7 +196,7 @@ func TestRejectsCacheConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = wcetalloc.Allocate(prog, 256, wcetalloc.Options{
+	_, err = wcetalloc.Allocate(context.Background(), prog, 256, wcetalloc.Options{
 		WCET: wcet.Options{Cache: &cache.Config{Size: 256}},
 	})
 	if err == nil {
@@ -209,11 +211,11 @@ func TestSeedRejection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := wcetalloc.Allocate(prog, 128, wcetalloc.Options{})
+	plain, err := wcetalloc.Allocate(context.Background(), prog, 128, wcetalloc.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	seeded, err := wcetalloc.Allocate(prog, 128, wcetalloc.Options{
+	seeded, err := wcetalloc.Allocate(context.Background(), prog, 128, wcetalloc.Options{
 		Seeds: []map[string]bool{
 			{"no_such_object": true},
 			{"a": true, "suma": true, "sumb": true}, // far beyond 128 bytes
@@ -238,7 +240,7 @@ func TestWCETDirectedNotWorseThanEnergy(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cs, err := lab.SweepWCETAllocation()
+		cs, err := lab.SweepWCETAllocation(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -303,13 +305,13 @@ func TestTieBreakPrefersLowerEnergy(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Verify the tie is real: each array alone certifies the same bound.
-	only1, err := wcetalloc.Allocate(prog, 64, wcetalloc.Options{
+	only1, err := wcetalloc.Allocate(context.Background(), prog, 64, wcetalloc.Options{
 		Seeds: []map[string]bool{{"b1": true}}, MaxIter: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	only2, err := wcetalloc.Allocate(prog, 64, wcetalloc.Options{
+	only2, err := wcetalloc.Allocate(context.Background(), prog, 64, wcetalloc.Options{
 		Seeds: []map[string]bool{{"b2": true}}, MaxIter: 1,
 	})
 	if err != nil {
@@ -349,7 +351,7 @@ func TestTieBreakPrefersLowerEnergy(t *testing.T) {
 		{"b1", []map[string]bool{{"b1": true}, {"b2": true}}},
 		{"b1", []map[string]bool{{"b2": true}, {"b1": true}}},
 	} {
-		r, err := wcetalloc.Allocate(prog, 64, wcetalloc.Options{
+		r, err := wcetalloc.Allocate(context.Background(), prog, 64, wcetalloc.Options{
 			Seeds:   tc.seeds,
 			Energy:  price(tc.cheap),
 			MaxIter: 1,
@@ -383,7 +385,7 @@ func TestTieBreakDeterministic(t *testing.T) {
 	}
 	var first *wcetalloc.Result
 	for i := 0; i < 5; i++ {
-		r, err := wcetalloc.Allocate(prog, 128, wcetalloc.Options{Energy: energy})
+		r, err := wcetalloc.Allocate(context.Background(), prog, 128, wcetalloc.Options{Energy: energy})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -409,7 +411,7 @@ func TestPreEvaluatedSeedSkipsAnalysis(t *testing.T) {
 	}
 	seed := map[string]bool{"b": true}
 
-	plain, err := wcetalloc.Allocate(prog, 128, wcetalloc.Options{
+	plain, err := wcetalloc.Allocate(context.Background(), prog, 128, wcetalloc.Options{
 		Seeds: []map[string]bool{seed},
 	})
 	if err != nil {
@@ -417,12 +419,12 @@ func TestPreEvaluatedSeedSkipsAnalysis(t *testing.T) {
 	}
 
 	p := pipeline.New(prog)
-	seedRes, err := p.Analyze(128, seed, wcet.Options{Witness: true})
+	seedRes, err := p.Analyze(context.Background(), 128, seed, wcet.Options{Witness: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	before := p.Stats()
-	pre, err := wcetalloc.AllocateIn(p, 128, wcetalloc.Options{
+	pre, err := wcetalloc.AllocateIn(context.Background(), p, 128, wcetalloc.Options{
 		PreEvaluated: []wcetalloc.Evaluation{{InSPM: seed, WCET: seedRes.WCET, Witness: seedRes.Witness}},
 	})
 	if err != nil {
@@ -446,7 +448,7 @@ func TestPreEvaluatedSeedSkipsAnalysis(t *testing.T) {
 	if after.AnalyzeUpgrades != 0 {
 		t.Errorf("%d witness upgrades during pre-evaluated run", after.AnalyzeUpgrades)
 	}
-	reRes, err := p.Analyze(128, seed, wcet.Options{Witness: true})
+	reRes, err := p.Analyze(context.Background(), 128, seed, wcet.Options{Witness: true})
 	if err != nil {
 		t.Fatal(err)
 	}
