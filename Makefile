@@ -83,7 +83,11 @@ warmstore: wcetlab
 # trace with the sweep -> cell -> stage hierarchy in it. The health
 # checks assert liveness answers immediately, readiness flips to 200
 # once the background warmup builds every shard, and the access log the
-# server wrote is line-by-line valid JSON carrying request ids.
+# server wrote is line-by-line valid JSON carrying request ids. The
+# closing cross-process sequence asserts the incremental machinery: a
+# cold pareto run seeds a second store, analyses are evicted, and the
+# warm run must print byte-identical output while its metrics show
+# delta relinks and solver-state hits with zero re-solves.
 smoke: wcetlab
 	@set -e; dir=$$(mktemp -d); pid=""; \
 	trap 'test -n "$$pid" && kill "$$pid" 2>/dev/null; rm -rf "$$dir"' EXIT; \
@@ -145,4 +149,16 @@ smoke: wcetlab
 	head -5 "$$dir/access.log" | while IFS= read -r line; do \
 		printf '%s' "$$line" | $(GO) run ./cmd/jsoncheck || { \
 			echo "smoke: access-log line is not valid JSON: $$line"; exit 1; }; done; \
+	./bin/wcetlab -store "$$dir/store2" pareto MultiSort > "$$dir/pareto.cold"; \
+	./bin/wcetlab -store "$$dir/store2" gc -drop wcet,alloc > /dev/null; \
+	./bin/wcetlab -store "$$dir/store2" -metrics "$$dir/warm.metrics" pareto MultiSort > "$$dir/pareto.warm"; \
+	cmp -s "$$dir/pareto.cold" "$$dir/pareto.warm" || { \
+		echo "smoke: warm pareto output differs from cold:"; \
+		diff "$$dir/pareto.cold" "$$dir/pareto.warm" | head -5; exit 1; }; \
+	grep -Eq '^wcetlab_link_delta_total [1-9]' "$$dir/warm.metrics" || { \
+		echo "smoke: warm run recorded no delta relinks"; exit 1; }; \
+	grep -Eq '^wcetlab_solver_state_hits_total [1-9]' "$$dir/warm.metrics" || { \
+		echo "smoke: warm process recorded no solver-state hits"; exit 1; }; \
+	grep -Eq '^wcetlab_solver_state_misses_total 0$$' "$$dir/warm.metrics" || { \
+		echo "smoke: warm process re-solved functions despite persisted state"; exit 1; }; \
 	echo "smoke: ok ($$url)"

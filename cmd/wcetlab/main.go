@@ -106,6 +106,7 @@ func main() {
 	addr := flag.String("addr", "localhost:8177", "serve listen address")
 	gran := flag.String("granularity", "object", "WCET-directed placement-unit granularity: object or block")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of this run to FILE (view in Perfetto)")
+	metricsFile := flag.String("metrics", "", "write the final Prometheus metrics exposition of this run to FILE")
 	logLevel := flag.String("log", "", "log level: off, error, warn, info or debug (default info for serve, off otherwise)")
 	flag.Usage = usage
 	flag.Parse()
@@ -225,10 +226,33 @@ func main() {
 			obs.Info(context.Background(), "trace written", obs.A("file", *traceFile))
 		}
 	}
+	// Like the trace, the metrics snapshot is written even on failure — the
+	// counters of a failing run are diagnostic data.
+	if *metricsFile != "" {
+		if merr := writeMetrics(*metricsFile); merr != nil && err == nil {
+			err = fmt.Errorf("metrics: %w", merr)
+		} else if merr != nil {
+			obs.Error(context.Background(), "metrics write failed", obs.A("err", merr.Error()))
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wcetlab:", err)
 		os.Exit(1)
 	}
+}
+
+// writeMetrics dumps the process metric registry in Prometheus exposition
+// format — the one-shot-subcommand counterpart of scraping /v1/metrics.
+func writeMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := obs.Default.WritePrometheus(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // writeTrace drains the process tracer into a Chrome trace-event JSON file
@@ -246,7 +270,7 @@ func writeTrace(path string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: wcetlab [flags] {table1|table2|fig3|fig4|fig5|fig6|precision|sweep <bench>|wcetsweep <bench>|pareto <bench> [-adaptive] [-maxpoints N]|witness <bench> [topN] [-path]|gc [-max-age D] [-max-bytes N]|serve [-gc-interval D] [-max-age D] [-max-bytes N] [-pprof ADDR]|all}
+	fmt.Fprintln(os.Stderr, `usage: wcetlab [flags] {table1|table2|fig3|fig4|fig5|fig6|precision|sweep <bench>|wcetsweep <bench>|pareto <bench> [-adaptive] [-maxpoints N]|witness <bench> [topN] [-path]|gc [-max-age D] [-max-bytes N] [-drop KINDS]|serve [-gc-interval D] [-max-age D] [-max-bytes N] [-pprof ADDR]|all}
 
 flags:
   -store DIR   artifact store directory (default $WCETLAB_STORE or
@@ -257,6 +281,9 @@ flags:
                placement-unit granularity for the WCET-directed allocator
   -trace FILE  write a Chrome trace-event JSON of the run (any subcommand)
                for chrome://tracing or https://ui.perfetto.dev
+  -metrics FILE
+               write the run's final Prometheus metrics exposition to FILE
+               (the one-shot counterpart of scraping /v1/metrics)
   -log LEVEL   structured-log level: off, error, warn, info or debug
                (default info for serve, off for one-shot subcommands)`)
 }
@@ -267,16 +294,37 @@ func gc(args []string) error {
 	fs := flag.NewFlagSet("gc", flag.ContinueOnError)
 	maxAge := fs.Duration("max-age", 0, "remove entries older than this (0 keeps all ages)")
 	maxBytes := fs.Int64("max-bytes", 0, "evict oldest entries beyond this store size (0 = unbounded)")
+	drop := fs.String("drop", "", "comma-separated artifact kinds to remove outright (sim,wcet,profile,alloc,solverstate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if artifactStore == nil {
 		return fmt.Errorf("gc: no artifact store configured (-store off?)")
 	}
-	removed, freed, err := artifactStore.GCPolicy(time.Now(), store.Policy{MaxAge: *maxAge, MaxBytes: *maxBytes})
+	var removed int
+	var freed int64
+	if *drop != "" {
+		var kinds []store.Kind
+		for _, name := range strings.Split(*drop, ",") {
+			k, err := store.ParseKind(strings.TrimSpace(name))
+			if err != nil {
+				return fmt.Errorf("gc: %w", err)
+			}
+			kinds = append(kinds, k)
+		}
+		dn, db, err := artifactStore.DropKinds(kinds...)
+		if err != nil {
+			return err
+		}
+		removed += dn
+		freed += db
+	}
+	gn, gb, err := artifactStore.GCPolicy(time.Now(), store.Policy{MaxAge: *maxAge, MaxBytes: *maxBytes})
 	if err != nil {
 		return err
 	}
+	removed += gn
+	freed += gb
 	entries, bytes, err := artifactStore.Usage()
 	if err != nil {
 		return err
@@ -559,9 +607,18 @@ func printIncrementalStats(labs []*core.Lab) {
 		}
 		return 100 * float64(part) / float64(whole)
 	}
+	full := val("wcetlab_link_full_total", "Full (from-scratch) program links.")
+	delta := val("wcetlab_link_delta_total", "Delta relinks patched from a prepared base layout.")
+	resolved := val("wcetlab_link_relocs_resolved_total", "Relocations re-resolved by delta relinks.")
+	reused := val("wcetlab_link_relocs_reused_total", "Relocations reused byte-exact by delta relinks.")
+	stateHits := val("wcetlab_solver_state_hits_total", "IPET solves served from recorded solver state.")
+	stateMisses := val("wcetlab_solver_state_misses_total", "IPET solves that ran for lack of recorded state.")
 	fmt.Printf("\nblocks re-priced:  %d of %d (%.1f%%)\n", repriced, blocks, pct(repriced, blocks))
 	fmt.Printf("functions solved:  %d of %d (%.1f%%)\n", solved, funcs, pct(solved, funcs))
 	fmt.Printf("simplex pivots:    %d warm, %d cold\n", warmPivots, coldPivots)
+	fmt.Printf("links:             %d full, %d delta\n", full, delta)
+	fmt.Printf("relocs resolved:   %d of %d (%.1f%%)\n", resolved, resolved+reused, pct(resolved, resolved+reused))
+	fmt.Printf("solver state:      %d hits, %d misses\n", stateHits, stateMisses)
 }
 
 // printStageLatency renders per-stage latency quantiles (p50/p95/max,

@@ -12,6 +12,8 @@ package link
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/mem"
@@ -60,17 +62,39 @@ type Executable struct {
 	byName     map[string]*Placement
 	EntryAddr  uint32
 	MainAddr   uint32
+
+	// byAddr holds the non-empty placements sorted by address, built
+	// lazily for FindAddr's binary search (placed ranges are disjoint).
+	addrOnce sync.Once
+	byAddr   []*Placement
+
+	// Segment templates: the composed code/data/spm images, built lazily so
+	// repeated NewMemory calls copy three flat arrays instead of walking
+	// every placement.
+	segOnce                  sync.Once
+	segSPM, segCode, segData []byte
 }
 
 // Placement returns the placement of the named object, or nil.
 func (e *Executable) Placement(name string) *Placement { return e.byName[name] }
 
-// FindAddr returns the placement containing addr, or nil.
+// FindAddr returns the placement containing addr, or nil. It sits on the
+// simulation/analysis lookup paths, so it binary-searches an address-sorted
+// index instead of scanning.
 func (e *Executable) FindAddr(addr uint32) *Placement {
-	for _, p := range e.Placements {
-		if p.Contains(addr) {
-			return p
+	e.addrOnce.Do(func() {
+		e.byAddr = make([]*Placement, 0, len(e.Placements))
+		for _, p := range e.Placements {
+			if p.Obj.Size() > 0 {
+				e.byAddr = append(e.byAddr, p)
+			}
 		}
+		sort.Slice(e.byAddr, func(i, j int) bool { return e.byAddr[i].Addr < e.byAddr[j].Addr })
+	})
+	// First placement starting after addr; the candidate is its predecessor.
+	i := sort.Search(len(e.byAddr), func(i int) bool { return e.byAddr[i].Addr > addr })
+	if i > 0 && e.byAddr[i-1].Contains(addr) {
+		return e.byAddr[i-1]
 	}
 	return nil
 }
@@ -162,17 +186,13 @@ func Link(p *obj.Program, spmSize uint32, inSPM map[string]bool) (*Executable, e
 	if p.Main != "" {
 		e.MainAddr = e.byName[p.Main].Addr
 	}
+	mLinkFull.Inc()
 	return e, nil
 }
 
-// NewMemory materialises the executable into a fresh memory system,
-// optionally fronted by a unified cache (cacheCfg nil means no cache). Every
-// call returns an independent image, so repeated simulations start cold.
-func (e *Executable) NewMemory(cacheCfg *cache.Config) (*mem.System, error) {
-	var spm *mem.Segment
-	if e.SPMSize > 0 {
-		spm = &mem.Segment{Name: "spm", Base: SPMBase, Data: make([]byte, e.SPMSize)}
-	}
+// buildSegments composes the placement images into flat per-region segment
+// templates, once per executable.
+func (e *Executable) buildSegments() {
 	codeEnd, dataEnd := CodeBase, DataBase
 	for _, pl := range e.Placements {
 		if pl.InSPM {
@@ -186,22 +206,38 @@ func (e *Executable) NewMemory(cacheCfg *cache.Config) (*mem.System, error) {
 		}
 	}
 	pad := func(v uint32) uint32 { return (v + 15) &^ 15 }
-	code := &mem.Segment{Name: "code", Base: CodeBase, Data: make([]byte, pad(codeEnd-CodeBase)+16)}
-	data := &mem.Segment{Name: "data", Base: DataBase, Data: make([]byte, pad(dataEnd-DataBase)+16)}
-	stack := &mem.Segment{Name: "stack", Base: StackBase, Data: make([]byte, StackSize)}
-	sys := mem.NewSystem(spm, code, data, stack)
+	if e.SPMSize > 0 {
+		e.segSPM = make([]byte, e.SPMSize)
+	}
+	e.segCode = make([]byte, pad(codeEnd-CodeBase)+16)
+	e.segData = make([]byte, pad(dataEnd-DataBase)+16)
 	for _, pl := range e.Placements {
-		var seg *mem.Segment
 		switch {
 		case pl.InSPM:
-			seg = spm
+			copy(e.segSPM[pl.Addr-SPMBase:], pl.Image)
 		case pl.Obj.Kind == obj.Code:
-			seg = code
+			copy(e.segCode[pl.Addr-CodeBase:], pl.Image)
 		default:
-			seg = data
+			copy(e.segData[pl.Addr-DataBase:], pl.Image)
 		}
-		copy(seg.Data[pl.Addr-seg.Base:], pl.Image)
 	}
+}
+
+// NewMemory materialises the executable into a fresh memory system,
+// optionally fronted by a unified cache (cacheCfg nil means no cache). Every
+// call returns an independent image, so repeated simulations start cold; the
+// composed segment bytes are cached on the executable, so a repeat call is
+// three memcpys rather than a placement walk.
+func (e *Executable) NewMemory(cacheCfg *cache.Config) (*mem.System, error) {
+	e.segOnce.Do(e.buildSegments)
+	var spm *mem.Segment
+	if e.SPMSize > 0 {
+		spm = &mem.Segment{Name: "spm", Base: SPMBase, Data: append([]byte(nil), e.segSPM...)}
+	}
+	code := &mem.Segment{Name: "code", Base: CodeBase, Data: append([]byte(nil), e.segCode...)}
+	data := &mem.Segment{Name: "data", Base: DataBase, Data: append([]byte(nil), e.segData...)}
+	stack := &mem.Segment{Name: "stack", Base: StackBase, Data: make([]byte, StackSize)}
+	sys := mem.NewSystem(spm, code, data, stack)
 	if cacheCfg != nil {
 		c, err := cache.New(*cacheCfg)
 		if err != nil {

@@ -1,0 +1,206 @@
+package link
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obj"
+)
+
+// relinkCases are placements spanning the interesting shapes: empty, data
+// into SPM, code into SPM, mixed, everything movable, and an unknown name
+// (which the linker silently ignores).
+func relinkCases() []struct {
+	name    string
+	spmSize uint32
+	inSPM   map[string]bool
+} {
+	return []struct {
+		name    string
+		spmSize uint32
+		inSPM   map[string]bool
+	}{
+		{"empty0", 0, nil},
+		{"emptyCap", 512, nil},
+		{"dataOnly", 512, map[string]bool{"g": true}},
+		{"codeOnly", 1024, map[string]bool{"main": true}},
+		{"mixed", 1024, map[string]bool{"helper": true, "g": true}},
+		{"all", 2048, map[string]bool{"main": true, "helper": true, "g": true}},
+		{"unknownName", 512, map[string]bool{"nosuch": true}},
+	}
+}
+
+func TestPreparedRelinkMatchesLink(t *testing.T) {
+	p := tinyProgram(t)
+	prep, err := Prepare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range relinkCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := Link(p, tc.spmSize, tc.inSPM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := prep.Relink(tc.spmSize, tc.inSPM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.SPMSize != want.SPMSize || got.EntryAddr != want.EntryAddr || got.MainAddr != want.MainAddr {
+				t.Errorf("header mismatch: got spm=%d entry=%#x main=%#x, want spm=%d entry=%#x main=%#x",
+					got.SPMSize, got.EntryAddr, got.MainAddr, want.SPMSize, want.EntryAddr, want.MainAddr)
+			}
+			if len(got.Placements) != len(want.Placements) {
+				t.Fatalf("placement count %d != %d", len(got.Placements), len(want.Placements))
+			}
+			for i, wp := range want.Placements {
+				gp := got.Placements[i]
+				if gp.Obj != wp.Obj || gp.Addr != wp.Addr || gp.InSPM != wp.InSPM {
+					t.Errorf("%s: placement (%#x,%v) != (%#x,%v)", wp.Obj.Name, gp.Addr, gp.InSPM, wp.Addr, wp.InSPM)
+				}
+				if !bytes.Equal(gp.Image, wp.Image) {
+					t.Errorf("%s: image bytes differ", wp.Obj.Name)
+				}
+			}
+		})
+	}
+}
+
+func TestPreparedRelinkErrors(t *testing.T) {
+	p := tinyProgram(t)
+	prep, err := Prepare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name    string
+		spmSize uint32
+		inSPM   map[string]bool
+	}{
+		{"overflow", 4, map[string]bool{"g": true, "helper": true}},
+		{"zeroSPM", 0, map[string]bool{"g": true}},
+		{"oversize", SPMMax * 2, nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, wantErr := Link(p, tc.spmSize, tc.inSPM)
+			_, gotErr := prep.Relink(tc.spmSize, tc.inSPM)
+			if wantErr == nil || gotErr == nil {
+				t.Fatalf("want errors from both, got Link=%v Relink=%v", wantErr, gotErr)
+			}
+			if gotErr.Error() != wantErr.Error() {
+				t.Errorf("diagnostics differ:\nRelink: %v\nLink:   %v", gotErr, wantErr)
+			}
+		})
+	}
+}
+
+// TestPreparedRelinkSharesCleanImages pins the copy-on-write contract:
+// placements none of whose dependent addresses moved share the base image's
+// backing array; affected placements get a fresh patched copy.
+func TestPreparedRelinkSharesCleanImages(t *testing.T) {
+	p := tinyProgram(t)
+	prep, err := Prepare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := prep.Base()
+
+	// The empty placement at capacity 0 is the base layout itself.
+	same, err := prep.Relink(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != base {
+		t.Error("Relink(0, nil) should return the base executable")
+	}
+
+	// Moving only g: main's literal pool references g (dirty copy); helper
+	// and the startup stub reference nothing that moved (shared).
+	exe, err := prep.Relink(512, map[string]bool{"g": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"helper", "__start"} {
+		if &exe.Placement(name).Image[0] != &base.Placement(name).Image[0] {
+			t.Errorf("%s: clean image not shared with the base link", name)
+		}
+	}
+	if &exe.Placement("main").Image[0] == &base.Placement("main").Image[0] {
+		t.Error("main: dirty image must be a fresh copy")
+	}
+	if &exe.Placement("g").Image[0] != &base.Placement("g").Image[0] {
+		t.Error("g: moved but reloc-free, image bytes unchanged — should be shared")
+	}
+}
+
+func TestRelinkStatsAccounting(t *testing.T) {
+	p := tinyProgram(t)
+	prep, err := Prepare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nrelocs uint64
+	for _, o := range p.Objects {
+		nrelocs += uint64(len(o.Relocs))
+	}
+	cases := relinkCases()
+	for _, tc := range cases {
+		if _, err := prep.Relink(tc.spmSize, tc.inSPM); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := prep.Stats()
+	if st.Relinks != uint64(len(cases)) {
+		t.Errorf("Relinks = %d, want %d", st.Relinks, len(cases))
+	}
+	if st.RelocsResolved+st.RelocsReused != st.Relinks*nrelocs {
+		t.Errorf("resolved %d + reused %d != %d relinks x %d relocs",
+			st.RelocsResolved, st.RelocsReused, st.Relinks, nrelocs)
+	}
+	if st.RelocsResolved >= st.RelocsReused {
+		t.Errorf("resolved %d >= reused %d: deltas should reuse most sites",
+			st.RelocsResolved, st.RelocsReused)
+	}
+}
+
+// TestFindAddrBoundaries covers the binary search across an SPM/main split:
+// first and last byte of every placement, the gaps between regions, and
+// addresses beyond every region.
+func TestFindAddrBoundaries(t *testing.T) {
+	p := tinyProgram(t)
+	exe, err := Link(p, 1024, map[string]bool{"helper": true, "g": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range exe.Placements {
+		if got := exe.FindAddr(pl.Addr); got != pl {
+			t.Errorf("%s: FindAddr(first byte %#x) = %v", pl.Obj.Name, pl.Addr, got)
+		}
+		if got := exe.FindAddr(pl.End() - 1); got != pl {
+			t.Errorf("%s: FindAddr(last byte %#x) = %v", pl.Obj.Name, pl.End()-1, got)
+		}
+	}
+	// Region boundaries and gaps resolve to nothing.
+	var spmEnd, codeEnd uint32 = SPMBase, CodeBase
+	for _, pl := range exe.Placements {
+		if pl.InSPM && pl.End() > spmEnd {
+			spmEnd = pl.End()
+		}
+		if !pl.InSPM && pl.Obj.Kind == obj.Code && pl.End() > codeEnd {
+			codeEnd = pl.End()
+		}
+	}
+	for _, addr := range []uint32{spmEnd, CodeBase - 1, codeEnd, DataBase - 1, StackBase - 1, 0xDEAD0000} {
+		if got := exe.FindAddr(addr); got != nil {
+			t.Errorf("FindAddr(%#x) = %s, want nil", addr, got.Obj.Name)
+		}
+	}
+	// The split must not leak across regions: SPM placements resolve at SPM
+	// addresses, main placements at main addresses.
+	if pl := exe.FindAddr(exe.Placement("helper").Addr); pl == nil || !pl.InSPM {
+		t.Error("helper's SPM address should resolve to an SPM placement")
+	}
+	if pl := exe.FindAddr(exe.Placement("main").Addr); pl == nil || pl.InSPM {
+		t.Error("main's code address should resolve to a main-memory placement")
+	}
+}

@@ -141,6 +141,18 @@ type Stats struct {
 	// analyses served by re-pricing an existing context instead.
 	ContextBuilds, ContextReuses uint64
 
+	// FullLinks counts base layouts linked from scratch (one per prepared
+	// partition); DeltaLinks counts placements patched from a prepared base.
+	// RelocsResolved / RelocsReused split the relocation sites those delta
+	// relinks re-resolved vs reused byte-exact from the base images.
+	FullLinks, DeltaLinks        uint64
+	RelocsResolved, RelocsReused uint64
+
+	// SolverStateHits / SolverStateMisses: per-function IPET solves served
+	// from recorded solver state (in-process or store-imported) vs solves
+	// that had to run.
+	SolverStateHits, SolverStateMisses uint64
+
 	SimDiskHits, SimDiskMisses         uint64
 	AnalyzeDiskHits, AnalyzeDiskMisses uint64
 	ProfileDiskHits, ProfileDiskMisses uint64
@@ -177,6 +189,12 @@ func (s *Stats) Add(o Stats) {
 	s.AllocHits += o.AllocHits
 	s.ContextBuilds += o.ContextBuilds
 	s.ContextReuses += o.ContextReuses
+	s.FullLinks += o.FullLinks
+	s.DeltaLinks += o.DeltaLinks
+	s.RelocsResolved += o.RelocsResolved
+	s.RelocsReused += o.RelocsReused
+	s.SolverStateHits += o.SolverStateHits
+	s.SolverStateMisses += o.SolverStateMisses
 	s.SimDiskHits += o.SimDiskHits
 	s.SimDiskMisses += o.SimDiskMisses
 	s.AnalyzeDiskHits += o.AnalyzeDiskHits
@@ -204,12 +222,18 @@ type Pipeline struct {
 	disk     *store.Store
 	splits   map[string]*entry[*obj.Program]
 	links    map[string]*entry[*link.Executable]
+	prepared map[string]*entry[*link.Prepared]
 	sims     map[string]*entry[*sim.Result]
 	analyses map[string]*analysisEntry
 	contexts map[string]*entry[*wcet.Context]
 	allocs   map[string]*entry[*Allocation]
 	profile  *entry[*sim.Profile]
 	stats    Stats
+	// preps/ctxList register successfully built prepared linkers and
+	// analysis contexts; Stats folds in their atomic counters without
+	// touching entry locks (which an in-flight compute may hold).
+	preps   []*link.Prepared
+	ctxList []*wcet.Context
 
 	bench string
 	om    pipeMetrics
@@ -313,6 +337,7 @@ func NewNamed(prog *obj.Program, bench string) *Pipeline {
 		Prog:     prog,
 		splits:   make(map[string]*entry[*obj.Program]),
 		links:    make(map[string]*entry[*link.Executable]),
+		prepared: make(map[string]*entry[*link.Prepared]),
 		sims:     make(map[string]*entry[*sim.Result]),
 		analyses: make(map[string]*analysisEntry),
 		contexts: make(map[string]*entry[*wcet.Context]),
@@ -455,7 +480,7 @@ func (p *Pipeline) LinkUnits(ctx context.Context, regions []obj.Region, spmSize 
 	}
 	return e.get(func() (*link.Executable, error) {
 		sp.SetAttr("tier", "compute")
-		prog, err := p.SplitProgram(regions)
+		prep, err := p.preparedFor(regions)
 		if err != nil {
 			return nil, err
 		}
@@ -469,10 +494,40 @@ func (p *Pipeline) LinkUnits(ctx context.Context, regions []obj.Region, spmSize 
 			p.debugStage(ctx, "link", key, d)
 		}()
 		if strings.HasSuffix(key, "spm=0|") {
-			// Normalised empty placement: capacity-independent.
-			return link.Link(prog, 0, nil)
+			// Normalised empty placement: capacity-independent (and the
+			// prepared base layout verbatim).
+			return prep.Relink(0, nil)
 		}
-		return link.Link(prog, spmSize, inSPM)
+		return prep.Relink(spmSize, inSPM)
+	})
+}
+
+// preparedFor returns (memoized, singleflight) the partition's prepared
+// delta linker: the capacity-0 base layout, its resolved images and the
+// reverse relocation index, built once; every placement of the partition is
+// then a patch of that base rather than a from-scratch link.
+func (p *Pipeline) preparedFor(regions []obj.Region) (*link.Prepared, error) {
+	key := unitPrefix(regions)
+	p.mu.Lock()
+	e, ok := p.prepared[key]
+	if !ok {
+		e = &entry[*link.Prepared]{}
+		p.prepared[key] = e
+	}
+	p.mu.Unlock()
+	return e.get(func() (*link.Prepared, error) {
+		prog, err := p.SplitProgram(regions)
+		if err != nil {
+			return nil, err
+		}
+		prep, err := link.Prepare(prog)
+		if err != nil {
+			return nil, err
+		}
+		p.mu.Lock()
+		p.preps = append(p.preps, prep)
+		p.mu.Unlock()
+		return prep, nil
 	})
 }
 
@@ -601,6 +656,7 @@ func (p *Pipeline) AnalyzeUnits(ctx context.Context, regions []obj.Region, spmSi
 			p.om.upgrades.Inc()
 		}
 		sp.SetAttr("tier", "compute")
+		var usedCtx *wcet.Context
 		if opts.Cache == nil {
 			// Cache-less analyses share a reusable context per partition:
 			// the CFG and IPET skeletons are built once, each placement only
@@ -610,6 +666,7 @@ func (p *Pipeline) AnalyzeUnits(ctx context.Context, regions []obj.Region, spmSi
 			if err != nil {
 				e.res, e.err = nil, err
 			} else {
+				usedCtx = wctx
 				p.count(func(s *Stats) {
 					if built {
 						s.ContextBuilds++
@@ -648,6 +705,16 @@ func (p *Pipeline) AnalyzeUnits(ctx context.Context, regions []obj.Region, spmSi
 			p.storeSave(func(disk *store.Store) error {
 				return disk.SaveWCET(p.programKey(), key, e.res)
 			})
+			if usedCtx != nil && p.diskStore() != nil {
+				// Persist newly recorded solver state so the next cold
+				// process inherits a warm solver, not just memoized results.
+				if st, dirty := usedCtx.ExportStateIfDirty(); dirty {
+					skey := solverStateKey(contextKey(regions, opts))
+					p.storeSave(func(disk *store.Store) error {
+						return disk.SaveSolverState(p.programKey(), skey, st)
+					})
+				}
+			}
 		}
 	}
 	return e.res, e.err
@@ -658,7 +725,7 @@ func (p *Pipeline) AnalyzeUnits(ctx context.Context, regions []obj.Region, spmSi
 // partition's scratchpad-less base link. built reports whether this call
 // did the cold build.
 func (p *Pipeline) contextFor(ctx context.Context, regions []obj.Region, opts wcet.Options) (*wcet.Context, bool, error) {
-	key := fmt.Sprintf("%sstack=%d|root=%s", unitPrefix(regions), opts.StackBound, opts.Root)
+	key := contextKey(regions, opts)
 	p.mu.Lock()
 	e, ok := p.contexts[key]
 	if !ok {
@@ -673,10 +740,36 @@ func (p *Pipeline) contextFor(ctx context.Context, regions []obj.Region, opts wc
 			return nil, err
 		}
 		built = true
-		return wcet.NewContext(base, opts)
+		c, err := wcet.NewContext(base, opts)
+		if err != nil {
+			return nil, err
+		}
+		// Cross-process warm start: seed the fresh context with the solver
+		// state a previous process persisted for this exact configuration.
+		// Deliberately outside the stage disk-hit/miss counters — it is a
+		// solver seed, not a served artifact.
+		if disk := p.diskStore(); disk != nil {
+			if st, ok := disk.LoadSolverState(p.programKey(), solverStateKey(key)); ok {
+				c.ImportState(st)
+			}
+		}
+		p.mu.Lock()
+		p.ctxList = append(p.ctxList, c)
+		p.mu.Unlock()
+		return c, nil
 	})
 	return wctx, built, err
 }
+
+// contextKey is the analysis-context cache key: the partition plus every
+// Options field the context bakes in (placement and witness vary per
+// Analyze; Cache is always nil on this path).
+func contextKey(regions []obj.Region, opts wcet.Options) string {
+	return fmt.Sprintf("%sstack=%d|root=%s", unitPrefix(regions), opts.StackBound, opts.Root)
+}
+
+// solverStateKey is the store stage key persisting a context's solver state.
+func solverStateKey(ctxKey string) string { return "solverstate|" + ctxKey }
 
 // Profile collects (memoized) the typical-input access profile on the
 // baseline system (no scratchpad, no cache), consulting the disk tier
@@ -853,8 +946,26 @@ func StageLatency(bench string) map[string]obs.HistogramSnapshot {
 // Stats returns a snapshot of the stage counters.
 func (p *Pipeline) Stats() Stats {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	s := p.stats
+	preps := append([]*link.Prepared(nil), p.preps...)
+	ctxs := append([]*wcet.Context(nil), p.ctxList...)
+	p.mu.Unlock()
+	// Fold in the delta-link and solver-state counters from the registered
+	// objects' atomics — never their locks, which an in-flight compute may
+	// hold for the length of a solve.
+	s.FullLinks = uint64(len(preps))
+	for _, prep := range preps {
+		rs := prep.Stats()
+		s.DeltaLinks += rs.Relinks
+		s.RelocsResolved += rs.RelocsResolved
+		s.RelocsReused += rs.RelocsReused
+	}
+	for _, c := range ctxs {
+		h, m := c.StateCounts()
+		s.SolverStateHits += h
+		s.SolverStateMisses += m
+	}
+	return s
 }
 
 func (p *Pipeline) count(f func(*Stats)) {

@@ -788,6 +788,12 @@ type stageStatsDTO struct {
 	AllocHits       uint64  `json:"alloc_hits"`
 	ContextBuilds   uint64  `json:"context_builds"`
 	ContextReuses   uint64  `json:"context_reuses"`
+	FullLinks       uint64  `json:"link_full"`
+	DeltaLinks      uint64  `json:"link_delta"`
+	RelocsResolved  uint64  `json:"link_relocs_resolved"`
+	RelocsReused    uint64  `json:"link_relocs_reused"`
+	SolverHits      uint64  `json:"solver_state_hits"`
+	SolverMisses    uint64  `json:"solver_state_misses"`
 	DiskHits        uint64  `json:"disk_hits"`
 	DiskMisses      uint64  `json:"disk_misses"`
 	StoreErrors     uint64  `json:"store_errors"`
@@ -848,6 +854,12 @@ func toStatsDTO(st pipeline.Stats) stageStatsDTO {
 		AllocHits:       st.AllocHits,
 		ContextBuilds:   st.ContextBuilds,
 		ContextReuses:   st.ContextReuses,
+		FullLinks:       st.FullLinks,
+		DeltaLinks:      st.DeltaLinks,
+		RelocsResolved:  st.RelocsResolved,
+		RelocsReused:    st.RelocsReused,
+		SolverHits:      st.SolverStateHits,
+		SolverMisses:    st.SolverStateMisses,
 		DiskHits:        st.DiskHits(),
 		DiskMisses:      st.DiskMisses(),
 		StoreErrors:     st.StoreErrors,

@@ -81,6 +81,10 @@ const (
 	// KindAlloc is a scratchpad allocation solve (pipeline.Allocation
 	// fields), keyed by the allocator's ConfigKey and the capacity.
 	KindAlloc Kind = 4
+	// KindSolverState is an analysis context's recorded per-function IPET
+	// solutions (wcet.SolverState), keyed by the context configuration; a
+	// cold process imports it to skip re-proving unchanged functions.
+	KindSolverState Kind = 5
 )
 
 func (k Kind) String() string {
@@ -93,8 +97,20 @@ func (k Kind) String() string {
 		return "profile"
 	case KindAlloc:
 		return "alloc"
+	case KindSolverState:
+		return "solverstate"
 	}
 	return fmt.Sprintf("kind(%d)", uint16(k))
+}
+
+// ParseKind maps a kind's String() name back to the Kind.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range []Kind{KindSim, KindWCET, KindProfile, KindAlloc, KindSolverState} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("store: unknown artifact kind %q", s)
 }
 
 const (
@@ -306,6 +322,51 @@ func (s *Store) LoadAlloc(progKey, stageKey string) (*AllocArtifact, bool) {
 // SaveAlloc stores an allocation solve.
 func (s *Store) SaveAlloc(progKey, stageKey string, a *AllocArtifact) error {
 	return s.write(KindAlloc, progKey, stageKey, EncodeAlloc(a))
+}
+
+// LoadSolverState returns the persisted solver state for a context key, or
+// (nil, false) on a miss.
+func (s *Store) LoadSolverState(progKey, stageKey string) (*wcet.SolverState, bool) {
+	payload := s.read(KindSolverState, progKey, stageKey)
+	if payload == nil {
+		return nil, false
+	}
+	st, err := DecodeSolverState(payload)
+	if err != nil {
+		return nil, false
+	}
+	return st, true
+}
+
+// SaveSolverState persists an analysis context's recorded solver state.
+func (s *Store) SaveSolverState(progKey, stageKey string, st *wcet.SolverState) error {
+	return s.write(KindSolverState, progKey, stageKey, EncodeSolverState(st))
+}
+
+// DropKinds removes every (non-corrupt) entry of the given kinds, returning
+// the number of files removed and bytes freed. Used to evict one artifact
+// tier — e.g. dropping analyses while keeping solver state warm.
+func (s *Store) DropKinds(kinds ...Kind) (removed int, freed int64, err error) {
+	want := make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	entries, err := s.Index()
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, e := range entries {
+		if e.Corrupt || !want[e.Kind] {
+			continue
+		}
+		if os.Remove(s.entryPath(e.Name)) == nil {
+			removed++
+			freed += e.Size
+		}
+	}
+	mGCRemoved.Add(uint64(removed))
+	mGCFreed.Add(uint64(freed))
+	return removed, freed, nil
 }
 
 // LoadProfile returns the stored profile, or ok == false on a miss.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/arm"
 	"repro/internal/cfg"
@@ -48,6 +49,10 @@ type ContextStats struct {
 	// scope, summed over analyses.
 	FuncsSolved uint64
 	FuncsTotal  uint64
+	// StateHits / StateMisses: solves served from recorded solver state vs
+	// solves that had to run (misses + hits + unchanged-skips = FuncsTotal).
+	StateHits   uint64
+	StateMisses uint64
 }
 
 // ctxRef is one placement-dependent data access of a block, aggregated per
@@ -96,6 +101,11 @@ type ctxFunc struct {
 	dirty  bool         // some block cost changed since the last solve
 	sol    *ipetSolution
 	wcet   uint64
+	// depObjs are the objects this function's block costs depend on (owners
+	// and priced access targets), sorted; callees its distinct call targets,
+	// sorted. Together they define the solve-input signature (funcSig).
+	depObjs []string
+	callees []string
 }
 
 // Context is a reusable analysis context: everything placement-independent
@@ -131,6 +141,13 @@ type Context struct {
 	cur     map[string]bool
 	nblocks uint64
 	stats   ContextStats
+	// state records solved per-function solutions by input signature
+	// (funcSig); stateDirty marks recordings not yet exported.
+	state      map[string]map[string]FuncSolution
+	stateDirty bool
+	// Hit/miss counters are atomics so stats readers never block on an
+	// in-flight analysis.
+	stateHits, stateMisses atomic.Uint64
 }
 
 // NewContext builds the reusable analysis context for the program behind
@@ -169,6 +186,7 @@ func NewContext(exe *link.Executable, opts Options) (*Context, error) {
 		funcs: make(map[string]*ctxFunc, len(order)),
 		deps:  make(map[string][]*ctxBlock),
 		cur:   make(map[string]bool),
+		state: make(map[string]map[string]FuncSolution),
 	}
 	for _, name := range order {
 		f := g.Funcs[name]
@@ -192,6 +210,19 @@ func NewContext(exe *link.Executable, opts Options) (*Context, error) {
 			c.nblocks++
 			c.link(cb)
 		}
+		depSet := make(map[string]bool)
+		for _, cb := range cf.blocks {
+			depSet[cb.b.Obj] = true
+			for _, r := range cb.refs {
+				depSet[r.priceObj] = true
+			}
+		}
+		calleeSet := make(map[string]bool)
+		for _, cs := range f.Calls {
+			calleeSet[cs.Callee] = true
+		}
+		cf.depObjs = sortedNames(depSet)
+		cf.callees = sortedNames(calleeSet)
 		c.funcs[name] = cf
 	}
 	mCtxBuilds.Inc()
@@ -386,10 +417,23 @@ func (c *Context) Analyze(spmSize uint32, inSPM map[string]bool, witness bool) (
 			}
 		}
 		if need {
-			if err := c.solveFunc(cf, changed); err != nil {
-				return nil, err
+			// Recorded-state fast path: an identical signature means an
+			// identical objective over the same skeleton, so the recorded
+			// solution is what solveFunc would compute.
+			sig := c.funcSig(cf)
+			if fs, ok := c.lookupState(name, sig); ok {
+				c.adopt(cf, fs, changed)
+				c.stateHits.Add(1)
+				mSolverHits.Inc()
+			} else {
+				if err := c.solveFunc(cf, changed); err != nil {
+					return nil, err
+				}
+				solved++
+				c.stateMisses.Add(1)
+				mSolverMisses.Inc()
+				c.recordState(cf, sig)
 			}
-			solved++
 		}
 		res.PerFunction[name] = cf.wcet
 	}
@@ -517,5 +561,18 @@ func (c *Context) Root() string { return c.root }
 func (c *Context) Stats() ContextStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	s := c.stats
+	s.StateHits = c.stateHits.Load()
+	s.StateMisses = c.stateMisses.Load()
+	return s
+}
+
+// sortedNames returns the set's keys in sorted order.
+func sortedNames(set map[string]bool) []string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
