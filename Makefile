@@ -87,7 +87,10 @@ warmstore: wcetlab
 # closing cross-process sequence asserts the incremental machinery: a
 # cold pareto run seeds a second store, analyses are evicted, and the
 # warm run must print byte-identical output while its metrics show
-# delta relinks and solver-state hits with zero re-solves.
+# delta relinks and solver-state hits with zero re-solves. The doubled
+# cache sweep asserts the incremental cache context: the repeat must be
+# byte-identical to the first pass and the metrics must show the warm
+# analyses reusing a shared context rather than rebuilding it.
 smoke: wcetlab
 	@set -e; dir=$$(mktemp -d); pid=""; \
 	trap 'test -n "$$pid" && kill "$$pid" 2>/dev/null; rm -rf "$$dir"' EXIT; \
@@ -121,7 +124,16 @@ smoke: wcetlab
 		diff "$$dir/pareto.buf" "$$dir/pareto.str" | head -5; exit 1; }; \
 	grep -q '"kind":"' "$$dir/pareto.buf" || { \
 		echo "smoke: pareto sweep returned no points"; exit 1; }; \
+	curl -fsS "$$url/v1/sweep?bench=WorstCaseSort&branch=cache" | tr -d ' \n' > "$$dir/cache.one"; \
+	curl -fsS "$$url/v1/sweep?bench=WorstCaseSort&branch=cache" | tr -d ' \n' > "$$dir/cache.two"; \
+	cmp -s "$$dir/cache.one" "$$dir/cache.two" || { \
+		echo "smoke: repeated cache sweep differs from the first:"; \
+		diff "$$dir/cache.one" "$$dir/cache.two" | head -5; exit 1; }; \
+	grep -q '"cache_size"' "$$dir/cache.one" || { \
+		echo "smoke: cache sweep returned no rows"; exit 1; }; \
 	curl -fsS "$$url/v1/metrics" > "$$dir/m1.txt"; \
+	grep -Eq '^wcetlab_cache_context_reuses_total [1-9]' "$$dir/m1.txt" || { \
+		echo "smoke: cache sweeps did not reuse a cache context"; exit 1; }; \
 	runs0=$$(awk '/^wcetlab_stage_runs_total/{s+=$$NF} END{print s+0}' "$$dir/m0.txt"); \
 	runs1=$$(awk '/^wcetlab_stage_runs_total/{s+=$$NF} END{print s+0}' "$$dir/m1.txt"); \
 	[ "$$runs1" -gt "$$runs0" ] || { \

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/benchprog"
+	"repro/internal/cache"
 	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/link"
@@ -453,6 +454,61 @@ func BenchmarkRelinkDelta(b *testing.B) {
 		st := prep.Stats()
 		b.ReportMetric(float64(st.RelocsResolved)/float64(st.Relinks), "relocs/relink")
 	})
+}
+
+// BenchmarkCacheSweepCold measures the paper's cache capacity sweep the
+// way every run paid for it before the incremental cache context: a
+// from-scratch CFG build, MUST fixed point and IPET solve per capacity.
+func BenchmarkCacheSweepCold(b *testing.B) {
+	l := labFor(b, "ADPCM")
+	exe, err := link.Link(l.Pipe.Prog, 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, size := range core.PaperSizes {
+			opts := wcet.Options{Cache: &cache.Config{Size: size}, StackBound: l.StackBound}
+			if _, err := wcet.Analyze(exe, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCacheSweepWarm runs the same sweep through a warm cache
+// context: the CFG, IPET skeletons and symbolic access streams are built
+// once, and each capacity's MUST records replay from the layout-keyed
+// memo. Compare ns/op against BenchmarkCacheSweepCold for the
+// incremental-analysis win; results are bit-identical.
+func BenchmarkCacheSweepWarm(b *testing.B) {
+	l := labFor(b, "ADPCM")
+	prep, err := link.Prepare(l.Pipe.Prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ccfg := cache.Config{}
+	cctx, err := wcet.NewCacheContext(prep, wcet.Options{Cache: &ccfg, StackBound: l.StackBound})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One warming pass populates the memo; the measured loop is the
+	// steady-state serving cost (what a warm `/v1/sweep?branch=cache` pays).
+	for _, size := range core.PaperSizes {
+		if _, err := cctx.Analyze(size, 0, nil, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, size := range core.PaperSizes {
+			if _, err := cctx.Analyze(size, 0, nil, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	st := cctx.Stats()
+	b.ReportMetric(float64(st.FuncsReanalyzed)/float64(st.Analyses), "funcs-rerun/analysis")
 }
 
 // BenchmarkWarmProcessPareto measures the cross-process warm start: a

@@ -583,15 +583,18 @@ func all() error {
 // functions, warm vs cold simplex pivots).
 func printIncrementalStats(labs []*core.Lab) {
 	header("Incremental analysis")
-	fmt.Printf("%-14s %12s %12s\n", "benchmark", "ctx builds", "ctx reuses")
-	var builds, reuses uint64
+	fmt.Printf("%-14s %12s %12s %12s %12s\n", "benchmark", "ctx builds", "ctx reuses", "cctx builds", "cctx reuses")
+	var builds, reuses, cbuilds, creuses uint64
 	for _, l := range labs {
 		s := l.Pipe.Stats()
 		builds += s.ContextBuilds
 		reuses += s.ContextReuses
-		fmt.Printf("%-14s %12d %12d\n", l.Bench.Name, s.ContextBuilds, s.ContextReuses)
+		cbuilds += s.CacheContextBuilds
+		creuses += s.CacheContextReuses
+		fmt.Printf("%-14s %12d %12d %12d %12d\n", l.Bench.Name,
+			s.ContextBuilds, s.ContextReuses, s.CacheContextBuilds, s.CacheContextReuses)
 	}
-	fmt.Printf("%-14s %12d %12d\n", "total", builds, reuses)
+	fmt.Printf("%-14s %12d %12d %12d %12d\n", "total", builds, reuses, cbuilds, creuses)
 	val := func(name, help string, kv ...string) uint64 {
 		return obs.Default.Counter(name, help, kv...).Value()
 	}
@@ -613,8 +616,11 @@ func printIncrementalStats(labs []*core.Lab) {
 	reused := val("wcetlab_link_relocs_reused_total", "Relocations reused byte-exact by delta relinks.")
 	stateHits := val("wcetlab_solver_state_hits_total", "IPET solves served from recorded solver state.")
 	stateMisses := val("wcetlab_solver_state_misses_total", "IPET solves that ran for lack of recorded state.")
+	cacheRerun := val("wcetlab_cache_context_funcs_reanalyzed_total", "Functions whose MUST fixed point re-ran across cache-context analyses.")
+	cacheFuncs := val("wcetlab_cache_context_funcs_total", "Functions in scope across cache-context analyses.")
 	fmt.Printf("\nblocks re-priced:  %d of %d (%.1f%%)\n", repriced, blocks, pct(repriced, blocks))
 	fmt.Printf("functions solved:  %d of %d (%.1f%%)\n", solved, funcs, pct(solved, funcs))
+	fmt.Printf("cache funcs rerun: %d of %d (%.1f%%)\n", cacheRerun, cacheFuncs, pct(cacheRerun, cacheFuncs))
 	fmt.Printf("simplex pivots:    %d warm, %d cold\n", warmPivots, coldPivots)
 	fmt.Printf("links:             %d full, %d delta\n", full, delta)
 	fmt.Printf("relocs resolved:   %d of %d (%.1f%%)\n", resolved, resolved+reused, pct(resolved, resolved+reused))

@@ -108,6 +108,62 @@ func Prepare(p *obj.Program) (*Prepared, error) {
 // Base returns the capacity-0 base executable.
 func (pr *Prepared) Base() *Executable { return pr.base }
 
+// ObjLayout is one object's address assignment under a placement, in
+// program (placement) order.
+type ObjLayout struct {
+	Addr  uint32
+	InSPM bool
+}
+
+// Layout runs the linker's address walk for one placement without
+// materialising images — identical arithmetic and diagnostics to Link and
+// Relink — returning only each object's address and memory side. It is the
+// layout-stability oracle of the incremental cache analysis: diffing two
+// placements' layouts yields exactly the objects a move actually changed.
+func (pr *Prepared) Layout(spmSize uint32, inSPM map[string]bool) ([]ObjLayout, error) {
+	if spmSize > SPMMax {
+		return nil, fmt.Errorf("link: scratchpad size %d exceeds maximum %d", spmSize, SPMMax)
+	}
+	out := make([]ObjLayout, len(pr.prog.Objects))
+	align := func(v, a uint32) uint32 { return (v + a - 1) &^ (a - 1) }
+	spmCur, codeCur, dataCur := SPMBase, CodeBase, DataBase
+	for i, o := range pr.prog.Objects {
+		switch {
+		case inSPM[o.Name]:
+			if spmSize == 0 {
+				return nil, fmt.Errorf("link: %s allocated to scratchpad but scratchpad size is 0", o.Name)
+			}
+			spmCur = align(spmCur, o.Align)
+			out[i] = ObjLayout{Addr: spmCur, InSPM: true}
+			spmCur += o.Size()
+			if spmCur-SPMBase > spmSize {
+				return nil, fmt.Errorf("link: scratchpad overflow: %s ends at %d, capacity %d", o.Name, spmCur-SPMBase, spmSize)
+			}
+		case o.Kind == obj.Code:
+			codeCur = align(codeCur, o.Align)
+			out[i] = ObjLayout{Addr: codeCur}
+			codeCur += o.Size()
+		default:
+			dataCur = align(dataCur, o.Align)
+			out[i] = ObjLayout{Addr: dataCur}
+			dataCur += o.Size()
+		}
+	}
+	return out, nil
+}
+
+// MovedObjects returns the placement indices of objects whose address or
+// memory side differs between two layouts of the same program.
+func MovedObjects(a, b []ObjLayout) []int {
+	var moved []int
+	for i := range a {
+		if a[i] != b[i] {
+			moved = append(moved, i)
+		}
+	}
+	return moved
+}
+
 // Stats returns cumulative relink counters.
 func (pr *Prepared) Stats() RelinkStats {
 	return RelinkStats{
@@ -147,40 +203,19 @@ func (pr *Prepared) addDonor(e *Executable) {
 // target shifted by different deltas (the displacement is PC-relative, so
 // a uniformly shifted suffix keeps its encoding).
 func (pr *Prepared) Relink(spmSize uint32, inSPM map[string]bool) (*Executable, error) {
-	if spmSize > SPMMax {
-		return nil, fmt.Errorf("link: scratchpad size %d exceeds maximum %d", spmSize, SPMMax)
-	}
 	// Address walk: identical arithmetic (and errors) to Link's.
+	lay, err := pr.Layout(spmSize, inSPM)
+	if err != nil {
+		return nil, err
+	}
 	e := &Executable{
 		Prog:    pr.prog,
 		SPMSize: spmSize,
 		byName:  make(map[string]*Placement, len(pr.prog.Objects)),
 	}
 	e.Placements = make([]*Placement, 0, len(pr.prog.Objects))
-	align := func(v, a uint32) uint32 { return (v + a - 1) &^ (a - 1) }
-	spmCur, codeCur, dataCur := SPMBase, CodeBase, DataBase
-	for _, o := range pr.prog.Objects {
-		pl := &Placement{Obj: o}
-		switch {
-		case inSPM[o.Name]:
-			if spmSize == 0 {
-				return nil, fmt.Errorf("link: %s allocated to scratchpad but scratchpad size is 0", o.Name)
-			}
-			spmCur = align(spmCur, o.Align)
-			pl.Addr, pl.InSPM = spmCur, true
-			spmCur += o.Size()
-			if spmCur-SPMBase > spmSize {
-				return nil, fmt.Errorf("link: scratchpad overflow: %s ends at %d, capacity %d", o.Name, spmCur-SPMBase, spmSize)
-			}
-		case o.Kind == obj.Code:
-			codeCur = align(codeCur, o.Align)
-			pl.Addr = codeCur
-			codeCur += o.Size()
-		default:
-			dataCur = align(dataCur, o.Align)
-			pl.Addr = dataCur
-			dataCur += o.Size()
-		}
+	for i, o := range pr.prog.Objects {
+		pl := &Placement{Obj: o, Addr: lay[i].Addr, InSPM: lay[i].InSPM}
 		e.Placements = append(e.Placements, pl)
 		e.byName[o.Name] = pl
 	}

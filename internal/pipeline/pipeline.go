@@ -141,6 +141,14 @@ type Stats struct {
 	// analyses served by re-pricing an existing context instead.
 	ContextBuilds, ContextReuses uint64
 
+	// CacheContextBuilds / CacheContextReuses are the cache-path analogue:
+	// cache analysis contexts built cold vs cold analyses served by an
+	// existing cache context. CacheFuncsReanalyzed / CacheFuncs split the
+	// function-level MUST fixed point: solves that actually re-ran vs
+	// functions in scope across all cache-context analyses.
+	CacheContextBuilds, CacheContextReuses uint64
+	CacheFuncsReanalyzed, CacheFuncs       uint64
+
 	// FullLinks counts base layouts linked from scratch (one per prepared
 	// partition); DeltaLinks counts placements patched from a prepared base.
 	// RelocsResolved / RelocsReused split the relocation sites those delta
@@ -189,6 +197,10 @@ func (s *Stats) Add(o Stats) {
 	s.AllocHits += o.AllocHits
 	s.ContextBuilds += o.ContextBuilds
 	s.ContextReuses += o.ContextReuses
+	s.CacheContextBuilds += o.CacheContextBuilds
+	s.CacheContextReuses += o.CacheContextReuses
+	s.CacheFuncsReanalyzed += o.CacheFuncsReanalyzed
+	s.CacheFuncs += o.CacheFuncs
 	s.FullLinks += o.FullLinks
 	s.DeltaLinks += o.DeltaLinks
 	s.RelocsResolved += o.RelocsResolved
@@ -226,14 +238,16 @@ type Pipeline struct {
 	sims     map[string]*entry[*sim.Result]
 	analyses map[string]*analysisEntry
 	contexts map[string]*entry[*wcet.Context]
+	cctxs    map[string]*entry[*wcet.CacheContext]
 	allocs   map[string]*entry[*Allocation]
 	profile  *entry[*sim.Profile]
 	stats    Stats
-	// preps/ctxList register successfully built prepared linkers and
-	// analysis contexts; Stats folds in their atomic counters without
+	// preps/ctxList/cctxList register successfully built prepared linkers
+	// and analysis contexts; Stats folds in their atomic counters without
 	// touching entry locks (which an in-flight compute may hold).
-	preps   []*link.Prepared
-	ctxList []*wcet.Context
+	preps    []*link.Prepared
+	ctxList  []*wcet.Context
+	cctxList []*wcet.CacheContext
 
 	bench string
 	om    pipeMetrics
@@ -341,6 +355,7 @@ func NewNamed(prog *obj.Program, bench string) *Pipeline {
 		sims:     make(map[string]*entry[*sim.Result]),
 		analyses: make(map[string]*analysisEntry),
 		contexts: make(map[string]*entry[*wcet.Context]),
+		cctxs:    make(map[string]*entry[*wcet.CacheContext]),
 		allocs:   make(map[string]*entry[*Allocation]),
 		profile:  &entry[*sim.Profile]{},
 		bench:    bench,
@@ -688,12 +703,30 @@ func (p *Pipeline) AnalyzeUnits(ctx context.Context, regions []obj.Region, spmSi
 				p.debugStage(ctx, "analyze", key, d)
 			}
 		} else {
-			exe, err := p.LinkUnits(sctx, regions, spmSize, inSPM)
+			// Cache analyses share a reusable cache context per partition and
+			// cache *shape*: the CFG, IPET skeletons and symbolic access
+			// streams are built once, each (capacity, placement) replays only
+			// the functions whose MUST inputs changed. Results are
+			// bit-identical to a from-scratch link + analyze.
+			cctx, built, err := p.cacheContextFor(sctx, regions, opts)
 			if err != nil {
 				e.res, e.err = nil, err
 			} else {
+				p.count(func(s *Stats) {
+					if built {
+						s.CacheContextBuilds++
+					} else {
+						s.CacheContextReuses++
+					}
+				})
+				// Mirror LinkUnits' key normalisation: the empty placement
+				// analyses identically at every capacity, including
+				// capacities the linker would reject.
+				if PlacementKey(spmSize, inSPM) == "spm=0|" {
+					spmSize, inSPM = 0, nil
+				}
 				t0 := time.Now()
-				e.res, e.err = wcet.AnalyzeCtx(sctx, exe, opts)
+				e.res, e.err = cctx.AnalyzeCtx(sctx, opts.Cache.Size, spmSize, inSPM, opts.Witness)
 				d := time.Since(t0)
 				p.count(func(s *Stats) { s.AnalyzeTime += d })
 				p.om.analyze.seconds.Observe(d.Seconds())
@@ -766,6 +799,53 @@ func (p *Pipeline) contextFor(ctx context.Context, regions []obj.Region, opts wc
 // Analyze; Cache is always nil on this path).
 func contextKey(regions []obj.Region, opts wcet.Options) string {
 	return fmt.Sprintf("%sstack=%d|root=%s", unitPrefix(regions), opts.StackBound, opts.Root)
+}
+
+// cacheContextFor returns (memoized, singleflight) the reusable cache
+// analysis context for one partition and cache shape, built from the
+// partition's prepared linker. built reports whether this call did the
+// cold build.
+func (p *Pipeline) cacheContextFor(ctx context.Context, regions []obj.Region, opts wcet.Options) (*wcet.CacheContext, bool, error) {
+	key := cacheContextKey(regions, opts)
+	p.mu.Lock()
+	e, ok := p.cctxs[key]
+	if !ok {
+		e = &entry[*wcet.CacheContext]{}
+		p.cctxs[key] = e
+	}
+	p.mu.Unlock()
+	built := false
+	cctx, err := e.get(func() (*wcet.CacheContext, error) {
+		_ = ctx // the build is pure compute; spans attach per Analyze
+		prep, err := p.preparedFor(regions)
+		if err != nil {
+			return nil, err
+		}
+		built = true
+		c, err := wcet.NewCacheContext(prep, opts)
+		if err != nil {
+			return nil, err
+		}
+		p.mu.Lock()
+		p.cctxList = append(p.cctxList, c)
+		p.mu.Unlock()
+		return c, nil
+	})
+	return cctx, built, err
+}
+
+// cacheContextKey is the cache-context cache key: the partition, the cache
+// *shape* (capacity varies per Analyze, so it is deliberately absent —
+// one context serves a whole capacity sweep) and the Options fields the
+// context bakes in.
+func cacheContextKey(regions []obj.Region, opts wcet.Options) string {
+	cc := opts.Cache.WithDefaults()
+	kind := "unified"
+	if cc.InstructionOnly {
+		kind = "icache"
+	}
+	return fmt.Sprintf("%scacheshape=%d/%d/%s|stack=%d|root=%s",
+		unitPrefix(regions), cc.LineSize, cc.Assoc, kind, opts.StackBound, opts.Root)
 }
 
 // solverStateKey is the store stage key persisting a context's solver state.
@@ -949,6 +1029,7 @@ func (p *Pipeline) Stats() Stats {
 	s := p.stats
 	preps := append([]*link.Prepared(nil), p.preps...)
 	ctxs := append([]*wcet.Context(nil), p.ctxList...)
+	cctxs := append([]*wcet.CacheContext(nil), p.cctxList...)
 	p.mu.Unlock()
 	// Fold in the delta-link and solver-state counters from the registered
 	// objects' atomics — never their locks, which an in-flight compute may
@@ -964,6 +1045,11 @@ func (p *Pipeline) Stats() Stats {
 		h, m := c.StateCounts()
 		s.SolverStateHits += h
 		s.SolverStateMisses += m
+	}
+	for _, c := range cctxs {
+		re, total := c.FuncCounts()
+		s.CacheFuncsReanalyzed += re
+		s.CacheFuncs += total
 	}
 	return s
 }

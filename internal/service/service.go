@@ -788,6 +788,10 @@ type stageStatsDTO struct {
 	AllocHits       uint64  `json:"alloc_hits"`
 	ContextBuilds   uint64  `json:"context_builds"`
 	ContextReuses   uint64  `json:"context_reuses"`
+	CacheCtxBuilds  uint64  `json:"cache_context_builds"`
+	CacheCtxReuses  uint64  `json:"cache_context_reuses"`
+	CacheFuncsRerun uint64  `json:"cache_funcs_reanalyzed"`
+	CacheFuncs      uint64  `json:"cache_funcs"`
 	FullLinks       uint64  `json:"link_full"`
 	DeltaLinks      uint64  `json:"link_delta"`
 	RelocsResolved  uint64  `json:"link_relocs_resolved"`
@@ -854,6 +858,10 @@ func toStatsDTO(st pipeline.Stats) stageStatsDTO {
 		AllocHits:       st.AllocHits,
 		ContextBuilds:   st.ContextBuilds,
 		ContextReuses:   st.ContextReuses,
+		CacheCtxBuilds:  st.CacheContextBuilds,
+		CacheCtxReuses:  st.CacheContextReuses,
+		CacheFuncsRerun: st.CacheFuncsReanalyzed,
+		CacheFuncs:      st.CacheFuncs,
 		FullLinks:       st.FullLinks,
 		DeltaLinks:      st.DeltaLinks,
 		RelocsResolved:  st.RelocsResolved,

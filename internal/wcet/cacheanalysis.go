@@ -24,6 +24,10 @@ type cacheAnalysis struct {
 
 	owner   map[*cfg.Block]*cfg.Function
 	callers map[string][]*cfg.Block // callee → call blocks
+
+	// pool recycles the per-step transfer scratch states; the long-lived
+	// in/entry/exit states are cloned off it and never returned.
+	pool *statePool
 }
 
 func newCacheAnalysis(exe *link.Executable, g *cfg.Graph, cc cache.Config, stackLo uint32) *cacheAnalysis {
@@ -34,6 +38,7 @@ func newCacheAnalysis(exe *link.Executable, g *cfg.Graph, cc cache.Config, stack
 		exitOut: map[string]*mustState{},
 		owner:   map[*cfg.Block]*cfg.Function{},
 		callers: map[string][]*cfg.Block{},
+		pool:    newStatePool(cc),
 	}
 	for _, f := range g.Funcs {
 		for _, b := range f.Blocks {
@@ -112,7 +117,7 @@ func (a *cacheAnalysis) run(root string) error {
 		if inState == nil {
 			continue
 		}
-		out, err := a.transfer(f, b, inState.clone())
+		out, err := a.transfer(f, b, a.pool.cloneOf(inState))
 		if err != nil {
 			return err
 		}
@@ -131,9 +136,11 @@ func (a *cacheAnalysis) run(root string) error {
 				}
 				exit := a.exitOut[callee]
 				if exit == nil {
+					a.pool.put(out)
 					continue // callee exit unknown yet; re-queued on change
 				}
-				out = exit.clone()
+				a.pool.put(out)
+				out = a.pool.cloneOf(exit)
 			}
 		}
 
@@ -149,6 +156,7 @@ func (a *cacheAnalysis) run(root string) error {
 					push(cb)
 				}
 			}
+			a.pool.put(out)
 			continue
 		}
 		for _, e := range b.Succs {
@@ -159,6 +167,7 @@ func (a *cacheAnalysis) run(root string) error {
 				push(e.To)
 			}
 		}
+		a.pool.put(out)
 	}
 	return nil
 }

@@ -12,11 +12,17 @@ import "repro/internal/cache"
 //
 // The paper's experimental ARM7 cache analysis is MUST-only (no
 // persistence, no MAY), which this reproduces.
+//
+// The backing is one flat array (set s's ways are data[s*assoc:(s+1)*assoc])
+// so cloning a state is a single allocation and copy — the fixed-point loop
+// and the cost walks clone per step, which made the per-set representation
+// the dominant allocator of the whole cache path.
 type mustState struct {
 	assoc int
-	// sets[s][age] is the tag guaranteed to be cached in set s with at
+	nsets int
+	// data[s*assoc+age] is the tag guaranteed to be cached in set s with at
 	// most that age, or tagUnknown.
-	sets [][]int64
+	data []int64
 }
 
 // tagUnknown marks a way with no guaranteed content.
@@ -27,24 +33,21 @@ const tagUnknown int64 = -1
 func newMustTop(cfg cache.Config) *mustState {
 	cfg = cfg.WithDefaults()
 	n := int(cfg.NumSets())
-	s := &mustState{assoc: cfg.Assoc, sets: make([][]int64, n)}
-	backing := make([]int64, n*cfg.Assoc)
-	for i := range backing {
-		backing[i] = tagUnknown
-	}
-	for i := range s.sets {
-		s.sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	s := &mustState{assoc: cfg.Assoc, nsets: n, data: make([]int64, n*cfg.Assoc)}
+	for i := range s.data {
+		s.data[i] = tagUnknown
 	}
 	return s
 }
 
+// set returns the ways of set i (a view into the flat backing).
+func (s *mustState) set(i int) []int64 {
+	return s.data[i*s.assoc : (i+1)*s.assoc]
+}
+
 func (s *mustState) clone() *mustState {
-	t := &mustState{assoc: s.assoc, sets: make([][]int64, len(s.sets))}
-	backing := make([]int64, len(s.sets)*s.assoc)
-	for i := range s.sets {
-		t.sets[i], backing = backing[:s.assoc], backing[s.assoc:]
-		copy(t.sets[i], s.sets[i])
-	}
+	t := &mustState{assoc: s.assoc, nsets: s.nsets, data: make([]int64, len(s.data))}
+	copy(t.data, s.data)
 	return t
 }
 
@@ -59,7 +62,7 @@ func setAndTag(cfg cache.Config, addr uint32) (int, int64) {
 // younger than its previous age grow older by one.
 func (s *mustState) classifyRead(cfg cache.Config, addr uint32) bool {
 	set, tag := setAndTag(cfg, addr)
-	ways := s.sets[set]
+	ways := s.set(set)
 	hit := false
 	pos := len(ways) - 1 // miss: everything ages, the oldest guarantee dies
 	for i, t := range ways {
@@ -75,7 +78,7 @@ func (s *mustState) classifyRead(cfg cache.Config, addr uint32) bool {
 
 // clobberSet ages every guarantee in one set by a single unknown access.
 func (s *mustState) clobberSet(set int) {
-	ways := s.sets[set]
+	ways := s.set(set)
 	copy(ways[1:], ways[:len(ways)-1])
 	ways[0] = tagUnknown
 }
@@ -86,11 +89,11 @@ func (s *mustState) clobberRange(cfg cache.Config, lo, hi uint32) {
 	if hi <= lo {
 		return
 	}
-	nSets := uint32(len(s.sets))
+	nSets := uint32(s.nsets)
 	firstBlock := lo / cfg.LineSize
 	lastBlock := (hi - 1) / cfg.LineSize
 	if lastBlock-firstBlock+1 >= nSets {
-		for i := range s.sets {
+		for i := 0; i < s.nsets; i++ {
 			s.clobberSet(i)
 		}
 		return
@@ -102,12 +105,20 @@ func (s *mustState) clobberRange(cfg cache.Config, lo, hi uint32) {
 
 // join computes the pointwise MUST meet with o in place and reports whether
 // s changed: a block survives only if guaranteed in both states, with its
-// maximal age; colliding ages resolve pessimistically (toward older).
+// maximal age; colliding ages resolve pessimistically (toward older). The
+// merge scratch lives on the stack for every realistic associativity, so a
+// join allocates nothing.
 func (s *mustState) join(o *mustState) bool {
+	var buf [16]int64
+	var merged []int64
+	if s.assoc <= len(buf) {
+		merged = buf[:s.assoc]
+	} else {
+		merged = make([]int64, s.assoc)
+	}
 	changed := false
-	for si := range s.sets {
-		a, b := s.sets[si], o.sets[si]
-		merged := make([]int64, len(a))
+	for si := 0; si < s.nsets; si++ {
+		a, b := s.set(si), o.set(si)
 		for i := range merged {
 			merged[i] = tagUnknown
 		}
@@ -153,12 +164,54 @@ func (s *mustState) join(o *mustState) bool {
 
 // equal reports deep equality (used in tests).
 func (s *mustState) equal(o *mustState) bool {
-	for i := range s.sets {
-		for j := range s.sets[i] {
-			if s.sets[i][j] != o.sets[i][j] {
-				return false
-			}
+	for i := range s.data {
+		if s.data[i] != o.data[i] {
+			return false
 		}
 	}
 	return true
+}
+
+// statePool recycles mustState values of one cache geometry. The MUST
+// fixed point and the cost walks need one scratch state per step; taking
+// it from the pool makes the steady state allocation-free.
+type statePool struct {
+	cfg  cache.Config
+	free []*mustState
+}
+
+func newStatePool(cfg cache.Config) *statePool {
+	return &statePool{cfg: cfg.WithDefaults()}
+}
+
+func (p *statePool) take() *mustState {
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		return s
+	}
+	return newMustTop(p.cfg)
+}
+
+// top returns a pooled cold state (no guarantees).
+func (p *statePool) top() *mustState {
+	s := p.take()
+	for i := range s.data {
+		s.data[i] = tagUnknown
+	}
+	return s
+}
+
+// cloneOf returns a pooled copy of src.
+func (p *statePool) cloneOf(src *mustState) *mustState {
+	s := p.take()
+	copy(s.data, src.data)
+	return s
+}
+
+// put returns a state to the pool; nil is ignored.
+func (p *statePool) put(s *mustState) {
+	if s != nil {
+		p.free = append(p.free, s)
+	}
 }

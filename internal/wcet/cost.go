@@ -18,6 +18,9 @@ type costModel struct {
 	cc      *cache.Config // nil: region timing only (no cache)
 	in      map[*cfg.Block]*mustState
 	stackLo uint32
+	// pool recycles the per-block walking copy of the MUST state (lazily
+	// created; costModel is not used concurrently).
+	pool *statePool
 
 	// Static classification counters (cache analysis quality metrics).
 	FetchHit    int
@@ -80,13 +83,17 @@ func (m *costModel) blockCost(f *cfg.Function, b *cfg.Block) (int64, error) {
 	fnInSPM := m.exe.Placement(b.Obj).InSPM
 	var s *mustState
 	if m.cc != nil {
+		if m.pool == nil {
+			m.pool = newStatePool(*m.cc)
+		}
 		if st := m.in[b]; st != nil {
-			s = st.clone()
+			s = m.pool.cloneOf(st)
 		} else {
 			// Block never reached by the cache analysis (unreachable code):
 			// analyse from the cold state, which is sound.
-			s = newMustTop(*m.cc)
+			s = m.pool.top()
 		}
+		defer m.pool.put(s)
 	}
 	var total int64
 	for _, ci := range b.Instrs {

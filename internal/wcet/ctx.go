@@ -32,3 +32,17 @@ func (c *Context) AnalyzeCtx(ctx context.Context, spmSize uint32, inSPM map[stri
 	}
 	return res, err
 }
+
+// AnalyzeCtx is CacheContext.Analyze with the caller's context threaded in,
+// recording the incremental cache-path analysis as an "ipet" span.
+// Bit-identical to Analyze.
+func (c *CacheContext) AnalyzeCtx(ctx context.Context, cacheSize, spmSize uint32, inSPM map[string]bool, witness bool) (*Result, error) {
+	_, sp := obs.Start(ctx, "ipet", obs.A("mode", "cache-incremental"),
+		obs.A("cache", cacheSize), obs.A("spm", spmSize))
+	defer sp.End()
+	res, err := c.Analyze(cacheSize, spmSize, inSPM, witness)
+	if err == nil {
+		sp.SetAttr("wcet", res.WCET)
+	}
+	return res, err
+}

@@ -61,11 +61,10 @@ func Analyze(exe *link.Executable, opts Options) (*Result, error) {
 		if err := opts.Cache.Validate(); err != nil {
 			return nil, err
 		}
-		if exe.SPMSize > 0 {
-			// The paper evaluates the two hierarchies separately; allowing
-			// both would need a policy for which objects bypass the cache.
-			return nil, fmt.Errorf("wcet: combined scratchpad+cache analysis is not modelled")
-		}
+		// A scratchpad and a cache may coexist: the placement decides the
+		// bypass policy (scratchpad residents never touch the cache), which
+		// is exactly what the simulator's memory system, the MUST transfer
+		// and the cost model already implement per access.
 	}
 
 	g, err := cfg.Build(exe, root)
@@ -91,6 +90,7 @@ func Analyze(exe *link.Executable, opts Options) (*Result, error) {
 		}
 		m.cc = &cc
 		m.in = a.in
+		m.pool = a.pool
 	}
 
 	res := &Result{PerFunction: make(map[string]uint64, len(order))}

@@ -318,10 +318,33 @@ int main() { return f(3); }`, 0, nil)
 	}
 }
 
-func TestCombinedSPMAndCacheRejected(t *testing.T) {
-	exe := prep(t, `int main() { return 0; }`, 1024, map[string]bool{"main": true})
-	if _, err := Analyze(exe, Options{Cache: &cache.Config{Size: 1024}}); err == nil {
-		t.Fatal("combined scratchpad+cache analysis should be rejected")
+// TestCombinedSPMAndCacheSound: a hybrid hierarchy (scratchpad residents
+// bypass the cache, everything else is cached) is analysable, and the bound
+// stays above the simulator, which models the same bypass per access.
+func TestCombinedSPMAndCacheSound(t *testing.T) {
+	src := `
+int table[8] = {3, 1, 4, 1, 5, 9, 2, 6};
+int sum(int n) {
+    int s = 0;
+    __loopbound(8) for (int i = 0; i < n; i += 1) s += table[i];
+    return s;
+}
+int main() { return sum(8) + sum(4); }`
+	for _, inSPM := range []map[string]bool{
+		{"main": true},
+		{"table": true},
+		{"sum": true, "table": true},
+	} {
+		exe := prep(t, src, 1024, inSPM)
+		ccfg := &cache.Config{Size: 256}
+		cycles := simCycles(t, exe, ccfg)
+		res, err := Analyze(exe, Options{Cache: ccfg, StackBound: 256})
+		if err != nil {
+			t.Fatalf("placement %v: %v", inSPM, err)
+		}
+		if res.WCET < cycles {
+			t.Fatalf("placement %v: WCET %d below simulation %d", inSPM, res.WCET, cycles)
+		}
 	}
 }
 
